@@ -1,0 +1,134 @@
+"""Ablation benches for design choices called out in DESIGN.md.
+
+* Fitting the OpenMP external-effort constants X/Y (the paper fitted
+  X = 100 bb / Y = 4300 stmt to LULESH; we refit to our count scale with
+  the same procedure).
+* Counter-synchronisation mechanism: the paper's extra-message choice vs
+  the two piggyback schemes of Schulz et al. -- overhead differs, logical
+  timestamps do not.
+* LULESH-2 narrative: only tsc and (mislocated) lt_hwctr see the uneven
+  NUMA-occupancy late senders.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import MPI_P2P_LATESENDER
+from repro.experiments import fit_omp_effort_constants, run_experiment
+from repro.util.tables import format_table
+
+
+def test_fit_omp_effort_constants(benchmark, seed):
+    fit = benchmark.pedantic(
+        fit_omp_effort_constants, kwargs=dict(experiment="LULESH-1", seed=seed),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_table(
+        ["quantity", "value"],
+        [[k, v] for k, v in fit.items()],
+        title="Fitted OpenMP external-effort constants (paper procedure, our count scale)",
+        floatfmt=".4f",
+    ))
+    # the fit converges onto the tsc OpenMP share
+    assert fit["x_omp_fraction"] == pytest.approx(fit["target_omp_fraction"], rel=0.35)
+    assert fit["y_omp_fraction"] == pytest.approx(fit["target_omp_fraction"], rel=0.35)
+    assert fit["x_bb"] > 0 and fit["y_stmt"] > 0
+    # statement counts are ~3x denser than basic blocks in our kernels,
+    # so the fitted Y/X ratio lands near 3 (the paper's 43 reflects their
+    # LLVM pass's much denser statement counting)
+    assert 1.0 < fit["y_stmt"] / fit["x_bb"] < 10.0
+
+
+def test_sync_mechanism_ablation(benchmark, seed):
+    """Extra-message vs piggyback synchronisation (paper Sec. II-B)."""
+    from repro.clocks import SyncMechanism, overhead_for_mechanism, timestamp_trace
+    from repro.machine import jureca_dc
+    from repro.machine.noise import NoiseConfig, NoiseModel
+    from repro.measure import Measurement
+    from repro.miniapps.minife import MiniFE, MiniFEConfig
+    from repro.sim import CostModel, Engine
+
+    def run_all():
+        out = {}
+        cluster = jureca_dc(1)
+        for mech in SyncMechanism:
+            app = MiniFE(MiniFEConfig.tiny(nx=96, n_ranks=8, cg_iters=6))
+            cost = CostModel(cluster, noise=NoiseModel(NoiseConfig(), seed=seed))
+            m = Measurement("ltbb", overhead=overhead_for_mechanism(mech))
+            res = Engine(app, cluster, cost, measurement=m).run()
+            out[mech] = (res.runtime, timestamp_trace(res.trace, "ltbb").times)
+        return out
+
+    out = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [[mech.value, rt] for mech, (rt, _ts) in out.items()]
+    print()
+    print(format_table(["mechanism", "runtime / s"], rows,
+                       title="Counter-synchronisation mechanisms (lt_bb, MiniFE-tiny)",
+                       floatfmt=".4f"))
+    rts = {mech: rt for mech, (rt, _) in out.items()}
+    assert rts[SyncMechanism.EXTRA_MESSAGE] >= rts[SyncMechanism.PIGGYBACK_PREPOSTED]
+    # identical logical timestamps regardless of mechanism
+    base = out[SyncMechanism.EXTRA_MESSAGE][1]
+    for mech, (_rt, ts) in out.items():
+        for a, b in zip(base, ts):
+            assert np.array_equal(a, b)
+
+
+def test_lulesh2_late_sender_narrative(benchmark, seed):
+    """Sec. V-C4: only tsc sees the NUMA-contention late senders; lt_hwctr
+    reports them too but in the wrong call paths; the counting clocks are
+    blind to them."""
+    res = benchmark.pedantic(run_experiment, args=("LULESH-2",),
+                             kwargs=dict(seed=seed), rounds=1, iterations=1)
+    ls = {m: res.mean_profile(m).percent_of_time(MPI_P2P_LATESENDER)
+          for m in ("tsc", "ltloop", "ltbb", "ltstmt", "lthwctr")}
+    print()
+    print(format_table(["mode", "latesender %T"], list(ls.items()),
+                       title="LULESH-2 late-sender severity per clock", floatfmt=".2f"))
+    assert ls["tsc"] > 1.0  # paper: 3.3 %T, the dominant issue
+    assert ls["lthwctr"] > 0.3  # the only logical mode that reports it
+    for m in ("ltloop", "ltbb", "ltstmt"):
+        assert ls[m] < ls["tsc"] / 3, m
+
+
+def test_plain_vs_waitstate_noise_sensitivity(benchmark, seed):
+    """Sec. V-B reconciliation with Ritter et al.: lt_hwctr's *plain*
+    profiles are nearly noise-free run to run, while its wait-state
+    profiles vary more -- "wait state analysis is influenced differently
+    by noise than plain profiling"."""
+    from repro.analysis import analyze_trace, plain_profile
+    from repro.clocks import timestamp_trace
+    from repro.scoring import min_pairwise_jaccard
+
+    def collect():
+        res = run_experiment("TeaLeaf-2", seed)
+        return res
+
+    res = benchmark.pedantic(collect, rounds=1, iterations=1)
+    full_floor = min_pairwise_jaccard(res.profiles["lthwctr"])
+    # rebuild plain profiles from scratch at tiny scale (the cached run
+    # stores analysis profiles only), using the same trace both ways
+    from repro.machine import jureca_dc
+    from repro.machine.noise import NoiseConfig, NoiseModel
+    from repro.measure import Measurement
+    from repro.miniapps.tealeaf import TeaLeaf, TeaLeafConfig
+    from repro.sim import CostModel, Engine
+
+    cluster = jureca_dc(1)
+    plain, full = [], []
+    for rep in range(3):
+        app = TeaLeaf(TeaLeafConfig.tiny(grid=512, n_ranks=2, threads_per_rank=4,
+                                         cg_iters=5, iter_compression=8.0))
+        cost = CostModel(cluster, noise=NoiseModel(NoiseConfig(), seed=100 + rep))
+        r = Engine(app, cluster, cost, measurement=Measurement("lthwctr")).run()
+        tt = timestamp_trace(r.trace, "lthwctr", counter_seed=100 + rep)
+        plain.append(plain_profile(tt).normalized())
+        full.append(analyze_trace(tt).normalized())
+    plain_floor = min_pairwise_jaccard(plain)
+    full_floor_small = min_pairwise_jaccard(full)
+    print(f"\nlt_hwctr run-to-run J floor: plain profile {plain_floor:.3f}, "
+          f"wait-state profile {full_floor_small:.3f} (cached TeaLeaf-2: {full_floor:.3f})")
+    # plain profiling is at least as reproducible as wait-state analysis
+    assert plain_floor >= full_floor_small - 1e-9
+    assert plain_floor > 0.9

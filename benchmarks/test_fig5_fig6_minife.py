@@ -1,0 +1,64 @@
+"""Figs. 5 and 6: MiniFE call-path attribution per clock.
+
+Paper narrative (Sec. V-C1/2):
+
+* tsc: matrix assembly slightly over 50 %M of comp, matvec 37 %M;
+  wait_nxn split make_local_matrix 44 / dot 31 / gen_structure 20 %M.
+* lt_1 "highlights parts of the code that contain many inexpensive
+  function calls, i.e., the matrix assembly".
+* lt_loop "overemphasizes regions with many inexpensive loop iterations,
+  i.e., the vector operations in the CG solver".
+* lt_bb / lt_stmt / lt_hwctr "are in good agreement with tsc".
+* MiniFE-2's logical values equal MiniFE-1's: the logical clocks cannot
+  see the added memory contention.
+"""
+
+from conftest import run_report
+
+from repro.experiments import reports
+
+ASSEMBLY = ("generate_matrix_structure", "assemble_FE_data", "make_local_matrix")
+VECTOR_OPS = ("dot", "waxpby")
+
+
+def _agg(shares, keys):
+    return sum(shares[k] for k in keys)
+
+
+def test_fig5_minife_comp(benchmark, seed):
+    data = run_report(benchmark, reports.fig5_minife_comp, seed)
+    m1 = data["MiniFE-1"]
+
+    # tsc: assembly ~50 %M, matvec largest single contributor
+    assert 35 < _agg(m1["tsc"], ASSEMBLY) < 65
+    assert 25 < m1["tsc"]["matvec"] < 55
+
+    # lt_1: call-dense assembly dominates completely
+    assert _agg(m1["lt_1"], ASSEMBLY) > 90
+
+    # lt_loop: cheap vector iterations dominate, assembly nearly invisible
+    assert _agg(m1["lt_loop"], VECTOR_OPS) + m1["lt_loop"]["matvec"] > 90
+    assert _agg(m1["lt_loop"], ASSEMBLY) < 10
+
+    # counting/counter modes agree with tsc on the ranking
+    for mode in ("lt_bb", "lt_stmt", "lt_hwctr"):
+        assert abs(m1[mode]["matvec"] - m1["tsc"]["matvec"]) < 20, mode
+
+    # MiniFE-2: the *logical* attribution is unchanged (memory contention
+    # is invisible); the tsc attribution shifts towards matvec.
+    m2 = data["MiniFE-2"]
+    for mode in ("lt_1", "lt_loop", "lt_bb", "lt_stmt"):
+        for bucket in ASSEMBLY + ("matvec",):
+            assert abs(m2[mode][bucket] - m1[mode][bucket]) < 3.0, (mode, bucket)
+    assert m2["tsc"]["matvec"] > m1["tsc"]["matvec"] + 10  # paper: 37 -> 70 %M
+
+
+def test_fig6_minife_waitnxn(benchmark, seed):
+    data = run_report(benchmark, reports.fig6_minife_waitnxn, seed)
+    m1 = data["MiniFE-1"]["tsc"]
+    # paper split: make_local 44 / dot 31 / gen 20 %M -- assert the ranking
+    # and rough magnitudes
+    assert m1["make_local_matrix"] > m1["generate_matrix_structure"]
+    assert 10 < m1["generate_matrix_structure"] < 35
+    assert 25 < m1["make_local_matrix"] < 60
+    assert 20 < m1["dot"] < 55

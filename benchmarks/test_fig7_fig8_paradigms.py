@@ -1,0 +1,58 @@
+"""Figs. 7 and 8: paradigm (comp/MPI/OpenMP/idle) splits per clock.
+
+Paper narrative:
+
+* MiniFE-2 tsc: most time in idle threads (58 %T), 39 %T computation.
+* lt_1: "shows no effort in the worker threads (93 %T idle threads)".
+* lt_loop: MPI time explains almost all idle time; serial-region idling
+  is invisible, so its idle share is far *below* tsc's.
+* LULESH-1 tsc: 78 %T computation, OpenMP noticeable, lt_1 strongly
+  overestimates OpenMP.
+"""
+
+from conftest import run_report
+
+from repro.experiments import reports
+
+
+def test_fig7_minife2_paradigms(benchmark, seed):
+    data = run_report(benchmark, reports.fig7_minife2_paradigms, seed)
+
+    # tsc: idle dominates (paper 58 %T, comp 39 %T)
+    assert data["tsc"]["idle_threads"] > data["tsc"]["comp"]
+    assert data["tsc"]["idle_threads"] > 40
+
+    # lt_1: worker threads appear almost completely idle (paper: 93 %T)
+    assert data["lt_1"]["idle_threads"] > 85
+
+    # lt_loop cannot see idling caused by serial regions -> far below tsc
+    assert data["lt_loop"]["idle_threads"] < data["tsc"]["idle_threads"] - 20
+    # ...but its small MPI share matches the paper's ~2 %T
+    assert 0.5 < data["lt_loop"]["mpi"] < 6.0
+
+    # every mode agrees MPI itself is small (paper: ~2 %T)
+    for mode, g in data.items():
+        assert g["mpi"] < 8.0, mode
+
+
+def test_fig8_lulesh1_paradigms(benchmark, seed):
+    data = run_report(benchmark, reports.fig8_lulesh1_paradigms, seed)
+
+    # tsc: computation dominates (paper 78 %T)
+    assert data["tsc"]["comp"] > 60
+    # OpenMP time is noticeable in tsc (paper 7 %T)
+    assert 2 < data["tsc"]["omp"] < 15
+
+    # lt_1 strongly overestimates the OpenMP runtime (paper's wording)
+    assert data["lt_1"]["omp"] > data["tsc"]["omp"] * 3
+
+    # lt_loop reports essentially no OpenMP time ("cannot measure time
+    # inside the OpenMP runtime")
+    assert data["lt_loop"]["omp"] < 1.0
+
+    # lt_hwctr is the logical mode closest to tsc overall
+    closest = min(
+        ("lt_loop", "lt_bb", "lt_1", "lt_hwctr"),
+        key=lambda m: abs(data[m]["comp"] - data["tsc"]["comp"]),
+    )
+    assert closest in ("lt_hwctr", "lt_bb")

@@ -1,0 +1,54 @@
+"""Fig. 9: LULESH-1 computation shares and all-to-all delay costs.
+
+Paper narrative (Sec. V-C3):
+
+* CalcForceForNodes is "responsible for most of the computation time"
+  and, despite having no artificial imbalance, causes most of the
+  all-to-all wait time under tsc ("minor imbalances in this function
+  still cause most of the all-to-all wait time").
+* lt_loop / lt_bb / lt_stmt: "delay costs point to the material update
+  routine" -- the artificial imbalance is the only one they can see.
+* lt_hwctr "points to an MPI_Waitall call": the nodal timing variations
+  become spin instructions inside the halo-exchange wait.
+"""
+
+from conftest import run_report
+
+from repro.experiments import reports
+
+
+def test_fig9_lulesh1_comp_and_delay(benchmark, seed):
+    data = run_report(benchmark, reports.fig9_lulesh1_comp_and_delay, seed)
+    comp = data["comp"]
+    delay = data["delay_n2n"]
+
+    # 9a: nodal force work dominates computation under tsc...
+    assert comp["tsc"]["CalcForceForNodes"] > 30
+    # ...and the counting models reproduce the computation ranking
+    for mode in ("lt_bb", "lt_stmt", "lt_hwctr"):
+        assert comp[mode]["CalcForceForNodes"] == max(
+            v for k, v in comp[mode].items() if k != "other"
+        ), mode
+
+    # 9b: tsc's delay costs point at the nodal force calculation
+    assert delay["tsc"]["CalcForceForNodes"] > delay["tsc"]["ApplyMaterialPropertiesForElems"]
+
+    # The counting models can only see the artificial material imbalance.
+    # Part of it arrives *indirectly*: the laggard's late halo sends bump
+    # its neighbours' logical clocks inside MPI_Waitall, and when such a
+    # neighbour is the last to reach the allreduce the cost lands on its
+    # halo-exchange call path (Scalasca's indirect-delay propagation).
+    # The material update must still be the largest computational source.
+    for mode in ("lt_loop", "lt_bb", "lt_stmt"):
+        shares = delay[mode]
+        assert shares["ApplyMaterialPropertiesForElems"] > 25, mode
+        compute_buckets = {k: v for k, v in shares.items()
+                           if k not in ("CalcForceForNodes", "other", "MPI_Waitall")}
+        assert shares["ApplyMaterialPropertiesForElems"] == max(
+            compute_buckets.values()
+        ), mode
+    assert delay["lt_loop"]["ApplyMaterialPropertiesForElems"] > 90
+
+    # lt_hwctr attributes the nodal delay to the MPI_Waitall spin loop
+    assert delay["lt_hwctr"]["MPI_Waitall"] > delay["tsc"]["MPI_Waitall"] + 10
+    assert delay["lt_hwctr"]["MPI_Waitall"] > 30

@@ -1,0 +1,65 @@
+"""Performance microbenchmarks of the toolchain itself.
+
+These are conventional pytest-benchmark measurements (multiple rounds) of
+the three hot paths: the discrete-event engine, the Lamport replay, and
+the analyzer walk.
+"""
+
+import pytest
+
+from repro.analysis import analyze_trace
+from repro.clocks import timestamp_trace
+from repro.machine import jureca_dc
+from repro.machine.noise import NoiseConfig, NoiseModel
+from repro.measure import Measurement
+from repro.miniapps.minife import MiniFE, MiniFEConfig
+from repro.sim import CostModel, Engine
+
+
+def _trace():
+    cluster = jureca_dc(1)
+    app = MiniFE(MiniFEConfig.tiny(nx=96, n_ranks=8, threads_per_rank=4, cg_iters=8))
+    cost = CostModel(cluster, noise=NoiseModel(NoiseConfig(), seed=0))
+    return Engine(app, cluster, cost, measurement=Measurement("tsc")).run().trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return _trace()
+
+
+def test_perf_engine_simulation(benchmark):
+    def run():
+        cluster = jureca_dc(1)
+        app = MiniFE(MiniFEConfig.tiny(nx=96, n_ranks=8, threads_per_rank=4, cg_iters=8))
+        cost = CostModel(cluster, noise=NoiseModel(NoiseConfig(), seed=0))
+        return Engine(app, cluster, cost, measurement=Measurement("tsc")).run().trace.n_events
+
+    n_events = benchmark(run)
+    assert n_events > 1000
+
+
+def test_perf_lamport_replay(benchmark, trace):
+    times = benchmark(lambda: timestamp_trace(trace, "ltbb"))
+    assert len(times.times) == trace.n_locations
+
+
+def test_perf_hwctr_replay(benchmark, trace):
+    times = benchmark(lambda: timestamp_trace(trace, "lthwctr", counter_seed=1))
+    assert len(times.times) == trace.n_locations
+
+
+def test_perf_analyzer(benchmark, trace):
+    tt = timestamp_trace(trace, "tsc")
+    profile = benchmark(lambda: analyze_trace(tt))
+    assert profile.total_time() > 0
+
+
+def test_perf_jaccard(benchmark, trace):
+    from repro.scoring import jaccard_metric_callpath
+
+    tt = timestamp_trace(trace, "tsc")
+    a = analyze_trace(tt)
+    b = analyze_trace(timestamp_trace(trace, "ltbb"))
+    score = benchmark(lambda: jaccard_metric_callpath(a, b))
+    assert 0.0 <= score <= 1.0

@@ -1,0 +1,50 @@
+"""Table I: measurement overheads per clock mode.
+
+Paper values for reference (percent):
+
+    mode      MiniFE-2 init/solve/total   LULESH-1   TeaLeaf-2
+    tsc         -14.3 / 0.3 / -6.5           3.1        41.5
+    lt_1        -12.2 / 0.3 / -5.3           3.6        40.5
+    lt_loop     -15.7 / 0.2 / -6.9           4.3        42.5
+    lt_bb        97.8 / 0.2 / 47.9          23.5        48.0
+    lt_stmt      94.5 / 0.2 / 46.6          23.9        43.7
+    lt_hwctr     89.9 / 0.4 / 41.5          14.7        56.5
+
+Shape assertions check the paper's qualitative findings, not absolute
+numbers (the substrate is a simulator).
+"""
+
+from conftest import run_report
+
+from repro.experiments import reports
+
+
+def test_table1_overheads(benchmark, seed):
+    data = run_report(benchmark, reports.table1_overheads, seed)
+
+    cheap = ("tsc", "lt1", "ltloop")
+    heavy = ("ltbb", "ltstmt", "lthwctr")
+
+    # MiniFE init: cheap modes show the (negative) desynchronisation
+    # effect, counting/counter modes pay heavily (paper: -16..-12 vs +90..98).
+    for m in cheap:
+        assert data[m]["minife2_init"] < 5.0, m
+    for m in heavy:
+        assert data[m]["minife2_init"] > 40.0, m
+
+    # The memory-bound solve phase hides every overhead (paper: <= 0.4 %).
+    for m in data:
+        assert abs(data[m]["minife2_solve"]) < 5.0, m
+
+    # LULESH-1: counting modes cost notably more than tsc; lt_hwctr in
+    # between (paper 3.1 vs 23.5/23.9 vs 14.7; our hwctr gap is smaller,
+    # see EXPERIMENTS.md).
+    assert data["ltbb"]["lulesh1"] > data["tsc"]["lulesh1"] + 10
+    assert data["ltstmt"]["lulesh1"] > data["tsc"]["lulesh1"] + 10
+    assert data["lthwctr"]["lulesh1"] > data["tsc"]["lulesh1"] + 2
+
+    # TeaLeaf-2: every mode pays the large team-size-driven overhead and
+    # lt_hwctr pays the most (paper 40.5..56.5, max at lt_hwctr).
+    for m in data:
+        assert data[m]["tealeaf2"] > 15.0, m
+    assert data["lthwctr"]["tealeaf2"] == max(d["tealeaf2"] for d in data.values())

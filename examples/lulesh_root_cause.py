@@ -1,0 +1,66 @@
+"""LULESH root-cause analysis: who delays the all-to-all?
+
+Part 1 runs the real simplified hydro step (Sedov blast on one domain).
+Part 2 simulates a small LULESH job with the artificial material-update
+imbalance and asks each clock's delay-cost analysis which call paths are
+responsible for the waiting in TimeIncrement's MPI_Allreduce -- the
+experiment behind the paper's Fig. 9b, where lt_loop/lt_bb/lt_stmt point
+cleanly at ApplyMaterialPropertiesForElems while lt_hwctr blames the
+spin-waiting inside MPI_Waitall.
+
+Run:  python examples/lulesh_root_cause.py
+"""
+
+from repro.analysis import DELAY_N2N, analyze_trace
+from repro.clocks import timestamp_trace
+from repro.machine import jureca_dc
+from repro.machine.noise import NoiseConfig, NoiseModel
+from repro.measure import MODE_LABELS, Measurement
+from repro.miniapps.lulesh import Lulesh, LuleshConfig, hydro_step, sedov_init, total_energy
+from repro.sim import CostModel, Engine
+from repro.util.tables import format_table
+
+BUCKETS = ("CalcForceForNodes", "ApplyMaterialPropertiesForElems", "MPI_Waitall")
+
+
+def real_hydro() -> None:
+    print("Part 1: real hydro step (Sedov blast, 16^3 mesh)")
+    state = sedov_init(16)
+    for _ in range(10):
+        dt = hydro_step(state)
+    print(f"  reached t = {state.t:.4f} after {state.step} steps "
+          f"(last dt {dt:.2e}); total energy {total_energy(state):.3f}\n")
+
+
+def delay_study() -> None:
+    cluster = jureca_dc(1)
+    rows = []
+    for mode in ("tsc", "ltloop", "ltbb", "lthwctr"):
+        app = Lulesh(LuleshConfig.tiny(n_ranks=8, threads_per_rank=2,
+                                       edge_elems=20, steps=6, imbalance=0.4))
+        cost = CostModel(cluster, noise=NoiseModel(NoiseConfig(), seed=0))
+        res = Engine(app, cluster, cost, measurement=Measurement(mode)).run()
+        prof = analyze_trace(timestamp_trace(res.trace, mode))
+        shares = prof.metric_selection_percent(DELAY_N2N)
+        agg = {b: 0.0 for b in BUCKETS}
+        for path, v in shares.items():
+            for b in BUCKETS:
+                if b in path:
+                    agg[b] += v
+                    break
+        rows.append([MODE_LABELS[mode]] + [agg[b] for b in BUCKETS])
+    print(format_table(
+        ["Clock"] + list(BUCKETS),
+        rows,
+        title="Part 2: delay costs for the TimeIncrement all-to-all (%M)",
+        floatfmt=".0f",
+    ))
+    print()
+    print("The counting clocks isolate the *algorithmic* imbalance in the")
+    print("material update; lt_hwctr additionally sees busy-wait")
+    print("instructions inside MPI_Waitall, as in the paper's Fig. 9b.")
+
+
+if __name__ == "__main__":
+    real_hydro()
+    delay_study()

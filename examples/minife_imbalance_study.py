@@ -1,0 +1,61 @@
+"""MiniFE imbalance study: real numerics + simulated measurement.
+
+Part 1 solves a real 3-D Poisson problem with the NumPy MiniFE kernels
+(structure generation, assembly, CG) -- the algorithm whose distributed
+execution the simulation models.
+
+Part 2 sweeps MiniFE's artificial imbalance option on the simulator and
+shows how the Wait-at-NxN severity responds to it -- and that the logical
+lt_bb clock tracks the trend just like tsc, because load imbalance is an
+algorithmic property.
+
+Run:  python examples/minife_imbalance_study.py
+"""
+
+from repro.analysis import MPI_COLL_WAIT_NXN, analyze_trace
+from repro.clocks import timestamp_trace
+from repro.machine import jureca_dc
+from repro.machine.noise import NoiseConfig, NoiseModel
+from repro.measure import Measurement
+from repro.miniapps.minife import MiniFE, MiniFEConfig, assemble_poisson_3d, cg_solve
+from repro.sim import CostModel, Engine
+from repro.util.tables import format_table
+
+
+def real_solve() -> None:
+    print("Part 1: real MiniFE-style numerics (16^3 Poisson problem)")
+    a, b = assemble_poisson_3d(16)
+    x, iters, res = cg_solve(a, b, tol=1e-8)
+    print(f"  CG converged in {iters} iterations, final residual {res:.2e}")
+    print(f"  matrix: {a.shape[0]} rows, {a.nnz} nonzeros\n")
+
+
+def sweep() -> None:
+    cluster = jureca_dc(1)
+    rows = []
+    for imbalance in (0.0, 0.25, 0.5):
+        row = [f"{imbalance:.0%}"]
+        for mode in ("tsc", "ltbb"):
+            app = MiniFE(MiniFEConfig.tiny(nx=96, n_ranks=8, cg_iters=6,
+                                           imbalance=imbalance))
+            cost = CostModel(cluster, noise=NoiseModel(NoiseConfig(), seed=0))
+            result = Engine(app, cluster, cost, measurement=Measurement(mode)).run()
+            prof = analyze_trace(timestamp_trace(result.trace, mode))
+            row.append(prof.percent_of_time(MPI_COLL_WAIT_NXN))
+        rows.append(row)
+    print(format_table(
+        ["Imbalance", "wait_nxn %T (tsc)", "wait_nxn %T (lt_bb)"],
+        rows,
+        title="Part 2: Wait-at-NxN vs MiniFE's artificial imbalance",
+        floatfmt=".1f",
+    ))
+    print()
+    print("Both clocks agree, imbalance by imbalance: load imbalance is an")
+    print("algorithmic property, so logical timers detect it reliably and")
+    print("noise-free.  (Waits peak at 25% because fewer overloaded ranks")
+    print("deviate further from the mean at constant total work.)")
+
+
+if __name__ == "__main__":
+    real_solve()
+    sweep()

@@ -1,0 +1,64 @@
+"""The paper's headline property, demonstrated end to end.
+
+Runs the same MiniFE configuration under five different noise
+realizations and compares the resulting analysis profiles with the
+generalized Jaccard score:
+
+* tsc profiles vary run to run (noise leaks into every severity),
+* lt_bb profiles are *bit-identical* -- logical timestamps depend only on
+  the event structure and the deterministic work counts.
+
+Run:  python examples/noise_resilience.py
+"""
+
+import numpy as np
+
+from repro.analysis import analyze_trace
+from repro.clocks import timestamp_trace
+from repro.machine import jureca_dc
+from repro.machine.noise import NoiseConfig, NoiseModel
+from repro.measure import Measurement
+from repro.miniapps.minife import MiniFE, MiniFEConfig
+from repro.scoring import jaccard_metric_callpath, min_pairwise_jaccard
+from repro.sim import CostModel, Engine
+from repro.util.tables import format_table
+
+N_RUNS = 5
+
+
+def measure(mode: str, seed: int):
+    cluster = jureca_dc(1)
+    app = MiniFE(MiniFEConfig.tiny(nx=96, n_ranks=8, cg_iters=6))
+    cost = CostModel(cluster, noise=NoiseModel(NoiseConfig(), seed=seed))
+    result = Engine(app, cluster, cost, measurement=Measurement(mode)).run()
+    tt = timestamp_trace(result.trace, mode, counter_seed=seed)
+    return analyze_trace(tt).normalized(), result.runtime
+
+
+def main() -> None:
+    rows = []
+    for mode in ("tsc", "ltbb", "lthwctr"):
+        profiles, runtimes = [], []
+        for seed in range(N_RUNS):
+            prof, rt = measure(mode, seed)
+            profiles.append(prof)
+            runtimes.append(rt)
+        min_j = min_pairwise_jaccard(profiles)
+        spread = (max(runtimes) - min(runtimes)) / np.mean(runtimes)
+        rows.append([mode, min_j, 100 * spread])
+
+    print(format_table(
+        ["Clock", "min pairwise J_(M,C)", "runtime spread %"],
+        rows,
+        title=f"Run-to-run similarity over {N_RUNS} noisy repetitions",
+        floatfmt=".3f",
+    ))
+    print()
+    print("A score of 1.000 means the five analysis results are IDENTICAL:")
+    print("the logical measurement is immune to the injected CPU, OS,")
+    print("memory and network noise.  tsc (and the counter-based lt_hwctr)")
+    print("vary -- repeating them is the only way to gain confidence.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Quickstart: measure a small MPI+OpenMP program with every clock.
+
+Builds a four-rank program with a deliberate load imbalance, measures it
+with the physical clock (tsc) and all five logical clocks, runs the
+Scalasca-style wait-state analysis and prints what each clock sees.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import quick_measure, jureca_dc
+from repro.analysis import COMP, MPI_COLL_WAIT_NXN, render_metric_tree
+from repro.measure import MODES, MODE_LABELS
+from repro.sim import Allreduce, Compute, Enter, KernelSpec, Leave, ParallelFor, Program
+from repro.util.tables import format_table
+
+# A compute kernel: flops/bytes drive the physical clock, the static
+# counts (loop iterations, basic blocks, statements, instructions) drive
+# the logical clocks -- exactly the paper's five effort models.
+WORK = KernelSpec(
+    name="work",
+    flops_per_unit=2e5,
+    bytes_per_unit=4e4,
+    omp_iters_per_unit=1.0,
+    bb_per_unit=60.0,
+    stmt_per_unit=180.0,
+    instr_per_unit=2.5e5,  # ~1.25 instructions per flop
+)
+
+
+class Imbalanced(Program):
+    """Rank r does (1 + r) units of work, then everyone synchronises."""
+
+    name = "quickstart"
+    n_ranks = 4
+    threads_per_rank = 2
+
+    def make_rank(self, ctx):
+        yield Enter("main")
+        for _step in range(3):
+            yield Enter("compute_phase")
+            yield ParallelFor("work_loop", WORK, total_units=200.0 * (1 + ctx.rank))
+            yield Leave("compute_phase")
+            yield Enter("reduce_phase")
+            yield Allreduce(nbytes=8.0)
+            yield Leave("reduce_phase")
+        yield Leave("main")
+
+
+def main() -> None:
+    print(render_metric_tree())
+    print()
+
+    rows = []
+    for mode in MODES:
+        profile = quick_measure(Imbalanced(), mode=mode, cluster=jureca_dc(1))
+        rows.append([
+            MODE_LABELS[mode],
+            profile.percent_of_time(COMP),
+            profile.percent_of_time(MPI_COLL_WAIT_NXN),
+        ])
+    print(format_table(
+        ["Clock", "comp %T", "wait_nxn %T"],
+        rows,
+        title="What each clock reports for the same imbalanced program",
+        floatfmt=".1f",
+    ))
+    print()
+    print("The rank-level load imbalance is *algorithmic* (it exists in the")
+    print("loop-iteration, basic-block and instruction counts), so every")
+    print("clock, physical or logical, reports the Wait-at-NxN state.")
+
+
+if __name__ == "__main__":
+    main()

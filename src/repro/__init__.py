@@ -1,0 +1,59 @@
+"""repro: noise-resilient logical timers for performance analysis.
+
+A full-stack reproduction of "Are Noise-Resilient Logical Timers Useful
+for Performance Analysis?" (SC 2024) on a simulated MPI+OpenMP substrate:
+simulator (:mod:`repro.sim`), machine/noise models (:mod:`repro.machine`),
+Score-P-style measurement (:mod:`repro.measure`), clocks
+(:mod:`repro.clocks`), Scalasca-style analysis (:mod:`repro.analysis`),
+Cube profiles (:mod:`repro.cube`), Jaccard scoring (:mod:`repro.scoring`),
+the three mini-apps (:mod:`repro.miniapps`) and the experiment harness
+(:mod:`repro.experiments`).
+
+Quick start::
+
+    from repro import quick_measure
+    from repro.miniapps.minife import MiniFE, MiniFEConfig
+
+    profile = quick_measure(MiniFE(MiniFEConfig.tiny()), mode="ltbb")
+    print(profile.percent_of_time("comp"))
+"""
+
+from repro.analysis import analyze_trace
+from repro.clocks import timestamp_trace
+from repro.machine import jureca_dc, small_test_cluster
+from repro.machine.noise import NoiseConfig, NoiseModel, ZeroNoise
+from repro.measure import MODES, Measurement
+from repro.sim import CostModel, Engine, Program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "quick_measure",
+    "analyze_trace",
+    "timestamp_trace",
+    "jureca_dc",
+    "small_test_cluster",
+    "NoiseConfig",
+    "NoiseModel",
+    "ZeroNoise",
+    "MODES",
+    "Measurement",
+    "CostModel",
+    "Engine",
+    "Program",
+]
+
+
+def quick_measure(program, mode: str = "tsc", cluster=None, seed: int = 0):
+    """Instrument, run, timestamp and analyze ``program`` in one call.
+
+    Returns the :class:`~repro.cube.profile.CubeProfile` of the run --
+    the shortest path from a :class:`~repro.sim.program.Program` to
+    Scalasca-style analysis results.
+    """
+    if cluster is None:
+        cluster = jureca_dc(1)
+    cost = CostModel(cluster, noise=NoiseModel(NoiseConfig(), seed=seed))
+    result = Engine(program, cluster, cost, measurement=Measurement(mode)).run()
+    return analyze_trace(timestamp_trace(result.trace, mode, counter_seed=seed))

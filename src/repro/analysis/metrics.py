@@ -1,0 +1,163 @@
+"""The metric hierarchy (paper Fig. 1) and aggregation helpers.
+
+Severities are stored at the *leaf* metrics; every inner node's value is
+the sum of its children.  Delay-cost metrics live outside the *time*
+tree, exactly as in Scalasca ("higher-order analysis results that are not
+grouped under *time* but are presented as additional metrics").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.cube.profile import CubeProfile
+
+__all__ = [
+    "COMP",
+    "MPI_P2P_LATESENDER",
+    "MPI_P2P_LATERECEIVER",
+    "MPI_P2P_REST",
+    "MPI_COLL_WAIT_NXN",
+    "MPI_COLL_WAIT_BARRIER",
+    "MPI_COLL_REST",
+    "OMP_MANAGEMENT",
+    "OMP_BARRIER_WAIT",
+    "OMP_BARRIER_OVERHEAD",
+    "IDLE_THREADS",
+    "DELAY_N2N",
+    "DELAY_LATESENDER",
+    "TIME_LEAVES",
+    "DELAY_METRICS",
+    "METRIC_TREE",
+    "MPI_LEAVES",
+    "OMP_LEAVES",
+    "render_metric_tree",
+    "group_totals",
+]
+
+COMP = "comp"
+MPI_P2P_LATESENDER = "mpi_p2p_latesender"
+MPI_P2P_LATERECEIVER = "mpi_p2p_latereceiver"
+MPI_P2P_REST = "mpi_p2p_rest"
+MPI_COLL_WAIT_NXN = "mpi_coll_wait_nxn"
+MPI_COLL_WAIT_BARRIER = "mpi_coll_wait_barrier"
+MPI_COLL_REST = "mpi_coll_rest"
+OMP_MANAGEMENT = "omp_management"
+OMP_BARRIER_WAIT = "omp_barrier_wait"
+OMP_BARRIER_OVERHEAD = "omp_barrier_overhead"
+IDLE_THREADS = "idle_threads"
+
+DELAY_N2N = "delay_mpi_collective_n2n"
+DELAY_LATESENDER = "delay_mpi_p2p_latesender"
+
+#: the leaves whose sum is the *time* metric
+TIME_LEAVES: Tuple[str, ...] = (
+    COMP,
+    MPI_P2P_LATESENDER,
+    MPI_P2P_LATERECEIVER,
+    MPI_P2P_REST,
+    MPI_COLL_WAIT_NXN,
+    MPI_COLL_WAIT_BARRIER,
+    MPI_COLL_REST,
+    OMP_MANAGEMENT,
+    OMP_BARRIER_WAIT,
+    OMP_BARRIER_OVERHEAD,
+    IDLE_THREADS,
+)
+
+DELAY_METRICS: Tuple[str, ...] = (DELAY_N2N, DELAY_LATESENDER)
+
+MPI_LEAVES: Tuple[str, ...] = (
+    MPI_P2P_LATESENDER,
+    MPI_P2P_LATERECEIVER,
+    MPI_P2P_REST,
+    MPI_COLL_WAIT_NXN,
+    MPI_COLL_WAIT_BARRIER,
+    MPI_COLL_REST,
+)
+
+OMP_LEAVES: Tuple[str, ...] = (OMP_MANAGEMENT, OMP_BARRIER_WAIT, OMP_BARRIER_OVERHEAD)
+
+#: (name, description, children) -- the selection shown in the paper's Fig. 1
+METRIC_TREE = (
+    "time",
+    "Total time",
+    (
+        (COMP, "Computation", ()),
+        (
+            "mpi",
+            "MPI calls",
+            (
+                (
+                    "p2p",
+                    "MPI point-to-point communication",
+                    (
+                        (MPI_P2P_LATESENDER, "Receiver waiting for a late message", ()),
+                        (MPI_P2P_LATERECEIVER, "Sender waiting for a receiver", ()),
+                        (MPI_P2P_REST, "Remaining point-to-point time", ()),
+                    ),
+                ),
+                (
+                    "collective",
+                    "MPI collective communication",
+                    (
+                        (MPI_COLL_WAIT_NXN, "Waiting in MPI all-to-all", ()),
+                        (MPI_COLL_WAIT_BARRIER, "Waiting in MPI barrier", ()),
+                        (MPI_COLL_REST, "Remaining collective time", ()),
+                    ),
+                ),
+            ),
+        ),
+        (
+            "omp",
+            "Time in OpenMP runtime",
+            (
+                (OMP_MANAGEMENT, "Starting and ending parallel regions", ()),
+                (
+                    "synchronization",
+                    "Time to synchronize threads",
+                    (
+                        (OMP_BARRIER_WAIT, "Waiting in an OpenMP barrier", ()),
+                        (OMP_BARRIER_OVERHEAD, "Overhead of OpenMP barriers", ()),
+                    ),
+                ),
+            ),
+        ),
+        (IDLE_THREADS, "Idle worker threads", ()),
+    ),
+)
+
+
+def render_metric_tree() -> str:
+    """ASCII rendering of the metric tree (reproduces Fig. 1)."""
+    lines: List[str] = []
+
+    def walk(node, depth: int) -> None:
+        name, desc, children = node
+        lines.append(f"{'  ' * depth}{name:<24} {desc}")
+        for child in children:
+            walk(child, depth + 1)
+
+    walk(METRIC_TREE, 0)
+    lines.append("")
+    lines.append("additional metrics (outside the time tree):")
+    lines.append(f"{DELAY_N2N:<26} Root causes of all-to-all wait states")
+    lines.append(f"{DELAY_LATESENDER:<26} Root causes of late-sender wait states")
+    return "\n".join(lines)
+
+
+def group_totals(profile: CubeProfile) -> Dict[str, float]:
+    """%T of the four paradigms comp / mpi / omp / idle (Figs. 7 and 8)."""
+    total = profile.total_time()
+    if total <= 0.0:
+        return {"comp": 0.0, "mpi": 0.0, "omp": 0.0, "idle_threads": 0.0}
+
+    def pct(metrics) -> float:
+        return 100.0 * sum(profile.metric_total(m) for m in metrics) / total
+
+    return {
+        "comp": pct((COMP,)),
+        "mpi": pct(MPI_LEAVES),
+        "omp": pct(OMP_LEAVES),
+        "idle_threads": pct((IDLE_THREADS,)),
+    }

@@ -1,0 +1,63 @@
+"""Pure wait-state severity formulas (Scalasca pattern definitions).
+
+These functions are clock-agnostic: they take timestamps in whatever unit
+the active clock produces (seconds for tsc, logical units otherwise) and
+return severities in the same unit.  Keeping them pure makes the pattern
+semantics unit-testable independent of the trace walker.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["nxn_waits", "barrier_split", "late_sender_wait", "late_receiver_wait"]
+
+
+def nxn_waits(enters: Sequence[float], completion: float) -> List[float]:
+    """Wait-at-NxN severity per participant.
+
+    In an all-to-all style collective no participant can leave before the
+    last one has entered, so everyone who arrived early waits:
+    ``wait_i = max_j(enter_j) - enter_i``, clamped into the participant's
+    own interval ``[0, completion - enter_i]``.
+    """
+    if not enters:
+        return []
+    latest = max(enters)
+    return [max(0.0, min(latest, completion) - e) for e in enters]
+
+
+def barrier_split(enters: Sequence[float], leaves: Sequence[float]) -> Tuple[List[float], List[float]]:
+    """(waits, overheads) for a barrier instance.
+
+    Each member's interval is ``d_i = leave_i - enter_i``; the *last*
+    arriver waits approximately nothing, so the minimum interval is the
+    intrinsic barrier overhead, and everything above it is waiting:
+    ``overhead_i = min_j d_j``, ``wait_i = d_i - overhead_i``.
+    """
+    if len(enters) != len(leaves):
+        raise ValueError("enters and leaves must have the same length")
+    if not enters:
+        return [], []
+    durations = [l - e for e, l in zip(enters, leaves)]
+    overhead = max(0.0, min(durations))
+    waits = [max(0.0, d - overhead) for d in durations]
+    return waits, [overhead] * len(durations)
+
+
+def late_sender_wait(send_ts: float, recv_enter_ts: float, recv_complete_ts: float) -> float:
+    """Late-sender severity at the receiver.
+
+    The receiver blocked from ``recv_enter_ts``; the message only started
+    at ``send_ts``.  The waiting ends at the latest at completion.
+    """
+    return max(0.0, min(send_ts, recv_complete_ts) - recv_enter_ts)
+
+
+def late_receiver_wait(send_ts: float, recv_post_ts: float, complete_ts: float) -> float:
+    """Late-receiver severity at the sender (rendezvous protocol only).
+
+    A rendezvous sender cannot progress until the receive is posted; if
+    the receiver posted after the send started, the sender waited.
+    """
+    return max(0.0, min(recv_post_ts, complete_ts) - send_ts)

@@ -1,0 +1,112 @@
+"""Human-readable analysis reports (the `scalasca -examine` analogue).
+
+Renders a :class:`~repro.cube.profile.CubeProfile` the way an analyst
+reads it in Cube: the metric tree with %T severities, the top call paths
+per selected metric in %M, and the most/least loaded locations.  Used by
+``repro-analyze --report`` and handy in notebooks and tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis import metrics as M
+from repro.cube.profile import CubeProfile
+
+__all__ = ["render_report", "top_callpaths", "load_balance_summary"]
+
+
+def top_callpaths(
+    profile: CubeProfile, metric: str, limit: int = 5
+) -> List[Tuple[str, float]]:
+    """The ``limit`` largest call-path contributors to ``metric`` in %M."""
+    shares = profile.metric_selection_percent(metric)
+    rows = sorted(shares.items(), key=lambda kv: -kv[1])[:limit]
+    return [("/".join(p) if p else "<root>", v) for p, v in rows]
+
+
+def load_balance_summary(profile: CubeProfile, metric: str = M.COMP) -> dict:
+    """Imbalance statistics of ``metric`` over locations.
+
+    Returns ``{max, mean, imbalance}`` where ``imbalance = max/mean - 1``
+    (0 for perfect balance) -- the first number an analyst derives from
+    the system-tree dimension.
+    """
+    by_loc = profile.by_location(metric)
+    if not by_loc:
+        return {"max": 0.0, "mean": 0.0, "imbalance": 0.0}
+    values = list(by_loc.values())
+    mx = max(values)
+    mean = sum(values) / len(values)
+    return {
+        "max": mx,
+        "mean": mean,
+        "imbalance": (mx / mean - 1.0) if mean > 0 else 0.0,
+    }
+
+
+def _metric_line(profile: CubeProfile, name: str, label: str, depth: int) -> Optional[str]:
+    pct = profile.percent_of_time(name)
+    return f"{'  ' * depth}{label:<28} {pct:6.1f} %T"
+
+
+def render_report(
+    profile: CubeProfile,
+    top: int = 5,
+    focus_metrics: Optional[Sequence[str]] = None,
+) -> str:
+    """Full text report: metric severities, hot call paths, balance."""
+    lines: List[str] = []
+    mode = profile.mode or "?"
+    lines.append(f"=== Analysis report (clock: {mode}) ===")
+    lines.append("")
+
+    # --- metric tree with %T severities -------------------------------
+    total = profile.total_time()
+    lines.append(f"time{'':<24} {100.0 if total > 0 else 0.0:6.1f} %T")
+    groups = [
+        (M.COMP, "comp", 1),
+        (None, "mpi", 1),
+        (M.MPI_P2P_LATESENDER, "p2p latesender", 2),
+        (M.MPI_P2P_LATERECEIVER, "p2p latereceiver", 2),
+        (M.MPI_P2P_REST, "p2p rest", 2),
+        (M.MPI_COLL_WAIT_NXN, "collective wait_nxn", 2),
+        (M.MPI_COLL_WAIT_BARRIER, "collective wait_barrier", 2),
+        (M.MPI_COLL_REST, "collective rest", 2),
+        (None, "omp", 1),
+        (M.OMP_MANAGEMENT, "management", 2),
+        (M.OMP_BARRIER_WAIT, "barrier_wait", 2),
+        (M.OMP_BARRIER_OVERHEAD, "barrier_overhead", 2),
+        (M.IDLE_THREADS, "idle_threads", 1),
+    ]
+    mpi_pct = sum(profile.percent_of_time(m) for m in M.MPI_LEAVES)
+    omp_pct = sum(profile.percent_of_time(m) for m in M.OMP_LEAVES)
+    for metric, label, depth in groups:
+        if metric is None:
+            pct = mpi_pct if label == "mpi" else omp_pct
+            lines.append(f"{'  ' * depth}{label:<28} {pct:6.1f} %T")
+        else:
+            lines.append(_metric_line(profile, metric, label, depth))
+    lines.append("")
+
+    # --- hot call paths -------------------------------------------------
+    focus = list(focus_metrics) if focus_metrics is not None else [
+        M.COMP, M.MPI_COLL_WAIT_NXN, M.MPI_P2P_LATESENDER, M.IDLE_THREADS,
+        M.DELAY_N2N,
+    ]
+    for metric in focus:
+        rows = top_callpaths(profile, metric, limit=top)
+        if not rows:
+            continue
+        lines.append(f"top call paths for {metric}:")
+        for path, share in rows:
+            lines.append(f"  {share:5.1f} %M  {path}")
+        lines.append("")
+
+    # --- load balance -----------------------------------------------------
+    bal = load_balance_summary(profile)
+    lines.append(
+        f"computation balance over {profile.system.n_locations} locations: "
+        f"max/mean = {1.0 + bal['imbalance']:.2f}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,127 @@
+"""Command-line tools.
+
+* ``repro-run``      -- simulate one configuration under one mode and write
+  the trace archive.
+* ``repro-analyze``  -- analyze a trace archive into a Cube profile.
+* ``repro-score``    -- generalized Jaccard score of two profiles.
+* ``repro-report``   -- regenerate the paper's tables/figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main_run", "main_analyze", "main_score", "main_report"]
+
+
+def main_run(argv: Optional[List[str]] = None) -> int:
+    """Simulate an experiment configuration and write its trace."""
+    from repro.experiments.configs import experiment_names, make_app, make_cluster
+    from repro.machine.noise import NoiseConfig, NoiseModel
+    from repro.measure import MODES, Measurement, write_trace
+    from repro.sim import CostModel, Engine
+
+    parser = argparse.ArgumentParser(prog="repro-run", description=main_run.__doc__)
+    parser.add_argument("experiment", choices=experiment_names())
+    parser.add_argument("--mode", choices=list(MODES), default="tsc")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("-o", "--output", default=None, help="trace output (.json.gz)")
+    args = parser.parse_args(argv)
+
+    app = make_app(args.experiment)
+    cluster = make_cluster(args.experiment)
+    cost = CostModel(cluster, noise=NoiseModel(NoiseConfig(), seed=args.seed))
+    result = Engine(app, cluster, cost, measurement=Measurement(args.mode)).run()
+    print(f"{args.experiment} [{args.mode}] runtime {result.runtime:.4f}s, "
+          f"{result.trace.n_events} events, {result.trace.n_locations} locations")
+    for phase, dur in sorted(result.phase_times.items()):
+        print(f"  phase {phase}: {dur:.4f}s")
+    out = args.output or f"{args.experiment}-{args.mode}-s{args.seed}.trace.json.gz"
+    write_trace(result.trace, out)
+    print(f"trace written to {out}")
+    return 0
+
+
+def main_analyze(argv: Optional[List[str]] = None) -> int:
+    """Analyze a trace archive into a profile (Scalasca analogue)."""
+    from repro.analysis import analyze_trace
+    from repro.analysis.metrics import group_totals
+    from repro.clocks import timestamp_trace
+    from repro.cube import write_profile
+    from repro.measure import read_trace
+
+    parser = argparse.ArgumentParser(prog="repro-analyze", description=main_analyze.__doc__)
+    parser.add_argument("trace", help="trace archive written by repro-run")
+    parser.add_argument("--mode", default=None, help="override the timestamp mode")
+    parser.add_argument("--counter-seed", type=int, default=0)
+    parser.add_argument("-o", "--output", default=None, help="profile output (.json.gz)")
+    parser.add_argument("--report", action="store_true",
+                        help="print the full text report (metric tree, hot "
+                             "call paths, load balance)")
+    args = parser.parse_args(argv)
+
+    trace = read_trace(args.trace)
+    tt = timestamp_trace(trace, args.mode, counter_seed=args.counter_seed)
+    profile = analyze_trace(tt)
+    print(f"analyzed {trace.n_events} events [{tt.mode}]")
+    if args.report:
+        from repro.analysis import render_report
+
+        print(render_report(profile))
+    else:
+        for k, v in group_totals(profile).items():
+            print(f"  {k:14s} {v:6.1f} %T")
+    out = args.output or args.trace.replace(".trace.", ".profile.")
+    write_profile(profile, out)
+    print(f"profile written to {out}")
+    return 0
+
+
+def main_score(argv: Optional[List[str]] = None) -> int:
+    """Generalized Jaccard score J_(M,C) of two profiles."""
+    from repro.cube import read_profile
+    from repro.scoring import jaccard_metric_callpath
+
+    parser = argparse.ArgumentParser(prog="repro-score", description=main_score.__doc__)
+    parser.add_argument("profile_a")
+    parser.add_argument("profile_b")
+    args = parser.parse_args(argv)
+    a = read_profile(args.profile_a)
+    b = read_profile(args.profile_b)
+    print(f"J_(M,C) = {jaccard_metric_callpath(a, b):.4f}")
+    return 0
+
+
+def main_report(argv: Optional[List[str]] = None) -> int:
+    """Regenerate the paper's tables and figures (uses the result cache)."""
+    from repro.experiments import reports
+
+    all_items = {
+        "table1": reports.table1_overheads,
+        "table2": reports.table2_tealeaf,
+        "fig1": lambda seed=0: reports.fig1_metric_tree(),
+        "fig2": reports.fig2_minife_init,
+        "fig3": reports.fig3_jaccard_minife_lulesh,
+        "fig4": reports.fig4_jaccard_tealeaf,
+        "fig5": reports.fig5_minife_comp,
+        "fig6": reports.fig6_minife_waitnxn,
+        "fig7": reports.fig7_minife2_paradigms,
+        "fig8": reports.fig8_lulesh1_paradigms,
+        "fig9": reports.fig9_lulesh1_comp_and_delay,
+    }
+    parser = argparse.ArgumentParser(prog="repro-report", description=main_report.__doc__)
+    parser.add_argument("items", nargs="*", default=list(all_items),
+                        choices=list(all_items) + [[]], help="which tables/figures")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    for item in args.items or list(all_items):
+        _data, text = all_items[item](seed=args.seed)
+        print(text)
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main_report())

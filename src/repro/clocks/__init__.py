@@ -1,0 +1,44 @@
+"""Clocks: timestamp assignment for raw traces.
+
+``timestamp_trace`` is the main entry point: it turns a
+:class:`~repro.measure.trace.RawTrace` into per-location timestamp arrays
+under the chosen measurement mode -- physical time for ``tsc``, Lamport
+logical time with the paper's increment models for the ``lt*`` modes.
+
+Logical timestamps depend only on the event DAG (per-location order plus
+message/collective/fork/barrier edges) and the deterministic work counts,
+never on the physical timing -- which is precisely the noise-resilience
+property the paper investigates.
+"""
+
+from repro.clocks.base import TimestampedTrace, timestamp_trace
+from repro.clocks.lamport import LamportClock
+from repro.clocks.increments import (
+    increment_lt1,
+    increment_ltloop,
+    increment_ltbb,
+    increment_ltstmt,
+    make_increment,
+)
+from repro.clocks.hwcounter import HwCounterIncrement
+from repro.clocks.physical import physical_times
+from repro.clocks.vector import VectorClock
+from repro.clocks.lazy import LazyLamportClock
+from repro.clocks.sync import SyncMechanism, overhead_for_mechanism
+
+__all__ = [
+    "TimestampedTrace",
+    "timestamp_trace",
+    "LamportClock",
+    "increment_lt1",
+    "increment_ltloop",
+    "increment_ltbb",
+    "increment_ltstmt",
+    "make_increment",
+    "HwCounterIncrement",
+    "physical_times",
+    "VectorClock",
+    "LazyLamportClock",
+    "SyncMechanism",
+    "overhead_for_mechanism",
+]

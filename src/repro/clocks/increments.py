@@ -1,0 +1,81 @@
+"""Clock increment ("effort") models lt_1, lt_loop, lt_bb, lt_stmt.
+
+Each model is a callable ``(ev) -> float`` returning the clock increment
+for one recorded event.  The definitions follow the paper's Sec. II-A
+verbatim; the only adaptation is burst handling: an aggregated
+:class:`~repro.sim.actions.CallBurst` event *represents* ``2 * calls``
+recorded events, so the per-event "+1" scales accordingly (for every
+model -- each represented enter/leave would have been a recorded event).
+
+The OpenMP external-effort constants X = 100 basic blocks and Y = 4300
+statements per call into the OpenMP runtime are the values the paper
+fitted against LULESH (Sec. II-A / V-C3); ``make_increment`` accepts
+overrides so the ablation benches can sweep them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.measure.config import (
+    LT1,
+    LTBB,
+    LTLOOP,
+    LTSTMT,
+    X_BB_PER_OMP_CALL,
+    Y_STMT_PER_OMP_CALL,
+)
+from repro.sim.events import Ev
+
+__all__ = [
+    "increment_lt1",
+    "increment_ltloop",
+    "increment_ltbb",
+    "increment_ltstmt",
+    "make_increment",
+]
+
+
+def _base_events(ev: Ev) -> float:
+    """Recorded events this trace record stands for (>= 1)."""
+    bc = ev.delta.burst_calls
+    return 1.0 + 2.0 * bc if bc else 1.0
+
+
+def increment_lt1(ev: Ev) -> float:
+    """lt_1: one unit per recorded event."""
+    return _base_events(ev)
+
+
+def increment_ltloop(ev: Ev) -> float:
+    """lt_loop: lt_1 plus one unit per OpenMP loop iteration."""
+    return _base_events(ev) + ev.delta.omp_iters
+
+
+def increment_ltbb(ev: Ev, x_bb: float = X_BB_PER_OMP_CALL) -> float:
+    """lt_bb: lt_1 plus executed basic blocks, X per OpenMP runtime call."""
+    d = ev.delta
+    return _base_events(ev) + d.bb + x_bb * d.omp_calls
+
+
+def increment_ltstmt(ev: Ev, y_stmt: float = Y_STMT_PER_OMP_CALL) -> float:
+    """lt_stmt: lt_1 plus executed statements, Y per OpenMP runtime call."""
+    d = ev.delta
+    return _base_events(ev) + d.stmt + y_stmt * d.omp_calls
+
+
+def make_increment(
+    mode: str,
+    x_bb: float = X_BB_PER_OMP_CALL,
+    y_stmt: float = Y_STMT_PER_OMP_CALL,
+) -> Callable[[Ev], float]:
+    """Build the increment callable for a (non-hwctr) logical mode."""
+    if mode == LT1:
+        return increment_lt1
+    if mode == LTLOOP:
+        return increment_ltloop
+    if mode == LTBB:
+        return lambda ev: increment_ltbb(ev, x_bb)
+    if mode == LTSTMT:
+        return lambda ev: increment_ltstmt(ev, y_stmt)
+    raise ValueError(f"no static increment model for mode {mode!r}")

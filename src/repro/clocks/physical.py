@@ -1,0 +1,22 @@
+"""The physical clock (``tsc``): timestamps are the recorded virtual time.
+
+The simulator generates causally consistent physical timestamps, so no
+clock-condition violations can occur here; on real hardware out-of-sync
+node clocks would additionally require timestamp correction (one of the
+logical clock's advantages the paper lists in Sec. II).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.measure.trace import RawTrace
+
+__all__ = ["physical_times"]
+
+
+def physical_times(trace: RawTrace) -> List[np.ndarray]:
+    """Per-location arrays of the events' physical timestamps."""
+    return [np.fromiter((ev.t for ev in evs), dtype=float, count=len(evs)) for evs in trace.events]

@@ -1,0 +1,50 @@
+"""Counter-synchronisation mechanisms: piggyback vs. extra messages.
+
+The paper (Sec. II-B, citing Schulz et al.) discusses how to attach the
+logical counter to MPI point-to-point traffic and chooses *extra
+messages* "because it is easy to implement incrementally inside Score-P's
+existing MPI wrappers".  Both mechanisms carry the same information --
+logical timestamps are unaffected -- but their *overhead* differs, which
+is what this module models: it derives per-mechanism
+:class:`~repro.measure.overhead.OverheadModel` variants for the ablation
+bench comparing the two choices.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.measure.overhead import OverheadModel
+
+__all__ = ["SyncMechanism", "overhead_for_mechanism"]
+
+
+class SyncMechanism(enum.Enum):
+    """How the logical counter travels with MPI messages."""
+
+    #: A second small message per operation (the paper's choice):
+    #: one extra latency per MPI call.
+    EXTRA_MESSAGE = "extra_message"
+    #: Datatype-wrapping piggyback: the counter rides inside the original
+    #: message; only packing/unpacking cost, no extra latency.
+    PIGGYBACK_DATATYPE = "piggyback_datatype"
+    #: Separate communicator with pre-posted counter receives: cheapest
+    #: per message, but pays persistent-request management.
+    PIGGYBACK_PREPOSTED = "piggyback_preposted"
+
+
+#: per-MPI-operation synchronisation cost (seconds) for each mechanism
+_SYNC_COST = {
+    SyncMechanism.EXTRA_MESSAGE: 0.4e-6,  # one more eager message round
+    SyncMechanism.PIGGYBACK_DATATYPE: 0.15e-6,  # pack/unpack + datatype juggling
+    SyncMechanism.PIGGYBACK_PREPOSTED: 0.08e-6,  # pre-posted recv matching
+}
+
+
+def overhead_for_mechanism(
+    mechanism: SyncMechanism, base: OverheadModel = None
+) -> OverheadModel:
+    """An :class:`OverheadModel` with the mechanism's per-MPI-op cost."""
+    base = base if base is not None else OverheadModel()
+    return dataclasses.replace(base, mpi_sync_cost=_SYNC_COST[mechanism])

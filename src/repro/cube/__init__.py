@@ -1,0 +1,33 @@
+"""Cube analogue: (metric x call path x system location) profiles.
+
+Scalasca's output is a profile over three dimensions -- metric tree, call
+tree and system tree -- explored in the Cube browser.  This package
+provides that data model plus the two query modes the paper reads numbers
+from:
+
+* ``%T`` ("own root percent"): a severity as a fraction of the total
+  *time* metric,
+* ``%M`` ("metric selection percent"): a call path's fraction of one
+  metric's total.
+
+Call paths are keyed by tuples of region *names* so profiles from
+different measurement modes (whose internal region ids differ) compare
+directly -- required for the paper's Jaccard studies and for averaging the
+five repetitions of noisy modes.
+"""
+
+from repro.cube.calltree import CallTree, CallPath
+from repro.cube.systemtree import SystemTree
+from repro.cube.profile import CubeProfile
+from repro.cube.io import write_profile, read_profile
+from repro.cube.diff import profile_diff
+
+__all__ = [
+    "CallTree",
+    "CallPath",
+    "SystemTree",
+    "CubeProfile",
+    "write_profile",
+    "read_profile",
+    "profile_diff",
+]

@@ -1,0 +1,94 @@
+"""Call-path tree keyed by region-name tuples."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["CallPath", "CallTree"]
+
+#: A call path is a tuple of region names from the root down.
+CallPath = Tuple[str, ...]
+
+
+class CallTree:
+    """Interns call paths (name tuples) to dense integer ids.
+
+    The tree structure (parent/children) is derived from the prefixes of
+    the interned paths; interning a path implicitly interns all its
+    ancestors so subtree aggregation is always well defined.
+    """
+
+    def __init__(self):
+        self._ids: Dict[CallPath, int] = {}
+        self._paths: List[CallPath] = []
+        self._children: Dict[int, List[int]] = {}
+
+    def intern(self, path: CallPath) -> int:
+        """Return the id for ``path``, creating it (and ancestors) if new."""
+        cpid = self._ids.get(path)
+        if cpid is not None:
+            return cpid
+        if path:
+            parent_id = self.intern(path[:-1])
+        else:
+            parent_id = None
+        cpid = len(self._paths)
+        self._ids[path] = cpid
+        self._paths.append(path)
+        self._children[cpid] = []
+        if parent_id is not None:
+            self._children[parent_id].append(cpid)
+        return cpid
+
+    def id_of(self, path: CallPath) -> Optional[int]:
+        return self._ids.get(tuple(path))
+
+    def path(self, cpid: int) -> CallPath:
+        return self._paths[cpid]
+
+    def name(self, cpid: int) -> str:
+        p = self._paths[cpid]
+        return p[-1] if p else "<root>"
+
+    def parent(self, cpid: int) -> Optional[int]:
+        p = self._paths[cpid]
+        if not p:
+            return None
+        return self._ids[p[:-1]]
+
+    def children(self, cpid: int) -> List[int]:
+        return list(self._children.get(cpid, ()))
+
+    def subtree(self, cpid: int) -> List[int]:
+        """cpid plus all descendants (preorder)."""
+        out = [cpid]
+        stack = list(self._children.get(cpid, ()))
+        while stack:
+            c = stack.pop()
+            out.append(c)
+            stack.extend(self._children.get(c, ()))
+        return out
+
+    def find_suffix(self, *names: str) -> List[int]:
+        """All call paths ending with the given name sequence.
+
+        ``find_suffix("cg_solve", "dot")`` matches every interned path
+        whose last two components are those names -- how the paper refers
+        to call paths ("cg_solve/dot").
+        """
+        suffix = tuple(names)
+        n = len(suffix)
+        return [
+            cpid
+            for cpid, p in enumerate(self._paths)
+            if len(p) >= n and p[-n:] == suffix
+        ]
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    def __iter__(self):
+        return iter(range(len(self._paths)))
+
+    def paths(self) -> List[CallPath]:
+        return list(self._paths)

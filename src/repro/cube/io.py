@@ -1,0 +1,50 @@
+"""Profile (de)serialisation: gzipped JSON."""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.cube.profile import CubeProfile
+from repro.cube.systemtree import SystemTree
+
+__all__ = ["write_profile", "read_profile"]
+
+
+def write_profile(profile: CubeProfile, path: Union[str, Path]) -> None:
+    """Write ``profile`` to ``path`` (gzipped JSON)."""
+    doc = {
+        "format": "repro-cube-1",
+        "mode": profile.mode,
+        "meta": profile.meta,
+        "time_metrics": list(profile.time_metrics),
+        "locations": [list(lt) for lt in profile.system.locations],
+        "nodes_of_ranks": {str(k): v for k, v in profile.system.nodes_of_ranks.items()},
+        "callpaths": [list(p) for p in profile.calltree.paths()],
+        "severities": {
+            m: [[cpid, loc, v] for (cpid, loc), v in cells.items()]
+            for m, cells in ((m, profile.cells(m)) for m in profile.metrics)
+        },
+    }
+    with gzip.open(Path(path), "wt", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+
+
+def read_profile(path: Union[str, Path]) -> CubeProfile:
+    """Read a profile written by :func:`write_profile`."""
+    with gzip.open(Path(path), "rt", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("format") != "repro-cube-1":
+        raise ValueError(f"{path}: not a repro cube profile")
+    system = SystemTree(
+        [tuple(lt) for lt in doc["locations"]],
+        {int(k): v for k, v in doc.get("nodes_of_ranks", {}).items()},
+    )
+    profile = CubeProfile(system, doc["time_metrics"], mode=doc["mode"], meta=doc["meta"])
+    paths = [tuple(p) for p in doc["callpaths"]]
+    for metric, triples in doc["severities"].items():
+        for cpid, loc, v in triples:
+            profile.add(metric, paths[cpid], loc, v)
+    return profile

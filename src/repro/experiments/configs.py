@@ -1,0 +1,87 @@
+"""The eight benchmark configurations of the paper (Sec. IV)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.machine import Cluster, jureca_dc
+from repro.sim.program import Program
+
+__all__ = ["ExperimentSpec", "EXPERIMENTS", "experiment_names", "make_app", "make_cluster"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One named experiment: app factory plus job geometry."""
+
+    name: str
+    app: Callable[[], Program]
+    nodes: int = 1
+    #: repetitions of the uninstrumented reference run (paper: five)
+    reps_ref: int = 5
+    #: repetitions of the noisy measurements tsc and lt_hwctr (paper: five)
+    reps_noisy: int = 5
+    #: phases reported in the overhead tables ("total" is always included)
+    phases: Tuple[str, ...] = ()
+
+
+def _minife1() -> Program:
+    from repro.miniapps.minife import MiniFE, MiniFEConfig
+
+    return MiniFE(MiniFEConfig.minife1())
+
+
+def _minife2() -> Program:
+    from repro.miniapps.minife import MiniFE, MiniFEConfig
+
+    return MiniFE(MiniFEConfig.minife2())
+
+
+def _lulesh1() -> Program:
+    from repro.miniapps.lulesh import Lulesh, LuleshConfig
+
+    return Lulesh(LuleshConfig.lulesh1(steps=10))
+
+
+def _lulesh2() -> Program:
+    from repro.miniapps.lulesh import Lulesh, LuleshConfig
+
+    return Lulesh(LuleshConfig.lulesh2(steps=10))
+
+
+def _tealeaf(n: int) -> Callable[[], Program]:
+    def make() -> Program:
+        from repro.miniapps.tealeaf import TeaLeaf, TeaLeafConfig
+
+        return TeaLeaf(TeaLeafConfig.tealeaf(n))
+
+    return make
+
+
+EXPERIMENTS: Dict[str, ExperimentSpec] = {
+    "MiniFE-1": ExperimentSpec("MiniFE-1", _minife1, nodes=1, phases=("init", "solve")),
+    "MiniFE-2": ExperimentSpec("MiniFE-2", _minife2, nodes=1, phases=("init", "solve")),
+    "LULESH-1": ExperimentSpec("LULESH-1", _lulesh1, nodes=2, phases=("lagrange",)),
+    "LULESH-2": ExperimentSpec("LULESH-2", _lulesh2, nodes=1, phases=("lagrange",)),
+    "TeaLeaf-1": ExperimentSpec("TeaLeaf-1", _tealeaf(1), nodes=1, phases=("solve",)),
+    "TeaLeaf-2": ExperimentSpec("TeaLeaf-2", _tealeaf(2), nodes=1, phases=("solve",)),
+    "TeaLeaf-3": ExperimentSpec("TeaLeaf-3", _tealeaf(3), nodes=1, phases=("solve",)),
+    "TeaLeaf-4": ExperimentSpec("TeaLeaf-4", _tealeaf(4), nodes=1, phases=("solve",)),
+}
+
+
+def experiment_names():
+    """All experiment names in the paper's order."""
+    return list(EXPERIMENTS)
+
+
+def make_app(name: str) -> Program:
+    try:
+        return EXPERIMENTS[name].app()
+    except KeyError:
+        raise KeyError(f"unknown experiment {name!r}; known: {list(EXPERIMENTS)}") from None
+
+
+def make_cluster(name: str) -> Cluster:
+    return jureca_dc(EXPERIMENTS[name].nodes)

@@ -1,0 +1,201 @@
+"""The measurement workflow (paper Sec. IV-B) plus result caching.
+
+"To obtain reference timings, the application is run five times without
+instrumentation.  Then, we perform an instrumented measurement and
+Scalasca trace analysis with the physical clock ... and each of the
+logical clocks ...  Additionally, tsc and lt_hwctr measurements are
+influenced by noise, therefore we repeat these measurements five times.
+We base our evaluation ... on the arithmetic mean of the five call-path
+profiles."
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.analysis import analyze_trace
+from repro.clocks import timestamp_trace
+from repro.cube import CubeProfile, read_profile, write_profile
+from repro.experiments.configs import EXPERIMENTS, make_app, make_cluster
+from repro.machine.noise import NoiseConfig, NoiseModel
+from repro.measure import MODES, Measurement, OverheadModel
+from repro.measure.config import NOISY_MODES, TSC
+from repro.sim import CostModel, Engine
+from repro.util.rng import stream_seed
+
+__all__ = ["ExperimentResult", "run_experiment", "clear_cache", "CACHE_VERSION"]
+
+#: bump to invalidate cached results after calibration/code changes
+CACHE_VERSION = 3
+
+_CACHE_DIR = Path(__file__).resolve().parents[3] / ".results_cache"
+
+
+@dataclass
+class ExperimentResult:
+    """Everything the tables/figures need for one configuration."""
+
+    name: str
+    seed: int
+    ref_runtimes: List[float]
+    ref_phases: Dict[str, List[float]]
+    #: mode -> list of total runtimes (one per repetition)
+    runtimes: Dict[str, List[float]]
+    #: mode -> {phase: [durations per repetition]}
+    phases: Dict[str, Dict[str, List[float]]]
+    #: mode -> per-repetition normalized profiles
+    profiles: Dict[str, List[CubeProfile]]
+    #: mode -> arithmetic mean of the normalized repetition profiles
+    mean_profiles: Dict[str, CubeProfile] = field(default_factory=dict)
+
+    def overhead(self, mode: str, phase: Optional[str] = None) -> float:
+        """Mean overhead in percent vs. the mean reference (Table I/II)."""
+        if phase is None:
+            ref = float(np.mean(self.ref_runtimes))
+            val = float(np.mean(self.runtimes[mode]))
+        else:
+            ref = float(np.mean(self.ref_phases[phase]))
+            val = float(np.mean(self.phases[mode][phase]))
+        return 100.0 * (val - ref) / ref
+
+    def mean_profile(self, mode: str) -> CubeProfile:
+        return self.mean_profiles[mode]
+
+
+def _reps_for(mode: str, spec) -> int:
+    return spec.reps_noisy if mode in NOISY_MODES else 1
+
+
+def _run_once(name: str, mode: Optional[str], seed: int, rep: int):
+    """One (possibly instrumented) run; returns (SimResult, Measurement|None)."""
+    app = make_app(name)
+    cluster = make_cluster(name)
+    noise = NoiseModel(NoiseConfig(), seed=stream_seed(seed, name, mode or "ref", rep))
+    cost = CostModel(cluster, noise=noise)
+    measurement = Measurement(mode) if mode is not None else None
+    engine = Engine(app, cluster, cost, measurement=measurement)
+    return engine.run()
+
+
+def run_experiment(
+    name: str,
+    seed: int = 0,
+    use_cache: bool = True,
+    verbose: bool = False,
+) -> ExperimentResult:
+    """Run (or load from cache) the complete workflow for ``name``."""
+    spec = EXPERIMENTS[name]
+    cache = _cache_path(name, seed)
+    if use_cache and cache.exists():
+        try:
+            return _load(cache, name, seed)
+        except Exception:
+            shutil.rmtree(cache, ignore_errors=True)
+
+    ref_runtimes: List[float] = []
+    ref_phases: Dict[str, List[float]] = {p: [] for p in spec.phases}
+    for rep in range(spec.reps_ref):
+        res = _run_once(name, None, seed, rep)
+        ref_runtimes.append(res.runtime)
+        for p in spec.phases:
+            ref_phases[p].append(res.phase(p))
+        if verbose:
+            print(f"[{name}] ref rep {rep}: {res.runtime:.3f}s")
+
+    runtimes: Dict[str, List[float]] = {}
+    phases: Dict[str, Dict[str, List[float]]] = {}
+    profiles: Dict[str, List[CubeProfile]] = {}
+    for mode in MODES:
+        runtimes[mode] = []
+        phases[mode] = {p: [] for p in spec.phases}
+        profiles[mode] = []
+        for rep in range(_reps_for(mode, spec)):
+            res = _run_once(name, mode, seed, rep)
+            runtimes[mode].append(res.runtime)
+            for p in spec.phases:
+                phases[mode][p].append(res.phase(p))
+            tt = timestamp_trace(
+                res.trace, mode, counter_seed=stream_seed(seed, name, "ctr", rep)
+            )
+            profiles[mode].append(analyze_trace(tt).normalized())
+            if verbose:
+                print(f"[{name}] {mode} rep {rep}: {res.runtime:.3f}s, "
+                      f"{res.trace.n_events} events")
+
+    result = ExperimentResult(
+        name=name,
+        seed=seed,
+        ref_runtimes=ref_runtimes,
+        ref_phases=ref_phases,
+        runtimes=runtimes,
+        phases=phases,
+        profiles=profiles,
+    )
+    for mode in MODES:
+        result.mean_profiles[mode] = CubeProfile.mean(profiles[mode])
+    if use_cache:
+        _store(result, cache)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# disk cache
+# ---------------------------------------------------------------------------
+
+
+def _cache_path(name: str, seed: int) -> Path:
+    return _CACHE_DIR / f"v{CACHE_VERSION}-{name}-s{seed}"
+
+
+def clear_cache() -> None:
+    """Delete all cached experiment results."""
+    shutil.rmtree(_CACHE_DIR, ignore_errors=True)
+
+
+def _store(result: ExperimentResult, path: Path) -> None:
+    tmp = path.with_suffix(".tmp")
+    shutil.rmtree(tmp, ignore_errors=True)
+    tmp.mkdir(parents=True)
+    doc = {
+        "name": result.name,
+        "seed": result.seed,
+        "ref_runtimes": result.ref_runtimes,
+        "ref_phases": result.ref_phases,
+        "runtimes": result.runtimes,
+        "phases": result.phases,
+        "reps": {m: len(result.profiles[m]) for m in result.profiles},
+    }
+    (tmp / "summary.json").write_text(json.dumps(doc))
+    for mode, profs in result.profiles.items():
+        for i, prof in enumerate(profs):
+            write_profile(prof, tmp / f"profile-{mode}-{i}.json.gz")
+        write_profile(result.mean_profiles[mode], tmp / f"profile-{mode}-mean.json.gz")
+    shutil.rmtree(path, ignore_errors=True)
+    tmp.rename(path)
+
+
+def _load(path: Path, name: str, seed: int) -> ExperimentResult:
+    doc = json.loads((path / "summary.json").read_text())
+    if doc["name"] != name or doc["seed"] != seed:
+        raise ValueError("cache mismatch")
+    profiles = {}
+    mean_profiles = {}
+    for mode, n in doc["reps"].items():
+        profiles[mode] = [read_profile(path / f"profile-{mode}-{i}.json.gz") for i in range(n)]
+        mean_profiles[mode] = read_profile(path / f"profile-{mode}-mean.json.gz")
+    return ExperimentResult(
+        name=doc["name"],
+        seed=doc["seed"],
+        ref_runtimes=doc["ref_runtimes"],
+        ref_phases=doc["ref_phases"],
+        runtimes=doc["runtimes"],
+        phases={m: dict(v) for m, v in doc["phases"].items()},
+        profiles=profiles,
+        mean_profiles=mean_profiles,
+    )

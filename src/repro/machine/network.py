@@ -1,0 +1,142 @@
+"""Network and collective cost models.
+
+Point-to-point transfers follow the classic latency/bandwidth (Hockney)
+model with a shared-memory fast path for intra-node pairs.  Collectives use
+textbook log-tree / ring cost formulas.  These costs set the *floor* of MPI
+time; the interesting MPI time in the paper's experiments is waiting, which
+the simulator derives from rank arrival times, not from this module.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.machine.topology import Cluster, Pinning
+from repro.util.validation import check_nonnegative, check_positive
+
+__all__ = ["NetworkModel", "CollectiveCostModel"]
+
+
+@dataclass
+class NetworkModel:
+    """Point-to-point transfer times over the cluster interconnect.
+
+    Intra-node messages go through shared memory (lower latency, higher
+    bandwidth); inter-node messages over the fabric.  ``eager_threshold``
+    selects the MPI protocol: eager sends complete locally, rendezvous
+    sends block until the receiver arrives (the source of the
+    *late receiver* pattern).
+    """
+
+    cluster: Cluster
+    eager_threshold: int = 16 * 1024  # bytes; typical MPI default magnitude
+    shm_latency: float = 1.0e-6  # incl. per-call software overhead at high process counts
+    shm_bandwidth_factor: float = 2.0  # shared-memory bw relative to NIC bw
+
+    def latency(self, same_node: bool) -> float:
+        return self.shm_latency if same_node else self.cluster.network_latency
+
+    def bandwidth(self, same_node: bool) -> float:
+        bw = self.cluster.network_bandwidth
+        return bw * self.shm_bandwidth_factor if same_node else bw
+
+    def transfer_time(self, nbytes: float, same_node: bool) -> float:
+        """Latency + serialization time for a point-to-point message."""
+        check_nonnegative("nbytes", nbytes)
+        return self.latency(same_node) + nbytes / self.bandwidth(same_node)
+
+    def is_eager(self, nbytes: float) -> bool:
+        return nbytes <= self.eager_threshold
+
+
+@dataclass
+class CollectiveCostModel:
+    """Intrinsic (zero-imbalance) cost of MPI collectives.
+
+    Cost formulas (n ranks, m bytes per rank, alpha latency, beta inv-bw):
+
+    * barrier:    ceil(log2 n) * alpha
+    * bcast:      ceil(log2 n) * (alpha + m * beta)
+    * reduce:     like bcast plus a small per-byte reduction term
+    * allreduce:  reduce + bcast (2 log n stages)
+    * allgather / alltoall: ring, (n-1) steps
+
+    The model intentionally ignores topology details beyond intra-node vs
+    inter-node; the paper's wait-state severities are dominated by arrival
+    imbalance, which the simulator captures exactly.
+    """
+
+    network: NetworkModel
+    reduce_flop_time: float = 0.25e-9  # seconds per reduced byte (SUM on doubles)
+
+    def _alpha_beta(self, pinning: Pinning, ranks) -> tuple:
+        ranks = list(ranks)
+        same_node = all(pinning.node_of(r) == pinning.node_of(ranks[0]) for r in ranks)
+        alpha = self.network.latency(same_node)
+        beta = 1.0 / self.network.bandwidth(same_node)
+        return alpha, beta
+
+    @staticmethod
+    def _log2ceil(n: int) -> int:
+        return max(1, int(math.ceil(math.log2(max(n, 2)))))
+
+    def barrier(self, pinning: Pinning, ranks) -> float:
+        n = len(list(ranks))
+        if n <= 1:
+            return 0.0
+        alpha, _ = self._alpha_beta(pinning, ranks)
+        return self._log2ceil(n) * alpha
+
+    def bcast(self, pinning: Pinning, ranks, nbytes: float) -> float:
+        n = len(list(ranks))
+        if n <= 1:
+            return 0.0
+        alpha, beta = self._alpha_beta(pinning, ranks)
+        return self._log2ceil(n) * (alpha + nbytes * beta)
+
+    def reduce(self, pinning: Pinning, ranks, nbytes: float) -> float:
+        n = len(list(ranks))
+        if n <= 1:
+            return 0.0
+        alpha, beta = self._alpha_beta(pinning, ranks)
+        stages = self._log2ceil(n)
+        return stages * (alpha + nbytes * (beta + self.reduce_flop_time))
+
+    def allreduce(self, pinning: Pinning, ranks, nbytes: float) -> float:
+        n = len(list(ranks))
+        if n <= 1:
+            return 0.0
+        return self.reduce(pinning, ranks, nbytes) + self.bcast(pinning, ranks, nbytes)
+
+    def allgather(self, pinning: Pinning, ranks, nbytes_per_rank: float) -> float:
+        ranks = list(ranks)
+        n = len(ranks)
+        if n <= 1:
+            return 0.0
+        alpha, beta = self._alpha_beta(pinning, ranks)
+        return (n - 1) * (alpha + nbytes_per_rank * beta)
+
+    def alltoall(self, pinning: Pinning, ranks, nbytes_per_pair: float) -> float:
+        ranks = list(ranks)
+        n = len(ranks)
+        if n <= 1:
+            return 0.0
+        alpha, beta = self._alpha_beta(pinning, ranks)
+        return (n - 1) * (alpha + nbytes_per_pair * beta)
+
+    def cost(self, op: str, pinning: Pinning, ranks, nbytes: float) -> float:
+        """Dispatch by operation name (as used in trace events)."""
+        dispatch = {
+            "barrier": lambda: self.barrier(pinning, ranks),
+            "bcast": lambda: self.bcast(pinning, ranks, nbytes),
+            "reduce": lambda: self.reduce(pinning, ranks, nbytes),
+            "allreduce": lambda: self.allreduce(pinning, ranks, nbytes),
+            "allgather": lambda: self.allgather(pinning, ranks, nbytes),
+            "alltoall": lambda: self.alltoall(pinning, ranks, nbytes),
+        }
+        try:
+            return dispatch[op]()
+        except KeyError:
+            raise ValueError(f"unknown collective op {op!r}") from None

@@ -1,0 +1,193 @@
+"""Seeded noise sources (an HPAS-style injector suite).
+
+The paper's premise is that "noise is present on all modern computers" and
+classifies it by origin -- CPU, cache, memory, storage, network (Ates et
+al.).  This module implements independently switchable, seeded injectors:
+
+* :class:`CpuNoise` -- multiplicative run-time jitter on compute kernels
+  (frequency scaling, SMT interference, micro-architectural variation).
+* :class:`OsJitter` -- additive detours: the OS steals the core for
+  daemons/interrupts at a Poisson rate (Petrini's classic ASCI Q effect).
+* :class:`MemoryNoise` -- jitter on achieved memory bandwidth.
+* :class:`NetworkNoise` -- multiplicative jitter on message transfer and
+  collective costs (shared-fabric interference, cf. Beni et al.).
+* :class:`CounterNoise` -- run-to-run variation of the simulated
+  ``PERF_COUNT_HW_INSTRUCTIONS`` counter.  Ritter et al. showed instruction
+  counters are noisy but *less* noisy than run-time; the default levels
+  preserve that ordering.
+
+All draws come from :class:`repro.util.rng.RngStreams`, so a (seed,
+repetition) pair fully determines every noise realization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.util.rng import RngStreams
+from repro.util.validation import check_nonnegative
+
+__all__ = [
+    "NoiseConfig",
+    "NoiseModel",
+    "CpuNoise",
+    "OsJitter",
+    "MemoryNoise",
+    "NetworkNoise",
+    "CounterNoise",
+    "ZeroNoise",
+]
+
+
+@dataclass(frozen=True)
+class NoiseConfig:
+    """Noise intensity per source; all dimensionless unless noted.
+
+    The defaults produce a few-percent run-to-run variation of compute
+    phases and a noticeably larger variation of communication, matching the
+    qualitative picture in the paper's Sec. I ("run-to-run variation" of
+    whole applications on the order of percent, communication micro-
+    benchmarks much worse).
+    """
+
+    cpu_sigma: float = 0.01  # lognormal sigma of per-kernel compute factor
+    os_jitter_rate: float = 25.0  # detours per second per core
+    os_jitter_duration: float = 40e-6  # mean seconds per detour
+    memory_sigma: float = 0.02  # lognormal sigma on achieved bandwidth
+    network_sigma: float = 0.10  # lognormal sigma on transfer times
+    counter_sigma: float = 0.004  # lognormal sigma on instruction counts
+    counter_offset_instructions: float = 3.0e4  # kernel-entry/-exit count slop
+
+    def scaled(self, factor: float) -> "NoiseConfig":
+        """A config with every intensity multiplied by ``factor``."""
+        check_nonnegative("factor", factor)
+        return NoiseConfig(
+            cpu_sigma=self.cpu_sigma * factor,
+            os_jitter_rate=self.os_jitter_rate * factor,
+            os_jitter_duration=self.os_jitter_duration,
+            memory_sigma=self.memory_sigma * factor,
+            network_sigma=self.network_sigma * factor,
+            counter_sigma=self.counter_sigma * factor,
+            counter_offset_instructions=self.counter_offset_instructions * factor,
+        )
+
+
+def ZeroNoise() -> NoiseConfig:
+    """A config with every source switched off (fully deterministic runs)."""
+    return NoiseConfig(
+        cpu_sigma=0.0,
+        os_jitter_rate=0.0,
+        os_jitter_duration=0.0,
+        memory_sigma=0.0,
+        network_sigma=0.0,
+        counter_sigma=0.0,
+        counter_offset_instructions=0.0,
+    )
+
+
+def _lognormal_factor(rng: np.random.Generator, sigma: float) -> float:
+    """A mean-1 multiplicative factor; degenerates to 1.0 at sigma=0."""
+    if sigma <= 0.0:
+        return 1.0
+    return float(np.exp(rng.normal(-0.5 * sigma * sigma, sigma)))
+
+
+class CpuNoise:
+    """Multiplicative compute-time jitter per (location, kernel execution)."""
+
+    def __init__(self, rngs: RngStreams, config: NoiseConfig):
+        self._rngs = rngs
+        self._sigma = config.cpu_sigma
+
+    def factor(self, rank: int, thread: int) -> float:
+        rng = self._rngs.get("cpu-noise", rank=rank, thread=thread)
+        return _lognormal_factor(rng, self._sigma)
+
+
+class OsJitter:
+    """Additive OS detour time accumulated over a compute interval."""
+
+    def __init__(self, rngs: RngStreams, config: NoiseConfig):
+        self._rngs = rngs
+        self._rate = config.os_jitter_rate
+        self._duration = config.os_jitter_duration
+
+    def detour_time(self, rank: int, thread: int, interval: float) -> float:
+        """Total stolen time while running ``interval`` seconds of work."""
+        check_nonnegative("interval", interval)
+        if self._rate <= 0.0 or self._duration <= 0.0 or interval <= 0.0:
+            return 0.0
+        rng = self._rngs.get("os-jitter", rank=rank, thread=thread)
+        n = rng.poisson(self._rate * interval)
+        if n == 0:
+            return 0.0
+        return float(rng.exponential(self._duration, size=n).sum())
+
+
+class MemoryNoise:
+    """Multiplicative jitter on achieved memory bandwidth."""
+
+    def __init__(self, rngs: RngStreams, config: NoiseConfig):
+        self._rngs = rngs
+        self._sigma = config.memory_sigma
+
+    def factor(self, numa_id: int) -> float:
+        rng = self._rngs.get("mem-noise", numa=numa_id)
+        return _lognormal_factor(rng, self._sigma)
+
+
+class NetworkNoise:
+    """Multiplicative jitter on message / collective transfer times."""
+
+    def __init__(self, rngs: RngStreams, config: NoiseConfig):
+        self._rngs = rngs
+        self._sigma = config.network_sigma
+
+    def factor(self, key) -> float:
+        rng = self._rngs.get("net-noise", key=key)
+        return _lognormal_factor(rng, self._sigma)
+
+
+class CounterNoise:
+    """Run-to-run variation of the simulated instruction counter."""
+
+    def __init__(self, rngs: RngStreams, config: NoiseConfig):
+        self._rngs = rngs
+        self._sigma = config.counter_sigma
+        self._offset = config.counter_offset_instructions
+
+    def perturb(self, rank: int, thread: int, instructions: float) -> float:
+        """Counter reading for a true count of ``instructions``."""
+        check_nonnegative("instructions", instructions)
+        rng = self._rngs.get("ctr-noise", rank=rank, thread=thread)
+        value = instructions * _lognormal_factor(rng, self._sigma)
+        if self._offset > 0.0:
+            value += float(rng.exponential(self._offset))
+        return value
+
+
+class NoiseModel:
+    """Facade bundling all injectors behind one seeded object."""
+
+    def __init__(self, config: NoiseConfig, seed: int):
+        self.config = config
+        self.seed = int(seed)
+        rngs = RngStreams(seed)
+        self.rngs = rngs
+        self.cpu = CpuNoise(rngs, config)
+        self.os = OsJitter(rngs, config)
+        self.memory = MemoryNoise(rngs, config)
+        self.network = NetworkNoise(rngs, config)
+        self.counter = CounterNoise(rngs, config)
+
+    def compute_time(self, rank: int, thread: int, base: float) -> float:
+        """Noisy duration of a compute interval of noiseless length ``base``."""
+        check_nonnegative("base", base)
+        noisy = base * self.cpu.factor(rank, thread)
+        return noisy + self.os.detour_time(rank, thread, noisy)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NoiseModel(seed={self.seed}, config={self.config})"

@@ -1,0 +1,74 @@
+"""Machine presets.
+
+``jureca_dc`` mirrors the hardware specification in Sec. IV-A of the paper:
+
+* 2 x AMD EPYC 7742 per node (2 x 64 cores @ 2.25 GHz),
+* 512 GB DDR4-3200 in 8 NUMA domains of 64 GB each,
+* InfiniBand HDR100.
+
+The per-core sustained flop rate and per-domain bandwidth are order-of-
+magnitude figures; the reproduction compares *shapes* (ratios, rankings,
+crossovers), not absolute seconds, so only the relative magnitudes of
+compute speed, memory bandwidth and network cost matter.
+"""
+
+from __future__ import annotations
+
+from repro.machine.topology import Cluster, build_cluster
+
+__all__ = ["jureca_dc", "small_test_cluster"]
+
+GIB = 1024.0**3
+GB = 1e9
+
+
+def jureca_dc(n_nodes: int = 2) -> Cluster:
+    """The Jureca-DC standard node model used in all paper experiments.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of nodes in the allocation.  LULESH-1 uses two full nodes;
+        everything else in the paper fits on one.
+    """
+    return build_cluster(
+        name=f"jureca-dc-{n_nodes}n",
+        n_nodes=n_nodes,
+        sockets_per_node=2,
+        numa_per_socket=4,
+        cores_per_numa=16,
+        # ~2.25 GHz Zen2; a few flops/cycle sustained for mixed scalar/SIMD code.
+        flops_per_core=9.0e9,
+        # DDR4-3200, 2 channels per NUMA domain: ~45 GB/s effective.
+        mem_bandwidth_per_numa=45.0 * GB,
+        mem_capacity_per_numa=64.0 * GIB,
+        # 16 MB L3 per CCX, 4 CCX per NUMA domain, 4 domains per socket:
+        # 256 MB per socket -> 512 MB per node (cf. the TeaLeaf cache
+        # arithmetic in Sec. IV-E: "8 x 4 x 16 MB = 512 MB L3 on the node").
+        l3_per_socket=256.0 * 1024**2,
+        # InfiniBand HDR100: ~1.2 us MPI latency, ~12 GB/s per port.
+        network_latency=1.2e-6,
+        network_bandwidth=12.0 * GB,
+    )
+
+
+def small_test_cluster(
+    n_nodes: int = 1,
+    cores_per_numa: int = 2,
+    numa_per_socket: int = 2,
+    sockets_per_node: int = 1,
+) -> Cluster:
+    """A tiny cluster for unit tests: fast to simulate, easy to reason about."""
+    return build_cluster(
+        name="testbox",
+        n_nodes=n_nodes,
+        sockets_per_node=sockets_per_node,
+        numa_per_socket=numa_per_socket,
+        cores_per_numa=cores_per_numa,
+        flops_per_core=1.0e9,
+        mem_bandwidth_per_numa=10.0 * GB,
+        mem_capacity_per_numa=4.0 * GIB,
+        l3_per_socket=8.0 * 1024**2,
+        network_latency=1.0e-6,
+        network_bandwidth=10.0 * GB,
+    )

@@ -1,0 +1,313 @@
+"""Cluster topology: cluster -> node -> socket -> NUMA domain -> core.
+
+The topology is static metadata; dynamic behaviour (contention, noise)
+lives in :mod:`repro.machine.memory` and :mod:`repro.machine.noise`.
+:class:`Pinning` maps (rank, thread) pairs onto cores, mirroring the way
+the paper distributes ranks over NUMA domains (e.g. MiniFE-1 pins one rank
+per NUMA domain; LULESH-2 deliberately fills domains unevenly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.util.validation import check_positive
+
+__all__ = ["Core", "NumaDomain", "Socket", "Node", "Cluster", "Pinning"]
+
+
+@dataclass(frozen=True)
+class Core:
+    """A hardware core, identified globally and by its NUMA domain."""
+
+    global_id: int
+    node_id: int
+    socket_id: int
+    numa_id: int  # global NUMA domain id across the cluster
+    local_id: int  # index within the NUMA domain
+
+
+@dataclass(frozen=True)
+class NumaDomain:
+    """A NUMA domain: cores plus a local memory with finite bandwidth."""
+
+    global_id: int
+    node_id: int
+    socket_id: int
+    cores: Tuple[Core, ...]
+    mem_bandwidth: float  # bytes/s aggregate for the domain
+    mem_capacity: float  # bytes
+
+    @property
+    def n_cores(self) -> int:
+        return len(self.cores)
+
+
+@dataclass(frozen=True)
+class Socket:
+    """A CPU socket: NUMA domains plus a shared last-level cache."""
+
+    global_id: int
+    node_id: int
+    numa_domains: Tuple[NumaDomain, ...]
+    l3_capacity: float  # bytes, aggregate over the socket's L3 slices
+
+    @property
+    def cores(self) -> Tuple[Core, ...]:
+        return tuple(c for d in self.numa_domains for c in d.cores)
+
+
+@dataclass(frozen=True)
+class Node:
+    """A compute node (the unit the paper's job configurations fill)."""
+
+    node_id: int
+    sockets: Tuple[Socket, ...]
+
+    @property
+    def numa_domains(self) -> Tuple[NumaDomain, ...]:
+        return tuple(d for s in self.sockets for d in s.numa_domains)
+
+    @property
+    def cores(self) -> Tuple[Core, ...]:
+        return tuple(c for s in self.sockets for c in s.cores)
+
+    @property
+    def l3_capacity(self) -> float:
+        return sum(s.l3_capacity for s in self.sockets)
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """A homogeneous cluster plus per-core compute capability.
+
+    ``flops_per_core`` and per-domain ``mem_bandwidth`` drive the roofline
+    cost model in :mod:`repro.sim.costmodel`.
+    """
+
+    name: str
+    nodes: Tuple[Node, ...]
+    flops_per_core: float  # flop/s per core (sustained, not peak marketing)
+    network_latency: float  # seconds, nearest-neighbour
+    network_bandwidth: float  # bytes/s per link
+
+    @property
+    def cores(self) -> Tuple[Core, ...]:
+        return tuple(c for n in self.nodes for c in n.cores)
+
+    @property
+    def numa_domains(self) -> Tuple[NumaDomain, ...]:
+        return tuple(d for n in self.nodes for d in n.numa_domains)
+
+    def numa_domain(self, numa_id: int) -> NumaDomain:
+        for d in self.numa_domains:
+            if d.global_id == numa_id:
+                return d
+        raise KeyError(f"no NUMA domain {numa_id}")
+
+    def core(self, global_id: int) -> Core:
+        for c in self.cores:
+            if c.global_id == global_id:
+                return c
+        raise KeyError(f"no core {global_id}")
+
+
+def build_cluster(
+    name: str,
+    n_nodes: int,
+    sockets_per_node: int,
+    numa_per_socket: int,
+    cores_per_numa: int,
+    flops_per_core: float,
+    mem_bandwidth_per_numa: float,
+    mem_capacity_per_numa: float,
+    l3_per_socket: float,
+    network_latency: float,
+    network_bandwidth: float,
+) -> Cluster:
+    """Construct a homogeneous :class:`Cluster` from per-level counts."""
+    for label, v in [
+        ("n_nodes", n_nodes),
+        ("sockets_per_node", sockets_per_node),
+        ("numa_per_socket", numa_per_socket),
+        ("cores_per_numa", cores_per_numa),
+        ("flops_per_core", flops_per_core),
+        ("mem_bandwidth_per_numa", mem_bandwidth_per_numa),
+    ]:
+        check_positive(label, v)
+    nodes: List[Node] = []
+    core_id = 0
+    numa_id = 0
+    socket_id = 0
+    for node_id in range(n_nodes):
+        sockets: List[Socket] = []
+        for _s in range(sockets_per_node):
+            domains: List[NumaDomain] = []
+            for _d in range(numa_per_socket):
+                cores = []
+                for local in range(cores_per_numa):
+                    cores.append(
+                        Core(
+                            global_id=core_id,
+                            node_id=node_id,
+                            socket_id=socket_id,
+                            numa_id=numa_id,
+                            local_id=local,
+                        )
+                    )
+                    core_id += 1
+                domains.append(
+                    NumaDomain(
+                        global_id=numa_id,
+                        node_id=node_id,
+                        socket_id=socket_id,
+                        cores=tuple(cores),
+                        mem_bandwidth=mem_bandwidth_per_numa,
+                        mem_capacity=mem_capacity_per_numa,
+                    )
+                )
+                numa_id += 1
+            sockets.append(
+                Socket(
+                    global_id=socket_id,
+                    node_id=node_id,
+                    numa_domains=tuple(domains),
+                    l3_capacity=l3_per_socket,
+                )
+            )
+            socket_id += 1
+        nodes.append(Node(node_id=node_id, sockets=tuple(sockets)))
+    return Cluster(
+        name=name,
+        nodes=tuple(nodes),
+        flops_per_core=flops_per_core,
+        network_latency=network_latency,
+        network_bandwidth=network_bandwidth,
+    )
+
+
+class Pinning:
+    """Mapping of (rank, thread) -> :class:`Core`.
+
+    The default policy packs ranks in order, giving each rank
+    ``threads_per_rank`` consecutive cores; ``spread_ranks_over_numa``
+    instead places one rank per NUMA domain (MiniFE's one-rank-per-domain
+    configurations).  Custom mappings can be supplied directly.
+    """
+
+    def __init__(self, cluster: Cluster, mapping: Dict[Tuple[int, int], Core]):
+        self.cluster = cluster
+        self._map = dict(mapping)
+        self._ranks = sorted({r for (r, _t) in self._map})
+        threads: Dict[int, int] = {}
+        for (r, t) in self._map:
+            threads[r] = max(threads.get(r, 0), t + 1)
+        self._threads_per_rank = threads
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def packed(cls, cluster: Cluster, n_ranks: int, threads_per_rank: int) -> "Pinning":
+        """Fill cores in global order, one rank after another."""
+        cores = cluster.cores
+        needed = n_ranks * threads_per_rank
+        if needed > len(cores):
+            raise ValueError(
+                f"need {needed} cores for {n_ranks} ranks x {threads_per_rank} threads, "
+                f"cluster has {len(cores)}"
+            )
+        mapping = {}
+        i = 0
+        for r in range(n_ranks):
+            for t in range(threads_per_rank):
+                mapping[(r, t)] = cores[i]
+                i += 1
+        return cls(cluster, mapping)
+
+    @classmethod
+    def balanced_numa(cls, cluster: Cluster, n_ranks: int, threads_per_rank: int) -> "Pinning":
+        """Distribute ranks over NUMA domains as evenly as the count allows.
+
+        With 27 ranks on 8 domains this produces the paper's LULESH-2
+        placement: "Three NUMA domains are filled completely with four
+        ranks (16 threads) each.  The other five domains are assigned
+        three ranks (12 threads) each."  The resulting *uneven* bandwidth
+        contention is that experiment's deliberate performance problem.
+        """
+        domains = cluster.numa_domains
+        n_dom = len(domains)
+        base = n_ranks // n_dom
+        extra = n_ranks % n_dom
+        mapping = {}
+        rank = 0
+        for di, d in enumerate(domains):
+            count = base + (1 if di < extra else 0)
+            if count * threads_per_rank > d.n_cores:
+                raise ValueError(
+                    f"domain {d.global_id}: {count} ranks x {threads_per_rank} threads "
+                    f"exceed {d.n_cores} cores"
+                )
+            slot = 0
+            for _ in range(count):
+                if rank >= n_ranks:
+                    break
+                for t in range(threads_per_rank):
+                    mapping[(rank, t)] = d.cores[slot]
+                    slot += 1
+                rank += 1
+        return cls(cluster, mapping)
+
+    @classmethod
+    def spread_ranks_over_numa(
+        cls, cluster: Cluster, n_ranks: int, threads_per_rank: int
+    ) -> "Pinning":
+        """One rank per NUMA domain, round-robin over domains."""
+        domains = cluster.numa_domains
+        mapping = {}
+        for r in range(n_ranks):
+            d = domains[r % len(domains)]
+            if threads_per_rank > d.n_cores:
+                raise ValueError(
+                    f"rank {r}: {threads_per_rank} threads exceed the "
+                    f"{d.n_cores} cores of NUMA domain {d.global_id}"
+                )
+            for t in range(threads_per_rank):
+                mapping[(r, t)] = d.cores[t]
+        return cls(cluster, mapping)
+
+    # -- queries ---------------------------------------------------------
+    @property
+    def ranks(self) -> List[int]:
+        return list(self._ranks)
+
+    @property
+    def n_ranks(self) -> int:
+        return len(self._ranks)
+
+    def threads_of(self, rank: int) -> int:
+        return self._threads_per_rank[rank]
+
+    def core_of(self, rank: int, thread: int) -> Core:
+        return self._map[(rank, thread)]
+
+    def numa_of(self, rank: int, thread: int) -> int:
+        return self._map[(rank, thread)].numa_id
+
+    def node_of(self, rank: int) -> int:
+        return self._map[(rank, 0)].node_id
+
+    def locations(self) -> Iterator[Tuple[int, int]]:
+        """All (rank, thread) pairs in rank-major order."""
+        for r in self._ranks:
+            for t in range(self._threads_per_rank[r]):
+                yield (r, t)
+
+    def numa_occupancy(self) -> Dict[int, int]:
+        """Number of pinned hardware threads per NUMA domain id."""
+        occ: Dict[int, int] = {}
+        for core in self._map.values():
+            occ[core.numa_id] = occ.get(core.numa_id, 0) + 1
+        return occ
+
+    def same_node(self, rank_a: int, rank_b: int) -> bool:
+        return self.node_of(rank_a) == self.node_of(rank_b)

@@ -1,0 +1,44 @@
+"""Score-P analogue: measurement modes, overhead model, filtering, traces.
+
+The measurement object plugs into the simulation engine as an event sink
+and, crucially, *perturbs* the measured execution the way real
+instrumentation does -- per-event record costs, basic-block/statement
+counting instructions, hardware-counter reads, counter-synchronisation
+messages inside MPI wrappers, and trace-buffer cache footprint.  Those
+perturbations are the subject of the paper's Table I, Table II and Fig. 2.
+"""
+
+from repro.measure.config import (
+    MODES,
+    LOGICAL_MODES,
+    MODE_LABELS,
+    TSC,
+    LT1,
+    LTLOOP,
+    LTBB,
+    LTSTMT,
+    LTHWCTR,
+)
+from repro.measure.filtering import FilterRules
+from repro.measure.overhead import OverheadModel
+from repro.measure.measurement import Measurement
+from repro.measure.trace import RawTrace
+from repro.measure.io import write_trace, read_trace
+
+__all__ = [
+    "MODES",
+    "LOGICAL_MODES",
+    "MODE_LABELS",
+    "TSC",
+    "LT1",
+    "LTLOOP",
+    "LTBB",
+    "LTSTMT",
+    "LTHWCTR",
+    "FilterRules",
+    "OverheadModel",
+    "Measurement",
+    "RawTrace",
+    "write_trace",
+    "read_trace",
+]

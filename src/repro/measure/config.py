@@ -1,0 +1,52 @@
+"""Measurement mode identifiers.
+
+The six timer modes evaluated in the paper (Sec. IV-B):
+
+==========  ==============================================================
+``tsc``     physical clock (x86-64 time stamp counter)
+``lt1``     logical clock, +1 per event (the original Lamport baseline)
+``ltloop``  +1 per event, +1 per OpenMP loop iteration
+``ltbb``    +1 per event + LLVM basic blocks (X = 100 per OpenMP call)
+``ltstmt``  +1 per event + LLVM statements (Y = 4300 per OpenMP call)
+``lthwctr`` Delta PERF_COUNT_HW_INSTRUCTIONS between events
+==========  ==============================================================
+"""
+
+from __future__ import annotations
+
+TSC = "tsc"
+LT1 = "lt1"
+LTLOOP = "ltloop"
+LTBB = "ltbb"
+LTSTMT = "ltstmt"
+LTHWCTR = "lthwctr"
+
+#: all modes, in the paper's table order
+MODES = (TSC, LT1, LTLOOP, LTBB, LTSTMT, LTHWCTR)
+
+#: modes whose timestamps come from the Lamport clock
+LOGICAL_MODES = (LT1, LTLOOP, LTBB, LTSTMT, LTHWCTR)
+
+#: modes whose traces differ between repetitions under noise
+NOISY_MODES = (TSC, LTHWCTR)
+
+#: display labels matching the paper's notation
+MODE_LABELS = {
+    TSC: "tsc",
+    LT1: "lt_1",
+    LTLOOP: "lt_loop",
+    LTBB: "lt_bb",
+    LTSTMT: "lt_stmt",
+    LTHWCTR: "lt_hwctr",
+}
+
+#: the paper's fitted external-effort constants for OpenMP runtime calls
+X_BB_PER_OMP_CALL = 100.0
+Y_STMT_PER_OMP_CALL = 4300.0
+
+
+def validate_mode(mode: str) -> str:
+    """Return ``mode`` if valid, else raise ``ValueError``."""
+    if mode not in MODES:
+        raise ValueError(f"unknown measurement mode {mode!r}; expected one of {MODES}")
+    return mode

@@ -1,0 +1,68 @@
+"""Score-P-style measurement filtering.
+
+A filter excludes regions from recording: no events are written and no
+per-event overhead is paid for them, but the work itself (and any
+compile-time counting instrumentation) still executes, and the excluded
+regions' static counts roll into the enclosing region's work delta --
+exactly the semantics of "basic blocks executed since the last *recorded*
+event" in the paper's Sec. II-A.
+
+Rules follow the Score-P filter-file spirit: an ordered list of
+``EXCLUDE``/``INCLUDE`` glob patterns, later rules winning.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["FilterRules"]
+
+
+class FilterRules:
+    """Ordered include/exclude glob rules over region names."""
+
+    def __init__(self, rules: Optional[Sequence[Tuple[str, str]]] = None):
+        """``rules`` is a sequence of ("exclude"|"include", pattern)."""
+        self._rules: List[Tuple[bool, str]] = []
+        self._cache = {}
+        for kind, pattern in rules or ():
+            if kind == "exclude":
+                self.exclude(pattern)
+            elif kind == "include":
+                self.include(pattern)
+            else:
+                raise ValueError(f"rule kind must be include/exclude, got {kind!r}")
+
+    @classmethod
+    def excluding(cls, *patterns: str) -> "FilterRules":
+        """Convenience: a filter that only excludes the given patterns."""
+        return cls([("exclude", p) for p in patterns])
+
+    def exclude(self, pattern: str) -> "FilterRules":
+        self._rules.append((True, pattern))
+        self._cache.clear()
+        return self
+
+    def include(self, pattern: str) -> "FilterRules":
+        self._rules.append((False, pattern))
+        self._cache.clear()
+        return self
+
+    def is_filtered(self, region: str) -> bool:
+        """True when ``region`` must not be recorded."""
+        hit = self._cache.get(region)
+        if hit is None:
+            hit = False
+            for excluded, pattern in self._rules:
+                if fnmatch.fnmatchcase(region, pattern):
+                    hit = excluded
+            self._cache[region] = hit
+        return hit
+
+    def rules(self) -> List[Tuple[str, str]]:
+        """The rules in serializable form."""
+        return [("exclude" if e else "include", p) for e, p in self._rules]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FilterRules({self.rules()})"

@@ -1,0 +1,94 @@
+"""Trace (de)serialisation: a gzipped JSON-lines archive format.
+
+The format is line-oriented so huge traces stream:
+
+* line 1: header (mode, runtime, locations, region table)
+* following lines: one per event, ``[loc, etype, region, t, delta?, aux?,
+  t_enter?]`` with the delta as a sparse dict.
+
+Used by the CLI tools (``repro-run`` writes, ``repro-analyze`` reads) and
+round-trip tested in the suite.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from repro.measure.trace import RawTrace
+from repro.sim.events import Ev, RegionRegistry
+from repro.sim.kernels import EMPTY_DELTA, WorkDelta
+
+__all__ = ["write_trace", "read_trace"]
+
+_DELTA_FIELDS = ("omp_iters", "bb", "stmt", "instr", "burst_calls", "omp_calls")
+
+
+def _delta_to_obj(d: WorkDelta):
+    if d.is_empty:
+        return None
+    return {f: getattr(d, f) for f in _DELTA_FIELDS if getattr(d, f) != 0.0}
+
+
+def _delta_from_obj(obj) -> WorkDelta:
+    if not obj:
+        return EMPTY_DELTA
+    return WorkDelta(**obj)
+
+
+def write_trace(trace: RawTrace, path: Union[str, Path]) -> None:
+    """Write ``trace`` to ``path`` (gzipped JSON lines)."""
+    path = Path(path)
+    header = {
+        "format": "repro-trace-1",
+        "mode": trace.mode,
+        "runtime": trace.runtime,
+        "locations": [list(lt) for lt in trace.locations],
+        "regions": list(trace.regions.names),
+        "paradigms": list(trace.regions.paradigms),
+    }
+    with gzip.open(path, "wt", encoding="utf-8") as fh:
+        fh.write(json.dumps(header) + "\n")
+        for loc, evs in enumerate(trace.events):
+            for ev in evs:
+                rec = [
+                    loc,
+                    ev.etype,
+                    ev.region,
+                    ev.t,
+                    _delta_to_obj(ev.delta),
+                    list(ev.aux) if isinstance(ev.aux, tuple) else ev.aux,
+                    ev.t_enter or None,
+                ]
+                fh.write(json.dumps(rec) + "\n")
+
+
+def read_trace(path: Union[str, Path]) -> RawTrace:
+    """Read a trace written by :func:`write_trace`."""
+    path = Path(path)
+    with gzip.open(path, "rt", encoding="utf-8") as fh:
+        header = json.loads(fh.readline())
+        if header.get("format") != "repro-trace-1":
+            raise ValueError(f"{path}: not a repro trace archive")
+        regions = RegionRegistry()
+        for name, paradigm in zip(header["regions"], header["paradigms"]):
+            regions.intern(name, paradigm)
+        locations: List[Tuple[int, int]] = [tuple(lt) for lt in header["locations"]]
+        events: List[List[Ev]] = [[] for _ in locations]
+        for line in fh:
+            loc, etype, region, t, delta, aux, t_enter = json.loads(line)
+            if isinstance(aux, list):
+                aux = tuple(aux)
+            events[loc].append(
+                Ev(etype, region, t, _delta_from_obj(delta), aux=aux, t_enter=t_enter or 0.0)
+            )
+    return RawTrace(
+        mode=header["mode"],
+        regions=regions,
+        locations=locations,
+        events=events,
+        runtime=header["runtime"],
+        pinning=None,
+    )

@@ -1,0 +1,95 @@
+"""The measurement object: event sink + perturbation source for the engine."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.measure.config import validate_mode
+from repro.measure.filtering import FilterRules
+from repro.measure.overhead import OverheadModel
+from repro.measure.trace import RawTrace
+from repro.sim.events import Ev
+from repro.sim.kernels import WorkDelta
+
+__all__ = ["Measurement"]
+
+
+class Measurement:
+    """Collects trace events for one run and models instrumentation cost.
+
+    One instance serves exactly one engine run (mirroring one Score-P
+    experiment directory).  Construct a fresh instance per run.
+    """
+
+    def __init__(
+        self,
+        mode: str,
+        overhead: Optional[OverheadModel] = None,
+        filter_rules: Optional[FilterRules] = None,
+    ):
+        self.mode = validate_mode(mode)
+        self.overhead = overhead if overhead is not None else OverheadModel()
+        self.filter_rules = filter_rules if filter_rules is not None else FilterRules()
+        self._events: List[List[Ev]] = []
+        self._locations: List[Tuple[int, int]] = []
+        self._engine = None
+        self._footprint = 0.0
+        self._finished = False
+
+    # -- engine hookup ----------------------------------------------------
+    def begin(self, engine) -> None:
+        """Called by the engine before the run starts."""
+        if self._engine is not None:
+            raise RuntimeError("a Measurement instance serves exactly one run")
+        self._engine = engine
+        pinning = engine.pinning
+        locs: List[Tuple[int, int]] = list(pinning.locations())
+        self._locations = locs
+        self._events = [[] for _ in locs]
+        sockets = {}
+        for (r, t) in locs:
+            sid = pinning.core_of(r, t).socket_id
+            sockets[sid] = sockets.get(sid, 0) + 1
+        per_socket = (len(locs) / len(sockets)) if sockets else 0.0
+        self._footprint = self.overhead.footprint(self.mode, per_socket)
+
+    def record(self, loc: int, ev: Ev) -> None:
+        self._events[loc].append(ev)
+
+    def finish(self, runtime: float) -> RawTrace:
+        """Build the RawTrace at the end of the run."""
+        if self._engine is None:
+            raise RuntimeError("finish() before begin()")
+        if self._finished:
+            raise RuntimeError("finish() called twice")
+        self._finished = True
+        return RawTrace(
+            mode=self.mode,
+            regions=self._engine.regions,
+            locations=self._locations,
+            events=self._events,
+            runtime=runtime,
+            pinning=self._engine.pinning,
+        )
+
+    # -- perturbation queries (hot path; engine caches most of these) ------
+    def event_cost(self) -> float:
+        return self.overhead.event_cost(self.mode)
+
+    def count_cost(self, delta: WorkDelta) -> float:
+        return self.overhead.count_cost(self.mode, delta)
+
+    def mpi_sync_cost(self) -> float:
+        return self.overhead.sync_cost(self.mode)
+
+    def footprint_per_socket(self) -> float:
+        return self._footprint
+
+    def omp_team_sync_cost(self) -> float:
+        return self.overhead.omp_team_sync_cost
+
+    def overlap_relief(self) -> float:
+        return self.overhead.overlap_relief
+
+    def filtered(self, region: str) -> bool:
+        return self.filter_rules.is_filtered(region)

@@ -1,0 +1,122 @@
+"""The raw trace: per-location event sequences plus definitions.
+
+A :class:`RawTrace` is what one instrumented run produces -- the analogue
+of an OTF2 archive.  It stores *physical* timestamps and work deltas; the
+clock modules (:mod:`repro.clocks`) derive the mode's final timestamps
+from it, and the analyzer (:mod:`repro.analysis`) replays it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.machine.topology import Pinning
+from repro.sim.events import Ev, RegionRegistry
+
+__all__ = ["RawTrace"]
+
+
+class RawTrace:
+    """Trace of one instrumented run.
+
+    Attributes
+    ----------
+    mode:
+        Measurement mode the run was taken with.
+    regions:
+        Region-name registry shared by all events.
+    locations:
+        ``[(rank, thread), ...]`` indexed by location id.
+    events:
+        ``events[loc]`` is the time-ordered event list of that location.
+    runtime:
+        Total wall runtime of the run (physical virtual-seconds).
+    """
+
+    def __init__(
+        self,
+        mode: str,
+        regions: RegionRegistry,
+        locations: List[Tuple[int, int]],
+        events: List[List[Ev]],
+        runtime: float = 0.0,
+        pinning: Optional[Pinning] = None,
+    ):
+        if len(locations) != len(events):
+            raise ValueError(
+                f"{len(locations)} locations but {len(events)} event lists"
+            )
+        self.mode = mode
+        self.regions = regions
+        self.locations = locations
+        self.events = events
+        self.runtime = runtime
+        self.pinning = pinning
+        self._loc_index: Dict[Tuple[int, int], int] = {
+            lt: i for i, lt in enumerate(locations)
+        }
+
+    # -- queries ---------------------------------------------------------
+    @property
+    def n_locations(self) -> int:
+        return len(self.locations)
+
+    @property
+    def n_events(self) -> int:
+        return sum(len(e) for e in self.events)
+
+    @property
+    def n_ranks(self) -> int:
+        return len({r for (r, _t) in self.locations})
+
+    def loc_id(self, rank: int, thread: int) -> int:
+        return self._loc_index[(rank, thread)]
+
+    def threads_of(self, rank: int) -> List[int]:
+        return sorted(t for (r, t) in self.locations if r == rank)
+
+    def master_locations(self) -> List[int]:
+        """Location ids of the master thread of every rank."""
+        return [self._loc_index[(r, 0)] for r in sorted({r for (r, _t) in self.locations})]
+
+    def merged(self) -> Iterator[Tuple[int, Ev]]:
+        """All events in a global order consistent with happens-before.
+
+        Per-location order is preserved; across locations, events are
+        merged by physical timestamp (ties broken by location id).  In
+        this simulator physical timestamps respect causality, so the
+        merged order is a valid topological order of the event DAG -- the
+        property the logical-clock replay relies on.
+        """
+        import heapq
+
+        iters = []
+        for loc, evs in enumerate(self.events):
+            it = iter(evs)
+            first = next(it, None)
+            if first is not None:
+                iters.append((first.t, loc, first, it))
+        heapq.heapify(iters)
+        while iters:
+            t, loc, ev, it = heapq.heappop(iters)
+            yield loc, ev
+            nxt = next(it, None)
+            if nxt is not None:
+                heapq.heappush(iters, (nxt.t, loc, nxt, it))
+
+    def validate(self) -> None:
+        """Check per-location monotonicity and matching consistency."""
+        for loc, evs in enumerate(self.events):
+            prev = -float("inf")
+            for ev in evs:
+                if ev.t < prev - 1e-15:
+                    raise AssertionError(
+                        f"location {loc}: event {ev!r} out of order (prev t={prev})"
+                    )
+                prev = ev.t
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RawTrace(mode={self.mode!r}, locations={self.n_locations}, "
+            f"events={self.n_events}, runtime={self.runtime:.4g}s)"
+        )

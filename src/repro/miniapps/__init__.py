@@ -1,0 +1,30 @@
+"""The three mini-apps of the paper's evaluation (Sec. IV).
+
+Each subpackage provides
+
+* ``app``      -- the simulated distributed program (call tree, phase
+  structure, communication pattern and imbalance options mirroring the
+  real code) executed on :mod:`repro.sim`,
+* ``calibration`` -- the kernel work models (flops/bytes/counts per unit)
+  with the paper observations they encode documented inline,
+* ``numeric``  -- a real (NumPy/SciPy) implementation of the app's core
+  computation at reduced scale, used by the examples and to validate the
+  algorithmic structure the simulation claims to represent.
+"""
+
+from repro.miniapps.minife import MiniFE, MiniFEConfig
+
+__all__ = ["MiniFE", "MiniFEConfig"]
+
+
+def __getattr__(name):
+    """Lazy imports so the subpackages stay independently importable."""
+    if name in ("Lulesh", "LuleshConfig"):
+        from repro.miniapps import lulesh
+
+        return getattr(lulesh, name)
+    if name in ("TeaLeaf", "TeaLeafConfig"):
+        from repro.miniapps import tealeaf
+
+        return getattr(tealeaf, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

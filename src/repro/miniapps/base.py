@@ -1,0 +1,54 @@
+"""Shared helpers for the simulated mini-apps."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.util.validation import check_nonnegative, check_positive
+
+__all__ = ["imbalanced_weights", "region_multipliers", "ring_neighbors"]
+
+
+def imbalanced_weights(n_ranks: int, imbalance: float, factor: float = 3.0) -> np.ndarray:
+    """Per-rank work weights for MiniFE's artificial imbalance option.
+
+    MiniFE's docs (quoted in the paper, Sec. IV-C): "An imbalance of 50 %
+    means that one-half of the ranks is assigned three times as many
+    elements as the other half."  ``imbalance`` is the fraction of ranks
+    that get ``factor`` times the base load; weights are normalised to
+    mean 1 so the total work is imbalance-independent.
+    """
+    check_positive("n_ranks", n_ranks)
+    check_nonnegative("imbalance", imbalance)
+    if imbalance > 1.0:
+        raise ValueError(f"imbalance must be in [0, 1], got {imbalance}")
+    heavy = int(round(n_ranks * imbalance))
+    w = np.ones(n_ranks)
+    w[:heavy] = factor
+    return w * (n_ranks / w.sum())
+
+
+def region_multipliers(n_ranks: int, amplitude: float, seed: int = 12345) -> np.ndarray:
+    """Deterministic per-rank cost multipliers for LULESH's material model.
+
+    LULESH's ``-r``/cost option makes ``ApplyMaterialPropertiesForElems``
+    artificially more expensive on some ranks.  The multipliers are a
+    fixed pseudo-random pattern (independent of the noise seed!) so the
+    *same* imbalance appears in every run and in every clock's counts --
+    it is an algorithmic property, which is exactly why logical clocks
+    can detect it (paper Sec. V-C3).
+    """
+    check_positive("n_ranks", n_ranks)
+    rng = np.random.default_rng(seed)
+    return 1.0 + amplitude * rng.random(n_ranks)
+
+
+def ring_neighbors(rank: int, n_ranks: int) -> List[int]:
+    """Left/right neighbours on a 1-D ring (MiniFE's exchange pattern)."""
+    if n_ranks <= 1:
+        return []
+    left = (rank - 1) % n_ranks
+    right = (rank + 1) % n_ranks
+    return [left] if left == right else [left, right]

@@ -1,0 +1,15 @@
+"""LULESH: shock-hydrodynamics proxy (LLNL)."""
+
+from repro.miniapps.lulesh.app import Lulesh, LuleshConfig
+from repro.miniapps.lulesh import calibration
+from repro.miniapps.lulesh.numeric import HydroState, hydro_step, sedov_init, total_energy
+
+__all__ = [
+    "Lulesh",
+    "LuleshConfig",
+    "calibration",
+    "HydroState",
+    "hydro_step",
+    "sedov_init",
+    "total_energy",
+]

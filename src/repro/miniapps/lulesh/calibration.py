@@ -1,0 +1,153 @@
+"""LULESH kernel work models.
+
+Character of the kernels, encoding the paper's Sec. V-C3 observations:
+
+* The **nodal force** kernels (stress integration, hourglass control)
+  dominate computation ("CalcForceForNodes ... is responsible for most of
+  the computation time") and are *balanced in every static count* but
+  carry physical ``jitter`` (data-dependent memory access on gathered
+  nodes).  Their imbalance is therefore visible only to tsc (directly)
+  and lt_hwctr (as spin instructions in ``MPI_Waitall``) -- "a possible
+  explanation is that the nodal calculations are balanced in terms of
+  instructions, but timing variations lead to waiting time".
+
+* The **material update** (EOS evaluation) runs many small OpenMP loops
+  ("contains many OpenMP loops doing little work each") -- it produces
+  most of the OpenMP management overhead -- and carries the *artificial,
+  deterministic* rank imbalance, which every effort model from lt_loop up
+  can detect.
+
+A "unit" is one element (or node) of the 50^3-per-rank subdomain.
+"""
+
+from __future__ import annotations
+
+from repro.sim.kernels import KernelSpec
+
+__all__ = [
+    "STRESS",
+    "HOURGLASS",
+    "NODAL_UPDATE",
+    "KINEMATICS",
+    "Q_CALC",
+    "EOS",
+    "TIME_CONSTRAINTS",
+    "COMM_PACK",
+    "FACE_BYTES",
+    "MATERIAL_LOOPS",
+    "EOS_SUBLOOPS",
+]
+
+#: per-face halo message: 50 x 50 doubles x 3 fields
+FACE_BYTES = 50.0 * 50.0 * 8.0 * 3.0
+
+#: number of small OpenMP loops in ApplyMaterialPropertiesForElems (the
+#: real code iterates over material regions; each pass is its own
+#: ``omp parallel for`` -- the source of its OpenMP management overhead)
+MATERIAL_LOOPS = 8
+
+#: real constructs represented by each emitted EvalEOSForElems construct
+EOS_SUBLOOPS = 10.0
+
+# Nodal force: memory-heavy gather/scatter with physical jitter.
+STRESS = KernelSpec(
+    name="integrate_stress_elem",
+    flops_per_unit=180.0,
+    bytes_per_unit=700.0,
+    omp_iters_per_unit=1.0,
+    bb_per_unit=27.0,
+    stmt_per_unit=112.0,
+    instr_per_unit=260.0,
+    memory_scope="numa",
+    additive=True,
+    jitter=0.05,
+)
+
+HOURGLASS = KernelSpec(
+    name="hourglass_elem",
+    flops_per_unit=420.0,
+    bytes_per_unit=520.0,
+    omp_iters_per_unit=1.0,
+    bb_per_unit=41.0,
+    stmt_per_unit=95.0,
+    instr_per_unit=380.0,
+    memory_scope="numa",
+    additive=True,
+    jitter=0.05,
+)
+
+NODAL_UPDATE = KernelSpec(
+    name="nodal_update_node",
+    flops_per_unit=24.0,
+    bytes_per_unit=96.0,
+    omp_iters_per_unit=1.0,
+    bb_per_unit=5.0,
+    stmt_per_unit=15.0,
+    instr_per_unit=34.0,
+    memory_scope="numa",
+    additive=True,
+    jitter=0.04,
+)
+
+KINEMATICS = KernelSpec(
+    name="kinematics_elem",
+    flops_per_unit=210.0,
+    bytes_per_unit=340.0,
+    omp_iters_per_unit=1.0,
+    bb_per_unit=19.0,
+    stmt_per_unit=60.0,
+    instr_per_unit=230.0,
+    memory_scope="numa",
+    additive=True,
+    jitter=0.06,
+)
+
+Q_CALC = KernelSpec(
+    name="qcalc_elem",
+    flops_per_unit=160.0,
+    bytes_per_unit=260.0,
+    omp_iters_per_unit=1.0,
+    bb_per_unit=15.0,
+    stmt_per_unit=45.0,
+    instr_per_unit=190.0,
+    memory_scope="numa",
+    additive=True,
+    jitter=0.04,
+)
+
+# EOS: compute-bound iteration, little data -- per-loop work is small.
+EOS = KernelSpec(
+    name="eos_elem",
+    flops_per_unit=95.0,
+    bytes_per_unit=30.0,
+    omp_iters_per_unit=1.0,
+    bb_per_unit=6.0,
+    stmt_per_unit=7.0,
+    instr_per_unit=130.0,
+    memory_scope="numa",
+    jitter=0.02,
+)
+
+TIME_CONSTRAINTS = KernelSpec(
+    name="time_constraint_elem",
+    flops_per_unit=40.0,
+    bytes_per_unit=64.0,
+    omp_iters_per_unit=1.0,
+    bb_per_unit=3.5,
+    stmt_per_unit=10.6,
+    instr_per_unit=55.0,
+    memory_scope="numa",
+    jitter=0.02,
+)
+
+#: serial halo pack/unpack on the master thread (per exchanged byte-unit)
+COMM_PACK = KernelSpec(
+    name="comm_pack_unit",
+    flops_per_unit=40.0,
+    bytes_per_unit=480.0,
+    omp_iters_per_unit=0.0,
+    bb_per_unit=4.1,
+    stmt_per_unit=11.8,
+    instr_per_unit=60.0,
+    memory_scope="numa",
+)

@@ -1,0 +1,18 @@
+"""MiniFE: implicit finite-element proxy (matrix assembly + CG solve)."""
+
+from repro.miniapps.minife.app import MiniFE, MiniFEConfig
+from repro.miniapps.minife import calibration
+from repro.miniapps.minife.numeric import (
+    assemble_poisson_3d,
+    cg_solve,
+    generate_matrix_structure,
+)
+
+__all__ = [
+    "MiniFE",
+    "MiniFEConfig",
+    "calibration",
+    "assemble_poisson_3d",
+    "cg_solve",
+    "generate_matrix_structure",
+]

@@ -1,0 +1,205 @@
+"""The simulated MiniFE program (paper Sec. IV-C).
+
+Phase structure and call tree follow the real mini-app:
+
+::
+
+    main
+      generate_matrix_structure        (serial; operator() call bursts,
+        MPI_Allreduce                   global size reduction)
+      assemble_FE_data                 (OpenMP-parallel element loop)
+      make_local_matrix                (serial; MPI_Alltoall exchanges)
+      cg_solve                         (iterative CG)
+        matvec / exchange_externals    (halo p2p + SpMV parallel loop)
+        dot                            (reduction loop + MPI_Allreduce)
+        waxpby                         (vector update loops)
+
+The two configurations of the paper:
+
+* **MiniFE-1** -- 8 ranks, one per NUMA domain, 1 thread, 400^3 grid,
+  50 % artificial imbalance: "a single, well-defined performance problem"
+  (rank-level load imbalance -> Wait-at-NxN).
+* **MiniFE-2** -- same with 16 threads per rank: adds single-threaded
+  init phases (idle threads) and memory-bandwidth contention in CG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Generator
+
+import numpy as np
+
+from repro.miniapps import base
+from repro.miniapps.minife import calibration as C
+from repro.sim.actions import (
+    Allreduce,
+    Alltoall,
+    Barrier,
+    CallBurst,
+    Enter,
+    Irecv,
+    Isend,
+    Leave,
+    ParallelFor,
+    Waitall,
+)
+from repro.sim.program import Program, ProgramContext
+from repro.util.validation import check_positive
+
+__all__ = ["MiniFEConfig", "MiniFE"]
+
+
+@dataclass(frozen=True)
+class MiniFEConfig:
+    """Job-level knobs of a MiniFE run."""
+
+    name: str = "MiniFE-1"
+    nx: int = 400  # global grid edge (nx^3 elements)
+    n_ranks: int = 8
+    threads_per_rank: int = 1
+    imbalance: float = 0.5  # fraction of ranks with 3x elements
+    cg_iters: int = 10
+    #: burst segments per serial init phase (event-count control)
+    init_segments: int = 6
+    #: global work multiplier for fast tests
+    scale: float = 1.0
+
+    @staticmethod
+    def minife1(**kw) -> "MiniFEConfig":
+        return MiniFEConfig(name="MiniFE-1", threads_per_rank=1, **kw)
+
+    @staticmethod
+    def minife2(**kw) -> "MiniFEConfig":
+        return MiniFEConfig(name="MiniFE-2", threads_per_rank=16, **kw)
+
+    @staticmethod
+    def tiny(**kw) -> "MiniFEConfig":
+        """A seconds-scale configuration for unit tests."""
+        defaults = dict(
+            name="MiniFE-tiny", nx=64, n_ranks=4, threads_per_rank=2,
+            cg_iters=4, init_segments=2,
+        )
+        defaults.update(kw)
+        return MiniFEConfig(**defaults)
+
+
+class MiniFE(Program):
+    """Simulated MiniFE; see :class:`MiniFEConfig` for knobs."""
+
+    #: one rank per NUMA domain, as in both paper configurations
+    pinning_policy = "spread_numa"
+    phases = ("init", "solve")
+
+    # relative duration weights of the serial init phases, chosen so the
+    # tsc Wait-at-NxN attribution lands near the paper's 20/44/31 %M split
+    # over generate_matrix_structure / make_local_matrix / cg_solve-dot
+    GEN_WEIGHT = 1.1
+    ASSEMBLE_WEIGHT = 0.35
+    MAKE_LOCAL_WEIGHT = 1.0
+    #: make_local_matrix handles external rows, whose count grows faster
+    #: than linearly with the subdomain load (bigger subdomains touch more
+    #: remote rows per neighbour exchange); the exponent makes the heavy
+    #: ranks disproportionately slow here, which is what puts
+    #: make_local_matrix at the top of the paper's Wait-at-NxN attribution
+    #: (44 %M) ahead of the CG dot products (31 %M).
+    MAKE_LOCAL_EXP = 2.2
+    #: fraction of the *average* row count added to every rank's matvec as
+    #: imbalance-independent work (halo unpacking, vector setup, boundary
+    #: rows).  It raises matvec's computation share (paper: 37 %M of comp)
+    #: without raising the per-iteration imbalance that feeds the dot
+    #: allreduce waits (paper: 31 %M of wait_nxn).
+    MATVEC_FIXED_FRAC = 0.35
+
+    def __init__(self, config: MiniFEConfig):
+        check_positive("nx", config.nx)
+        check_positive("cg_iters", config.cg_iters)
+        self.config = config
+        self.name = config.name
+        self.n_ranks = config.n_ranks
+        self.threads_per_rank = config.threads_per_rank
+        total_rows = float(config.nx) ** 3 * config.scale
+        self.weights = base.imbalanced_weights(config.n_ranks, config.imbalance)
+        self.rows_of = self.weights * (total_rows / config.n_ranks)
+        # CG vectors + matrix dominate memory; far larger than L3, so the
+        # cache model contributes ~nothing here (unlike TeaLeaf).
+        self.working_set_bytes = total_rows * (C.MATVEC.bytes_per_unit + 50.0)
+
+    # -- rank program ----------------------------------------------------
+    def make_rank(self, ctx: ProgramContext) -> Generator:
+        cfg = self.config
+        rows = float(self.rows_of[ctx.rank])
+        blocks = rows / C.ROWS_PER_UNIT
+        mean_rows = float(np.mean(self.rows_of))
+        mv_rows = rows + self.MATVEC_FIXED_FRAC * mean_rows
+        neighbors = base.ring_neighbors(ctx.rank, ctx.n_ranks)
+
+        yield Enter("main")
+        yield Barrier()  # MPI_Init / setup synchronisation
+
+        # ---------------- initialisation ----------------
+        yield Enter("init")
+
+        yield Enter("generate_matrix_structure")
+        seg = blocks * self.GEN_WEIGHT / cfg.init_segments
+        for _ in range(cfg.init_segments):
+            yield CallBurst("operator()", calls=seg * C.CALLS_PER_UNIT,
+                            kernel=C.GEN_STRUCTURE, units=seg)
+        yield Allreduce(nbytes=64.0)  # global row-count reduction
+        yield Leave("generate_matrix_structure")
+
+        yield Enter("assemble_FE_data")
+        yield ParallelFor("assemble_loop", C.ASSEMBLE,
+                          total_units=blocks * self.ASSEMBLE_WEIGHT)
+        yield Leave("assemble_FE_data")
+
+        yield Enter("make_local_matrix")
+        w = float(self.weights[ctx.rank])
+        ml_blocks = blocks * self.MAKE_LOCAL_WEIGHT * (w ** (self.MAKE_LOCAL_EXP - 1.0))
+        seg = ml_blocks / cfg.init_segments
+        for _ in range(cfg.init_segments):
+            yield CallBurst("find_external_rows", calls=seg * C.CALLS_PER_UNIT,
+                            kernel=C.MAKE_LOCAL, units=seg)
+        yield Alltoall(nbytes_per_pair=2048.0)  # external index exchange
+        yield Alltoall(nbytes_per_pair=512.0)  # external row owners
+        yield Leave("make_local_matrix")
+
+        yield Leave("init")
+
+        # ---------------- CG solve ----------------
+        yield Enter("solve")
+        yield Enter("cg_solve")
+        for _ in range(cfg.cg_iters):
+            yield Enter("matvec")
+            yield Enter("exchange_externals")
+            reqs = []
+            for nb in neighbors:
+                reqs.append((yield Irecv(source=nb, tag=7)))
+            for nb in neighbors:
+                reqs.append((yield Isend(dest=nb, tag=7, nbytes=C.HALO_BYTES)))
+            if reqs:
+                yield Waitall(reqs)
+            yield Leave("exchange_externals")
+            yield ParallelFor("matvec_loop", C.MATVEC, total_units=mv_rows)
+            yield Leave("matvec")
+
+            yield Enter("dot")
+            yield ParallelFor("dot_loop", C.DOT, total_units=rows)
+            yield Allreduce(nbytes=C.ALLREDUCE_BYTES)
+            yield Leave("dot")
+
+            yield Enter("waxpby")
+            yield ParallelFor("waxpby_loop", C.WAXPBY, total_units=rows * 2.0)
+            yield Leave("waxpby")
+
+            yield Enter("dot")
+            yield ParallelFor("dot_loop", C.DOT, total_units=rows)
+            yield Allreduce(nbytes=C.ALLREDUCE_BYTES)
+            yield Leave("dot")
+
+            yield Enter("waxpby")
+            yield ParallelFor("waxpby_loop", C.WAXPBY, total_units=rows)
+            yield Leave("waxpby")
+        yield Leave("cg_solve")
+        yield Leave("solve")
+        yield Leave("main")

@@ -1,0 +1,14 @@
+"""TeaLeaf: 2-D implicit heat-conduction proxy (C++ port, UoB-HPC)."""
+
+from repro.miniapps.tealeaf.app import TeaLeaf, TeaLeafConfig
+from repro.miniapps.tealeaf import calibration
+from repro.miniapps.tealeaf.numeric import HeatProblem, solve_step, cg_5point
+
+__all__ = [
+    "TeaLeaf",
+    "TeaLeafConfig",
+    "calibration",
+    "HeatProblem",
+    "solve_step",
+    "cg_5point",
+]

@@ -1,0 +1,156 @@
+"""The simulated TeaLeaf program (paper Sec. IV-E).
+
+Per time step an implicit solve by unpreconditioned CG; per iteration:
+
+::
+
+    update_halo            row exchange with strip neighbours
+    tea_leaf_cg_calc_w     w = A p   (5-point stencil) + pw reduction
+    MPI_Allreduce          pw        ("the frequent MPI all-to-all
+                                       exchanges" of the paper)
+    tea_leaf_cg_calc_ur    u/r update + rrn reduction
+    MPI_Allreduce          rrn
+    tea_leaf_cg_calc_p     p update
+
+Configurations (all one node, 128 hardware threads, benchmark tea_bm_5):
+
+* TeaLeaf-1: 1 rank x 128 threads  (team spans both sockets)
+* TeaLeaf-2: 2 ranks x 64 threads  (one socket each -- the optimum)
+* TeaLeaf-3: 8 ranks x 16 threads  (one NUMA domain each)
+* TeaLeaf-4: 128 ranks x 1 thread  (all-to-all dominated)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.miniapps.tealeaf import calibration as C
+from repro.sim.actions import (
+    Allreduce,
+    Barrier,
+    Enter,
+    Irecv,
+    Isend,
+    Leave,
+    ParallelFor,
+    Waitall,
+)
+from repro.sim.program import Program, ProgramContext
+from repro.util.validation import check_positive
+
+__all__ = ["TeaLeafConfig", "TeaLeaf"]
+
+
+@dataclass(frozen=True)
+class TeaLeafConfig:
+    """Job-level knobs of a TeaLeaf run."""
+
+    name: str = "TeaLeaf-2"
+    n_ranks: int = 2
+    threads_per_rank: int = 64
+    grid: int = 4000  # grid edge (grid^2 cells)
+    steps: int = 2
+    cg_iters: int = 12  # simulated iterations per step
+    iter_compression: float = C.ITER_COMPRESSION
+    scale: float = 1.0
+
+    @staticmethod
+    def tealeaf(n: int, **kw) -> "TeaLeafConfig":
+        """The paper's configuration *n* in 1..4."""
+        ranks_threads = {1: (1, 128), 2: (2, 64), 3: (8, 16), 4: (128, 1)}
+        try:
+            ranks, threads = ranks_threads[n]
+        except KeyError:
+            raise ValueError(f"TeaLeaf configuration must be 1..4, got {n}") from None
+        defaults = dict(name=f"TeaLeaf-{n}", n_ranks=ranks, threads_per_rank=threads)
+        defaults.update(kw)
+        return TeaLeafConfig(**defaults)
+
+    @staticmethod
+    def tiny(**kw) -> "TeaLeafConfig":
+        defaults = dict(name="TeaLeaf-tiny", n_ranks=2, threads_per_rank=2,
+                        grid=256, steps=1, cg_iters=3, iter_compression=4.0)
+        defaults.update(kw)
+        return TeaLeafConfig(**defaults)
+
+
+class TeaLeaf(Program):
+    """Simulated TeaLeaf; see :class:`TeaLeafConfig`."""
+
+    pinning_policy = "packed"
+    phases = ("solve",)
+
+    def __init__(self, config: TeaLeafConfig):
+        check_positive("grid", config.grid)
+        check_positive("cg_iters", config.cg_iters)
+        self.config = config
+        self.name = config.name
+        self.n_ranks = config.n_ranks
+        self.threads_per_rank = config.threads_per_rank
+        self.rows_per_rank = config.grid / config.n_ranks  # strip decomposition
+        # "the main calculation operates on 4000^2 x 4 = 64M double values"
+        self.working_set_bytes = float(config.grid) ** 2 * 4 * 8.0 * config.scale
+
+    def make_rank(self, ctx: ProgramContext) -> Generator:
+        cfg = self.config
+        ic = cfg.iter_compression
+        # narrow strips pay disproportionate halo/packing/blocking costs --
+        # part of why the 128-rank configuration loses performance
+        surcharge = 1.0 + 12.0 / max(1.0, self.rows_per_rank)
+        rows = self.rows_per_rank * cfg.scale * surcharge
+        neighbors = []
+        if ctx.rank > 0:
+            neighbors.append(ctx.rank - 1)
+        if ctx.rank < ctx.n_ranks - 1:
+            neighbors.append(ctx.rank + 1)
+
+        def halo():
+            yield Enter("update_halo")
+            reqs = []
+            for nb in neighbors:
+                reqs.append((yield Irecv(source=nb, tag=9)))
+            for nb in neighbors:
+                reqs.append((yield Isend(dest=nb, tag=9, nbytes=C.HALO_ROW_BYTES)))
+            if reqs:
+                yield Waitall(reqs)
+            yield Leave("update_halo")
+
+        yield Enter("main")
+        yield Barrier()
+        yield Enter("solve")
+        for _step in range(cfg.steps):
+            yield Enter("timestep")
+            yield Enter("tea_leaf_init")
+            yield ParallelFor("tea_leaf_common_init", C.VECTOR_OP, total_units=rows * 2.0)
+            yield Allreduce(nbytes=8.0)
+            yield Leave("tea_leaf_init")
+            # static scheduling distributes whole rows: with 4000 rows on
+            # e.g. 64 threads x 2 ranks some threads get one row more --
+            # a *count* imbalance every effort model can see (the paper's
+            # 2.3-2.6 %T logical barrier waits)
+            t = ctx.n_threads
+            base_rows = int(rows // t)
+            extra = int(round((rows - base_rows * t)))
+            shares = tuple(float(base_rows + (1 if i < extra else 0)) for i in range(t))
+            for _it in range(cfg.cg_iters):
+                yield from halo()
+                yield Enter("tea_leaf_cg_calc_w")
+                yield ParallelFor("cg_w_loop", C.STENCIL, total_units=rows * ic,
+                                  shares=shares, represents=ic)
+                yield ParallelFor("cg_pw_reduce", C.REDUCE_OP, total_units=rows * ic,
+                                  shares=shares, represents=ic)
+                yield Allreduce(nbytes=8.0, represents=ic)
+                yield Leave("tea_leaf_cg_calc_w")
+                yield Enter("tea_leaf_cg_calc_ur")
+                yield ParallelFor("cg_ur_loop", C.VECTOR_OP, total_units=rows * 2.0 * ic,
+                                  shares=shares, represents=ic)
+                yield Allreduce(nbytes=8.0, represents=ic)
+                yield Leave("tea_leaf_cg_calc_ur")
+                yield Enter("tea_leaf_cg_calc_p")
+                yield ParallelFor("cg_p_loop", C.VECTOR_OP, total_units=rows * ic,
+                                  shares=shares, represents=ic)
+                yield Leave("tea_leaf_cg_calc_p")
+            yield Leave("timestep")
+        yield Leave("solve")
+        yield Leave("main")

@@ -1,0 +1,87 @@
+"""TeaLeaf kernel work models.
+
+TeaLeaf's distinguishing property (paper Sec. IV-E): the 4000^2 problem
+"fits neatly into L3 cache" -- 64M doubles = 512 MB against 512 MB of
+node-aggregate L3.  All stencil/vector kernels therefore stream at cache
+bandwidth until the measurement's trace buffers evict them (the Table II
+overheads), and work per thread is almost perfectly balanced (the paper
+finds only 2.3-2.6 %T barrier waiting in the counting modes).
+
+A "unit" is one grid row of the rank's strip (ROW_CELLS cells).  Per-row
+bytes are *effective* traffic after in-cache reuse, so the absolute
+durations come out at a laptop-simulation scale; only ratios matter.
+
+``ITER_COMPRESSION`` is the construct/collective compression factor: the
+real benchmark runs tens of thousands of CG iterations; we simulate
+``steps x cg_iters`` representative iterations and scale every
+per-iteration runtime/instrumentation cost by this factor, which is what
+makes the per-construct OpenMP instrumentation cost the dominant TeaLeaf
+overhead exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.sim.kernels import KernelSpec
+
+__all__ = [
+    "ROW_CELLS",
+    "ITER_COMPRESSION",
+    "STENCIL",
+    "VECTOR_OP",
+    "REDUCE_OP",
+    "HALO_ROW_BYTES",
+]
+
+#: cells per grid row (the benchmark's tea_bm_5: 4000^2 cells)
+ROW_CELLS = 4000.0
+
+#: real CG iterations represented by one simulated iteration
+ITER_COMPRESSION = 400.0
+
+#: halo exchange: one row of doubles per neighbour
+HALO_ROW_BYTES = ROW_CELLS * 8.0
+
+# 5-point stencil w = A p: ~6 flops/cell, effective in-cache traffic.
+STENCIL = KernelSpec(
+    name="stencil_row",
+    flops_per_unit=6.0e3,
+    bytes_per_unit=24.0e3,
+    omp_iters_per_unit=1.0,
+    bb_per_unit=60.0,
+    stmt_per_unit=190.0,
+    # memory-stalled code retires few instructions per second -- far fewer
+    # than MPI's busy-poll loop, which is why lt_hwctr *over*-reports the
+    # TeaLeaf-4 all-to-all waits (44 %T vs tsc's 12 %T in the paper)
+    instr_per_unit=1.5e3,
+    memory_scope="numa",
+    additive=True,
+    jitter=0.02,
+)
+
+# BLAS-1 style u/r/p updates.
+VECTOR_OP = KernelSpec(
+    name="vector_row",
+    flops_per_unit=3.0e3,
+    bytes_per_unit=16.0e3,
+    omp_iters_per_unit=1.0,
+    bb_per_unit=45.0,
+    stmt_per_unit=140.0,
+    instr_per_unit=1.1e3,
+    memory_scope="numa",
+    additive=True,
+    jitter=0.02,
+)
+
+# local dot-product partials
+REDUCE_OP = KernelSpec(
+    name="reduce_row",
+    flops_per_unit=2.0e3,
+    bytes_per_unit=12.0e3,
+    omp_iters_per_unit=1.0,
+    bb_per_unit=40.0,
+    stmt_per_unit=120.0,
+    instr_per_unit=0.9e3,
+    memory_scope="numa",
+    additive=True,
+    jitter=0.02,
+)

@@ -1,0 +1,15 @@
+"""Generalized Jaccard similarity of profiles (paper Sec. V-B)."""
+
+from repro.scoring.jaccard import (
+    jaccard,
+    jaccard_metric_callpath,
+    jaccard_callpaths_for_metric,
+    min_pairwise_jaccard,
+)
+
+__all__ = [
+    "jaccard",
+    "jaccard_metric_callpath",
+    "jaccard_callpaths_for_metric",
+    "min_pairwise_jaccard",
+]

@@ -1,0 +1,67 @@
+"""Discrete-event simulated MPI+OpenMP substrate.
+
+Rank programs are Python generators yielding :mod:`repro.sim.actions`
+objects (compute kernels, MPI operations, OpenMP parallel loops).  The
+:class:`~repro.sim.engine.Engine` advances virtual time per location,
+matches messages, completes collectives and emits a stream of trace events
+that the measurement layer (:mod:`repro.measure`) records.
+
+The work performed between events is described by
+:class:`~repro.sim.kernels.KernelSpec` objects carrying *both* a physical
+cost model (flops, bytes -> roofline seconds under contention and noise)
+and the static counts (OpenMP loop iterations, LLVM basic blocks and
+statements, instructions) that the paper's clock-increment models consume.
+"""
+
+from repro.sim.kernels import KernelSpec, WorkDelta, EMPTY_DELTA
+from repro.sim.actions import (
+    Enter,
+    Leave,
+    Compute,
+    CallBurst,
+    ParallelFor,
+    Send,
+    Recv,
+    Isend,
+    Irecv,
+    Wait,
+    Waitall,
+    Allreduce,
+    Alltoall,
+    Allgather,
+    Bcast,
+    Reduce,
+    Barrier,
+)
+from repro.sim.costmodel import CostModel, ComputeContext
+from repro.sim.program import Program, ProgramContext
+from repro.sim.engine import Engine, SimResult
+
+__all__ = [
+    "KernelSpec",
+    "WorkDelta",
+    "EMPTY_DELTA",
+    "Enter",
+    "Leave",
+    "Compute",
+    "CallBurst",
+    "ParallelFor",
+    "Send",
+    "Recv",
+    "Isend",
+    "Irecv",
+    "Wait",
+    "Waitall",
+    "Allreduce",
+    "Alltoall",
+    "Allgather",
+    "Bcast",
+    "Reduce",
+    "Barrier",
+    "CostModel",
+    "ComputeContext",
+    "Program",
+    "ProgramContext",
+    "Engine",
+    "SimResult",
+]

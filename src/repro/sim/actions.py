@@ -1,0 +1,260 @@
+"""Actions a rank program can yield to the simulation engine.
+
+A rank program is a generator; each ``yield`` hands the engine one action
+and receives the action's result (e.g. a request id for non-blocking
+communication).  The vocabulary mirrors what the three mini-apps need --
+and what the paper's Score-P extension instruments: user regions, MPI
+point-to-point and collectives on the world communicator, and OpenMP
+parallel loops with fork/join and implicit barriers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.kernels import KernelSpec
+
+__all__ = [
+    "Action",
+    "Enter",
+    "Leave",
+    "Compute",
+    "CallBurst",
+    "ParallelFor",
+    "Send",
+    "Recv",
+    "Isend",
+    "Irecv",
+    "Wait",
+    "Waitall",
+    "Allreduce",
+    "Alltoall",
+    "Allgather",
+    "Bcast",
+    "Reduce",
+    "Barrier",
+]
+
+
+class Action:
+    """Marker base class for everything a program may yield."""
+
+    __slots__ = ()
+
+
+# ---------------------------------------------------------------------------
+# call-path structure
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Enter(Action):
+    """Enter an instrumented user function (pushes onto the call path)."""
+
+    region: str
+
+
+@dataclass(frozen=True)
+class Leave(Action):
+    """Leave the innermost instrumented user function."""
+
+    region: Optional[str] = None  # optional sanity check against the stack
+
+
+# ---------------------------------------------------------------------------
+# computation
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Compute(Action):
+    """Serial computation on the calling (master) thread.
+
+    ``units`` scales the per-unit costs of ``kernel``.  Serial compute
+    never contributes OpenMP loop iterations, regardless of the spec (the
+    engine enforces this), because Opari2 only counts instrumented OpenMP
+    loop constructs.
+    """
+
+    kernel: KernelSpec
+    units: float
+
+
+@dataclass(frozen=True)
+class CallBurst(Action):
+    """``calls`` consecutive instrumented invocations of a small function.
+
+    Real instrumented codes record an enter and a leave event for *every*
+    unfiltered call -- MiniFE's per-row assembly operators produce millions.
+    Emitting each one individually is infeasible in a Python trace, so a
+    burst is recorded as a single aggregate event pair that *represents*
+    ``calls`` pairs: per-event measurement overhead and the lt_1 increment
+    are both scaled by ``2 * calls``, and the analysis attributes the
+    burst's whole severity to the child call path ``region``.
+    """
+
+    region: str
+    calls: float
+    kernel: KernelSpec
+    units: float
+
+
+@dataclass(frozen=True)
+class ParallelFor(Action):
+    """An OpenMP combined parallel worksharing loop (``omp parallel for``).
+
+    ``total_units`` units of ``kernel`` are distributed over the rank's
+    threads; ``shares`` optionally overrides the default equal static
+    split with per-thread fractions (they are normalized).  The construct
+    models fork, per-thread chunk execution, the implicit barrier, and
+    join -- each a recorded event, as with Opari2 instrumentation.
+
+    ``represents`` is the construct-compression factor: one simulated
+    construct standing for N identical real ones executed back-to-back
+    (TeaLeaf runs *thousands* of CG iterations; simulating each would blow
+    up the trace).  All per-construct costs -- fork/join/barrier, recorded
+    events, instrumentation overhead, OpenMP-runtime work counts (the
+    X/Y effort constants) -- scale by ``represents``; ``total_units`` must
+    already be the total over all represented constructs.
+    """
+
+    region: str
+    kernel: KernelSpec
+    total_units: float
+    shares: Optional[Tuple[float, ...]] = None
+    represents: float = 1.0
+
+    def thread_units(self, n_threads: int) -> np.ndarray:
+        """Units assigned to each of ``n_threads`` threads."""
+        if self.shares is None:
+            return np.full(n_threads, self.total_units / n_threads)
+        shares = np.asarray(self.shares, dtype=float)
+        if shares.size != n_threads:
+            raise ValueError(
+                f"ParallelFor {self.region!r}: {shares.size} shares for {n_threads} threads"
+            )
+        if shares.min() < 0 or shares.sum() <= 0:
+            raise ValueError(f"ParallelFor {self.region!r}: invalid shares {self.shares}")
+        return self.total_units * shares / shares.sum()
+
+
+# ---------------------------------------------------------------------------
+# MPI point-to-point
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Send(Action):
+    """Blocking standard-mode send (eager below the rendezvous threshold)."""
+
+    dest: int
+    tag: int
+    nbytes: float
+
+
+@dataclass(frozen=True)
+class Recv(Action):
+    """Blocking receive; matches sends in posting order per (src, tag)."""
+
+    source: int
+    tag: int
+
+
+@dataclass(frozen=True)
+class Isend(Action):
+    """Non-blocking send; yields a request id."""
+
+    dest: int
+    tag: int
+    nbytes: float
+
+
+@dataclass(frozen=True)
+class Irecv(Action):
+    """Non-blocking receive; yields a request id."""
+
+    source: int
+    tag: int
+
+
+@dataclass(frozen=True)
+class Wait(Action):
+    """Wait for a single request."""
+
+    request: int
+
+
+@dataclass(frozen=True)
+class Waitall(Action):
+    """Wait for a set of requests (LULESH/TeaLeaf halo-exchange idiom)."""
+
+    requests: Tuple[int, ...]
+
+    def __init__(self, requests: Sequence[int]):
+        object.__setattr__(self, "requests", tuple(requests))
+
+
+# ---------------------------------------------------------------------------
+# MPI collectives (world communicator)
+# ---------------------------------------------------------------------------
+
+
+# All collectives take ``represents``: one simulated call standing for N
+# identical back-to-back calls (iteration compression, see ParallelFor).
+# Costs, per-event overheads and lt_1 event counts scale by N; *wait*
+# severities are compression-invariant because the inter-rank skew of the
+# aggregated compute equals the summed per-iteration skews.
+
+
+@dataclass(frozen=True)
+class Allreduce(Action):
+    """MPI_Allreduce -- the source of the paper's Wait-at-NxN severities."""
+
+    nbytes: float = 8.0
+    represents: float = 1.0
+
+
+@dataclass(frozen=True)
+class Alltoall(Action):
+    nbytes_per_pair: float = 8.0
+    represents: float = 1.0
+
+
+@dataclass(frozen=True)
+class Allgather(Action):
+    nbytes_per_rank: float = 8.0
+    represents: float = 1.0
+
+
+@dataclass(frozen=True)
+class Bcast(Action):
+    root: int = 0
+    nbytes: float = 8.0
+    represents: float = 1.0
+
+
+@dataclass(frozen=True)
+class Reduce(Action):
+    root: int = 0
+    nbytes: float = 8.0
+    represents: float = 1.0
+
+
+@dataclass(frozen=True)
+class Barrier(Action):
+    represents: float = 1.0
+
+
+#: Map collective action classes to the cost-model operation name and the
+#: MPI region name recorded in the trace.
+COLLECTIVE_INFO = {
+    Allreduce: ("allreduce", "MPI_Allreduce"),
+    Alltoall: ("alltoall", "MPI_Alltoall"),
+    Allgather: ("allgather", "MPI_Allgather"),
+    Bcast: ("bcast", "MPI_Bcast"),
+    Reduce: ("reduce", "MPI_Reduce"),
+    Barrier: ("barrier", "MPI_Barrier"),
+}

@@ -1,0 +1,809 @@
+"""The discrete-event simulation engine.
+
+Rank programs (generators) are advanced in global virtual-time order.
+Blocking MPI semantics -- receive matching, rendezvous hand-shakes,
+collective completion -- park a rank until a partner action resolves it.
+Every instrumented happening is emitted as a trace event to the attached
+measurement object (or silently skipped in uninstrumented reference runs).
+
+Measurement feedback
+--------------------
+Instrumentation perturbs the execution, which is the subject of the
+paper's Table I / Table II / Fig. 2.  Three perturbation channels feed
+back from the measurement object into virtual time:
+
+* ``event_cost`` seconds per recorded event (and per *represented* call of
+  an aggregated :class:`~repro.sim.actions.CallBurst`),
+* ``count_cost`` seconds of extra flop-side time for basic-block /
+  statement counting instrumentation (hidden in memory-bound kernels),
+* ``footprint_per_socket`` bytes of trace-buffer memory that join the
+  application working set in the cache model (the TeaLeaf effect), and
+* ``mpi_sync_cost`` seconds per MPI operation for logical modes, modelling
+  the extra counter-synchronisation messages the paper's implementation
+  sends inside the MPI wrappers.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.machine.network import CollectiveCostModel, NetworkModel
+from repro.machine.topology import Cluster, Pinning
+from repro.sim import actions as A
+from repro.sim.costmodel import ComputeContext, CostModel, OmpCostModel
+from repro.sim.events import (
+    BURST,
+    COLL_END,
+    ENTER,
+    LEAVE,
+    MPI_RECV,
+    MPI_SEND,
+    Ev,
+    Paradigm,
+    RegionRegistry,
+)
+from repro.sim.kernels import EMPTY_DELTA, KernelSpec, WorkDelta
+from repro.sim.openmp import execute_parallel_for
+from repro.sim.program import Program, ProgramContext
+
+__all__ = ["Engine", "SimResult", "EngineConfig"]
+
+
+@dataclass
+class EngineConfig:
+    """Fixed costs of the simulated MPI library and OpenMP runtime."""
+
+    mpi_call_overhead: float = 0.8e-6  # entering + internal work of an MPI call
+    eager_copy_bandwidth: float = 8.0e9  # bytes/s memcpy into the eager buffer
+    omp: OmpCostModel = field(default_factory=OmpCostModel)
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulated run."""
+
+    runtime: float
+    phase_times: Dict[str, float]
+    rank_end_times: List[float]
+    n_events: int
+    trace: Optional[object] = None  # RawTrace when instrumented
+
+    def phase(self, name: str) -> float:
+        try:
+            return self.phase_times[name]
+        except KeyError:
+            raise KeyError(
+                f"phase {name!r} not tracked; available: {sorted(self.phase_times)}"
+            ) from None
+
+
+class _Request:
+    """A non-blocking communication request."""
+
+    __slots__ = ("rid", "kind", "complete_t", "match_id", "send_t", "waiter")
+
+    def __init__(self, rid: int, kind: str):
+        self.rid = rid
+        self.kind = kind  # "send" | "recv"
+        self.complete_t: Optional[float] = None
+        self.match_id: Optional[int] = None
+        self.send_t: float = 0.0
+        self.waiter: Optional[_RankState] = None
+
+
+class _RankState:
+    """Mutable per-rank execution state."""
+
+    __slots__ = (
+        "rank",
+        "gen",
+        "t",
+        "n_threads",
+        "stack",
+        "pending_delta",
+        "pending_result",
+        "requests",
+        "next_req",
+        "blocked",
+        "done",
+        "wait_t0",
+        "wait_requests",
+        "wait_region",
+        "epoch",
+    )
+
+    def __init__(self, rank: int, gen: Generator, n_threads: int):
+        self.rank = rank
+        self.gen = gen
+        self.t = 0.0
+        self.n_threads = n_threads
+        self.stack: List[str] = []
+        self.pending_delta: WorkDelta = EMPTY_DELTA
+        self.pending_result: Any = None
+        self.requests: Dict[int, _Request] = {}
+        self.next_req = 0
+        self.blocked = False
+        self.done = False
+        self.wait_t0 = 0.0
+        self.wait_requests: List[int] = []
+        self.wait_region: int = -1
+        self.epoch = 0  # bumped on every resume to invalidate stale heap entries
+
+    def flush_delta(self) -> WorkDelta:
+        d = self.pending_delta
+        self.pending_delta = EMPTY_DELTA
+        return d
+
+    def add_delta(self, d: WorkDelta) -> None:
+        if self.pending_delta is EMPTY_DELTA:
+            self.pending_delta = d
+        else:
+            self.pending_delta = self.pending_delta + d
+
+    def new_request(self, kind: str) -> _Request:
+        req = _Request(self.next_req, kind)
+        self.requests[self.next_req] = req
+        self.next_req += 1
+        return req
+
+
+class Engine:
+    """Simulate ``program`` on ``cluster`` with optional measurement.
+
+    Parameters
+    ----------
+    program:
+        The application (supplies rank generators and job geometry).
+    cluster:
+        Hardware model.
+    cost:
+        Physical cost model (roofline + noise).  Its ``noise`` attribute
+        may be ``None`` for fully deterministic runs.
+    measurement:
+        A measurement object from :mod:`repro.measure`, or ``None`` for an
+        uninstrumented reference run.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        cluster: Cluster,
+        cost: CostModel,
+        measurement=None,
+        config: Optional[EngineConfig] = None,
+        network: Optional[NetworkModel] = None,
+    ):
+        self.program = program
+        self.cluster = cluster
+        self.cost = cost
+        self.measurement = measurement
+        self.config = config or EngineConfig()
+        self.omp_cost = self.config.omp
+        self.pinning = program.pinning(cluster)
+        self.network = network or NetworkModel(cluster)
+        self.collectives = CollectiveCostModel(self.network)
+        self.regions = RegionRegistry()
+
+        # Location ids: rank-major, thread-minor.
+        self._loc_base: Dict[int, int] = {}
+        base = 0
+        for r in self.pinning.ranks:
+            self._loc_base[r] = base
+            base += self.pinning.threads_of(r)
+        self.n_locations = base
+
+        # Measurement feedback, cached for the hot path.
+        if measurement is not None:
+            measurement.begin(self)
+            self.ev_cost = measurement.event_cost()
+            self._mpi_sync_cost = measurement.mpi_sync_cost()
+            self._footprint = measurement.footprint_per_socket()
+            self.omp_team_sync = measurement.omp_team_sync_cost()
+            self._overlap_factor = measurement.overlap_relief()
+        else:
+            self.ev_cost = 0.0
+            self._mpi_sync_cost = 0.0
+            self._footprint = 0.0
+            self.omp_team_sync = 0.0
+            self._overlap_factor = 1.0
+        self._ws_per_socket = program.working_set_per_socket(self.pinning)
+
+        # Runtime state.
+        self._ranks: Dict[int, _RankState] = {}
+        self._heap: List[Tuple[float, int, int, int]] = []  # (t, seq, rank, epoch)
+        self._seq = 0
+        self._channels: Dict[Tuple[int, int, int], Dict[str, deque]] = {}
+        self._coll: Dict[int, dict] = {}  # instance seq -> state
+        self._coll_seq: Dict[int, int] = {}  # per-rank collective counter
+        self._next_match = 0
+        self._next_coll = 0
+        self._next_omp = 0
+        self._n_events = 0
+        self._phase_enter: Dict[str, float] = {}
+        self._phase_leave: Dict[str, float] = {}
+        self._rank_time: Dict[int, float] = {}
+
+        # Static pinning-derived contention tables.
+        self._numa_occupancy = self.pinning.numa_occupancy()
+        self._socket_occupancy: Dict[int, int] = {}
+        self._ranks_on_numa: Dict[int, set] = {}
+        self._ranks_on_socket: Dict[int, set] = {}
+        rank_sockets: Dict[int, set] = {}
+        for (r, th) in self.pinning.locations():
+            core = self.pinning.core_of(r, th)
+            self._socket_occupancy[core.socket_id] = self._socket_occupancy.get(core.socket_id, 0) + 1
+            self._ranks_on_numa.setdefault(core.numa_id, set()).add(r)
+            self._ranks_on_socket.setdefault(core.socket_id, set()).add(r)
+            rank_sockets.setdefault(r, set()).add(core.socket_id)
+        self._rank_spans_sockets = {r: len(s) > 1 for r, s in rank_sockets.items()}
+
+    # ------------------------------------------------------------------
+    # identifiers and emission
+    # ------------------------------------------------------------------
+    def loc_id(self, rank: int, thread: int) -> int:
+        return self._loc_base[rank] + thread
+
+    def next_omp_id(self) -> int:
+        self._next_omp += 1
+        return self._next_omp - 1
+
+    def emit(self, loc: int, ev: Ev) -> None:
+        """Record an event (no-op in reference runs)."""
+        self._n_events += 1
+        if self.measurement is not None:
+            self.measurement.record(loc, ev)
+
+    def emit_master(self, rank: _RankState, ev: Ev) -> None:
+        self.emit(self.loc_id(rank.rank, 0), ev)
+
+    def count_cost(self, delta: WorkDelta) -> float:
+        if self.measurement is None:
+            return 0.0
+        return self.measurement.count_cost(delta)
+
+    # ------------------------------------------------------------------
+    # contention context
+    # ------------------------------------------------------------------
+    def compute_context(
+        self, rank: int, thread: int, kernel: KernelSpec, team_threads: int = 1
+    ) -> ComputeContext:
+        """Build the contention/cache context for one kernel execution.
+
+        ``team_threads`` is the number of own-rank threads running the same
+        phase (1 for serial compute).  Other ranks pinned to the same scope
+        contribute contention discounted by their current virtual-time
+        spread (the desynchronisation credit, see
+        :mod:`repro.machine.memory`).
+        """
+        core = self.pinning.core_of(rank, thread)
+        if kernel.memory_scope == "socket":
+            scope_ranks = self._ranks_on_socket.get(core.socket_id, set())
+        else:
+            scope_ranks = self._ranks_on_numa.get(core.numa_id, set())
+        others = [r for r in scope_ranks if r != rank]
+        if team_threads > 1:
+            # SPMD: assume other ranks run the same parallel phase with the
+            # same width, counting only their threads pinned to this scope.
+            if kernel.memory_scope == "socket":
+                occ = self._socket_occupancy.get(core.socket_id, team_threads)
+            else:
+                occ = self._numa_occupancy.get(core.numa_id, team_threads)
+            own_here = sum(
+                1
+                for tt in range(self.pinning.threads_of(rank))
+                if (self.pinning.core_of(rank, tt).socket_id == core.socket_id
+                    if kernel.memory_scope == "socket"
+                    else self.pinning.core_of(rank, tt).numa_id == core.numa_id)
+            )
+            team = own_here
+            other_actors = max(0, occ - own_here)
+        else:
+            team = 1
+            other_actors = len(others)  # one active (master) stream per rank
+        t_now = self._rank_time.get(rank, 0.0)
+        if others and team_threads == 1:
+            # Serial phases: cross-rank overlap decays with the current
+            # spread of rank progress (drives the MiniFE init behaviour).
+            desync = sum(abs(self._rank_time.get(r, 0.0) - t_now) for r in others) / len(others)
+        else:
+            # Steady-state SPMD parallel loops: ranks re-synchronise at
+            # every collective, so treat the overlap as full.  Without
+            # this, the desync estimate feeds back into bandwidth shares
+            # and fabricates rank skew that the real machine doesn't show.
+            desync = 0.0
+        return ComputeContext(
+            rank=rank,
+            thread=thread,
+            numa_id=core.numa_id,
+            socket_id=core.socket_id,
+            team_actors=team,
+            other_actors=other_actors,
+            desync=desync,
+            cache_working_set=self._ws_per_socket,
+            cache_extra_footprint=self._footprint,
+            overlap_factor=self._overlap_factor,
+            team_cross_socket=(team_threads > 1 and self._rank_spans_sockets.get(rank, False)),
+        )
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self) -> SimResult:
+        """Execute the program to completion and return the results."""
+        for r in self.pinning.ranks:
+            ctx = ProgramContext(
+                rank=r, n_ranks=self.pinning.n_ranks, n_threads=self.pinning.threads_of(r)
+            )
+            state = _RankState(r, self.program.make_rank(ctx), self.pinning.threads_of(r))
+            self._ranks[r] = state
+            self._rank_time[r] = 0.0
+            self._coll_seq[r] = 0
+            self._push(state)
+
+        n_done = 0
+        n_ranks = len(self._ranks)
+        while self._heap:
+            t, _seq, r, epoch = heapq.heappop(self._heap)
+            state = self._ranks[r]
+            if state.done or state.blocked or epoch != state.epoch:
+                continue
+            if self._step(state):
+                n_done += 1
+        if n_done != n_ranks:
+            stuck = [r for r, s in self._ranks.items() if not s.done]
+            raise RuntimeError(
+                f"deadlock: ranks {stuck} blocked at end of simulation "
+                f"(unmatched communication in {self.program.name!r})"
+            )
+
+        runtime = max(self._rank_time.values()) if self._rank_time else 0.0
+        phases = {}
+        for name, t_enter in self._phase_enter.items():
+            t_leave = self._phase_leave.get(name)
+            if t_leave is not None:
+                phases[name] = t_leave - t_enter
+        trace = self.measurement.finish(runtime) if self.measurement is not None else None
+        return SimResult(
+            runtime=runtime,
+            phase_times=phases,
+            rank_end_times=[self._rank_time[r] for r in sorted(self._rank_time)],
+            n_events=self._n_events,
+            trace=trace,
+        )
+
+    def _push(self, state: _RankState) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (state.t, self._seq, state.rank, state.epoch))
+
+    def _resume(self, state: _RankState, t: float, result: Any = None) -> None:
+        state.t = t
+        state.blocked = False
+        state.epoch += 1
+        state.pending_result = result
+        self._rank_time[state.rank] = t
+        self._push(state)
+
+    def _step(self, state: _RankState) -> bool:
+        """Advance one action; returns True when the rank finished."""
+        try:
+            action = state.gen.send(state.pending_result)
+        except StopIteration:
+            state.done = True
+            self._rank_time[state.rank] = state.t
+            return True
+        state.pending_result = None
+        epoch_before = state.epoch
+        self._dispatch(state, action)
+        self._rank_time[state.rank] = max(self._rank_time[state.rank], state.t)
+        # A rank that was resumed during its own dispatch (e.g. it was the
+        # last to enter a collective) has already been re-queued.
+        if not state.blocked and not state.done and state.epoch == epoch_before:
+            self._push(state)
+        return False
+
+    # ------------------------------------------------------------------
+    # action dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, state: _RankState, action) -> None:
+        cls = type(action)
+        if cls is A.Compute:
+            self._do_compute(state, action)
+        elif cls is A.ParallelFor:
+            execute_parallel_for(self, state, action)
+        elif cls is A.Enter:
+            self._do_enter(state, action.region)
+        elif cls is A.Leave:
+            self._do_leave(state, action.region)
+        elif cls is A.CallBurst:
+            self._do_burst(state, action)
+        elif cls is A.Send:
+            self._do_send(state, action, blocking=True)
+        elif cls is A.Recv:
+            self._do_recv(state, action)
+        elif cls is A.Isend:
+            self._do_send(state, action, blocking=False)
+        elif cls is A.Irecv:
+            self._do_irecv(state, action)
+        elif cls is A.Wait:
+            self._do_waitall(state, (action.request,), "MPI_Wait")
+        elif cls is A.Waitall:
+            self._do_waitall(state, action.requests, "MPI_Waitall")
+        elif cls in A.COLLECTIVE_INFO:
+            self._do_collective(state, action)
+        else:
+            raise TypeError(f"unknown action {action!r}")
+
+    # -- call-path structure -------------------------------------------
+    def _filtered(self, region: str) -> bool:
+        return self.measurement is not None and self.measurement.filtered(region)
+
+    def _do_enter(self, state: _RankState, region: str) -> None:
+        state.stack.append(region)
+        if region in self.program.phases and region not in self._phase_enter:
+            self._phase_enter[region] = state.t
+        if self.measurement is None or self._filtered(region):
+            return
+        rid = self.regions.intern(region)
+        self.emit_master(state, Ev(ENTER, rid, state.t, state.flush_delta()))
+        state.t += self.ev_cost
+
+    def _do_leave(self, state: _RankState, region: Optional[str]) -> None:
+        if not state.stack:
+            raise RuntimeError(f"rank {state.rank}: Leave with empty region stack")
+        top = state.stack.pop()
+        if region is not None and region != top:
+            raise RuntimeError(
+                f"rank {state.rank}: Leave({region!r}) does not match Enter({top!r})"
+            )
+        if top in self.program.phases:
+            prev = self._phase_leave.get(top, -math.inf)
+            self._phase_leave[top] = max(prev, state.t)
+        if self.measurement is None or self._filtered(top):
+            return
+        rid = self.regions.intern(top)
+        self.emit_master(state, Ev(LEAVE, rid, state.t, state.flush_delta()))
+        state.t += self.ev_cost
+
+    # -- computation ------------------------------------------------------
+    def _do_compute(self, state: _RankState, action: A.Compute) -> None:
+        delta = action.kernel.scaled_counts(action.units).without_omp_iters()
+        extra = self.count_cost(delta)
+        ctx = self.compute_context(state.rank, 0, action.kernel)
+        dur = self.cost.kernel_time(action.kernel, action.units, ctx, extra_flop_time=extra)
+        state.t += dur
+        state.add_delta(delta)
+
+    def _do_burst(self, state: _RankState, action: A.CallBurst) -> None:
+        delta = action.kernel.scaled_counts(action.units).without_omp_iters()
+        extra = self.count_cost(delta)
+        ctx = self.compute_context(state.rank, 0, action.kernel)
+        dur = self.cost.kernel_time(action.kernel, action.units, ctx, extra_flop_time=extra)
+        t0 = state.t
+        if self.measurement is not None and not self._filtered(action.region):
+            per_call = self.measurement.event_cost()
+            dur += 2.0 * action.calls * per_call
+            rid = self.regions.intern(action.region)
+            full = WorkDelta(
+                omp_iters=0.0,
+                bb=delta.bb,
+                stmt=delta.stmt,
+                instr=delta.instr,
+                burst_calls=action.calls,
+            ) + state.flush_delta()
+            state.t = t0 + dur
+            self.emit(
+                self.loc_id(state.rank, 0),
+                Ev(BURST, rid, state.t, full, t_enter=t0),
+            )
+        else:
+            # Filtered: the work still runs (and still pays counting
+            # instrumentation) but merges into the enclosing region.
+            state.t = t0 + dur
+            state.add_delta(delta)
+
+    # -- MPI point-to-point ------------------------------------------------
+    def _channel(self, src: int, dst: int, tag: int) -> Dict[str, deque]:
+        key = (src, dst, tag)
+        ch = self._channels.get(key)
+        if ch is None:
+            ch = {"sends": deque(), "recvs": deque()}
+            self._channels[key] = ch
+        return ch
+
+    def _mpi_enter(self, state: _RankState, region: str) -> int:
+        """Emit the ENTER of an MPI call; returns the region id."""
+        rid = self.regions.intern(region, Paradigm.MPI)
+        if self.measurement is not None:
+            self.emit_master(state, Ev(ENTER, rid, state.t, state.flush_delta()))
+            state.t += self.ev_cost
+        return rid
+
+    def _mpi_leave(self, state: _RankState, rid: int, t_end: float, t_begin: float) -> None:
+        """Emit the LEAVE of an MPI call with spin-wait instructions."""
+        state.t = t_end
+        if self.measurement is not None:
+            instr = self.cost.mpi_wait_instructions(max(0.0, t_end - t_begin))
+            instr += self.cost.mpi_library_instr_per_call
+            self.emit_master(state, Ev(LEAVE, rid, t_end, WorkDelta(instr=instr)))
+            state.t += self.ev_cost
+        self._rank_time[state.rank] = state.t
+
+    def _transfer_time(self, src: int, dst: int, nbytes: float, match_id: int) -> float:
+        same_node = self.pinning.same_node(src, dst)
+        t = self.network.transfer_time(nbytes, same_node)
+        if self.cost.noise is not None:
+            t *= self.cost.noise.network.factor(("p2p", match_id))
+        return t
+
+    def _do_send(self, state: _RankState, action, blocking: bool) -> None:
+        region = "MPI_Send" if blocking else "MPI_Isend"
+        rid = self._mpi_enter(state, region)
+        t0 = state.t
+        match_id = self._next_match
+        self._next_match += 1
+        nbytes = action.nbytes
+        eager = self.network.is_eager(nbytes)
+        if self.measurement is not None:
+            # aux: (match id, rendezvous flag) -- the analyzer needs the
+            # protocol to decide whether a late receiver is possible.
+            self.emit_master(
+                state, Ev(MPI_SEND, rid, state.t, EMPTY_DELTA, aux=(match_id, 0 if eager else 1))
+            )
+            state.t += self.ev_cost
+        ch = self._channel(state.rank, action.dest, action.tag)
+        entry = {
+            "eager": eager,
+            "match_id": match_id,
+            "send_t": t0,
+            "nbytes": nbytes,
+            "arrival": None,
+            "sender": None,  # set only when a blocking rendezvous send parks
+            "request": None,
+            "src": state.rank,
+            "dst": action.dest,
+            "rid": rid,
+        }
+        req = None
+        if not blocking:
+            req = state.new_request("send")
+            req.match_id = match_id
+            req.send_t = t0
+            entry["request"] = req
+
+        if eager:
+            entry["arrival"] = t0 + self._transfer_time(state.rank, action.dest, nbytes, match_id)
+            local_done = (
+                state.t + self.config.mpi_call_overhead + self._mpi_sync_cost
+                + nbytes / self.config.eager_copy_bandwidth
+            )
+            if req is not None:
+                req.complete_t = local_done
+            if ch["recvs"]:
+                self._match(entry, ch["recvs"].popleft())
+            else:
+                ch["sends"].append(entry)
+            self._mpi_leave(state, rid, local_done, t0)
+            if not blocking:
+                state.pending_result = req.rid
+            return
+
+        # Rendezvous.
+        if ch["recvs"]:
+            recv_entry = ch["recvs"].popleft()
+            done = self._match(entry, recv_entry)
+            if blocking:
+                self._mpi_leave(state, rid, done, t0)
+            else:
+                req.complete_t = done
+                self._mpi_leave(state, rid, state.t + self.config.mpi_call_overhead + self._mpi_sync_cost, t0)
+                state.pending_result = req.rid
+            return
+
+        ch["sends"].append(entry)
+        if blocking:
+            entry["sender"] = state
+            entry["pending_leave"] = (rid, t0)
+            state.blocked = True
+        else:
+            self._mpi_leave(state, rid, state.t + self.config.mpi_call_overhead + self._mpi_sync_cost, t0)
+            state.pending_result = req.rid
+
+    def _do_recv(self, state: _RankState, action: A.Recv) -> None:
+        rid = self._mpi_enter(state, "MPI_Recv")
+        t0 = state.t
+        ch = self._channel(action.source, state.rank, action.tag)
+        entry = {
+            "recv_t": t0,
+            "receiver": state,
+            "request": None,
+            "rid": rid,
+            "blocking": True,
+            "parked": False,
+        }
+        if ch["sends"]:
+            send_entry = ch["sends"].popleft()
+            self._match(send_entry, entry)
+        else:
+            entry["parked"] = True
+            ch["recvs"].append(entry)
+            state.blocked = True
+
+    def _do_irecv(self, state: _RankState, action: A.Irecv) -> None:
+        rid = self._mpi_enter(state, "MPI_Irecv")
+        t0 = state.t
+        req = state.new_request("recv")
+        ch = self._channel(action.source, state.rank, action.tag)
+        entry = {
+            "recv_t": t0,
+            "receiver": state,
+            "request": req,
+            "rid": rid,
+            "blocking": False,
+            "parked": False,
+        }
+        if ch["sends"]:
+            send_entry = ch["sends"].popleft()
+            self._match(send_entry, entry)
+        else:
+            entry["parked"] = True
+            ch["recvs"].append(entry)
+        self._mpi_leave(state, rid, state.t + self.config.mpi_call_overhead + self._mpi_sync_cost, t0)
+        state.pending_result = req.rid
+
+    def _match(self, send_entry: dict, recv_entry: dict) -> float:
+        """Resolve one matched (send, recv) pair; returns completion time."""
+        receiver: _RankState = recv_entry["receiver"]
+        recv_req: Optional[_Request] = recv_entry["request"]
+        r_t = recv_entry["recv_t"]
+        if send_entry["eager"]:
+            done = max(r_t, send_entry["arrival"]) + self.config.mpi_call_overhead
+        else:
+            start = max(r_t, send_entry["send_t"])
+            done = (
+                start
+                + self._transfer_time(
+                    send_entry["src"], send_entry["dst"], send_entry["nbytes"], send_entry["match_id"]
+                )
+                + self.config.mpi_call_overhead
+            )
+            # Unblock a blocked rendezvous sender / complete its request.
+            sender: Optional[_RankState] = send_entry["sender"]
+            if sender is not None:
+                rid_s, t0_s = send_entry["pending_leave"]
+                self._mpi_leave(sender, rid_s, done, t0_s)
+                self._resume(sender, sender.t)
+            send_req: Optional[_Request] = send_entry["request"]
+            if send_req is not None:
+                send_req.complete_t = done
+                self._check_waiter(send_req)
+
+        if recv_entry["blocking"]:
+            # Emit the receive record + LEAVE; resume the receiver only if
+            # it was parked (it may be the currently executing rank).
+            if self.measurement is not None:
+                self.emit_master(
+                    receiver,
+                    Ev(MPI_RECV, recv_entry["rid"], done, EMPTY_DELTA, aux=send_entry["match_id"]),
+                )
+            self._mpi_leave(receiver, recv_entry["rid"], done + self.ev_cost, r_t)
+            if recv_entry["parked"]:
+                self._resume(receiver, receiver.t)
+        else:
+            recv_req.complete_t = done
+            recv_req.match_id = send_entry["match_id"]
+            recv_req.send_t = send_entry["send_t"]
+            self._check_waiter(recv_req)
+        return done
+
+    # -- waits --------------------------------------------------------------
+    def _do_waitall(self, state: _RankState, request_ids, region: str) -> None:
+        rid = self._mpi_enter(state, region)
+        state.wait_t0 = state.t
+        state.wait_region = rid
+        state.wait_requests = list(request_ids)
+        self._try_finish_wait(state)
+
+    def _try_finish_wait(self, state: _RankState) -> None:
+        reqs = [state.requests[i] for i in state.wait_requests]
+        if any(r.complete_t is None for r in reqs):
+            for r in reqs:
+                if r.complete_t is None:
+                    r.waiter = state
+            state.blocked = True
+            return
+        t0 = state.wait_t0
+        end = max([t0] + [r.complete_t for r in reqs]) + self.config.mpi_call_overhead
+        if self.measurement is not None:
+            # Receive-complete records are written in *request posting
+            # order* (as MPI tools do), so the event sequence -- and with it
+            # every logical trace -- is independent of message timing.
+            t_rec = t0
+            for r in reqs:
+                if r.kind != "recv":
+                    continue
+                t_rec = max(t_rec, r.complete_t)
+                self.emit_master(
+                    state, Ev(MPI_RECV, state.wait_region, t_rec, EMPTY_DELTA, aux=r.match_id)
+                )
+        for i in state.wait_requests:
+            del state.requests[i]
+        was_blocked = state.blocked
+        rid = state.wait_region
+        state.wait_requests = []
+        self._mpi_leave(state, rid, end, t0)
+        if was_blocked:
+            self._resume(state, state.t)
+
+    def _check_waiter(self, req: _Request) -> None:
+        waiter = req.waiter
+        if waiter is None:
+            return
+        req.waiter = None
+        if waiter.blocked and all(
+            waiter.requests[i].complete_t is not None for i in waiter.wait_requests
+        ):
+            self._try_finish_wait(waiter)
+
+    # -- collectives ----------------------------------------------------------
+    def _do_collective(self, state: _RankState, action) -> None:
+        op, region = A.COLLECTIVE_INFO[type(action)]
+        rid = self._mpi_enter(state, region)
+        seq = self._coll_seq[state.rank]
+        self._coll_seq[state.rank] = seq + 1
+        inst = self._coll.get(seq)
+        if inst is None:
+            inst = {"op": op, "enters": {}, "action": action, "rid": {}}
+            self._coll[seq] = inst
+        if inst["op"] != op:
+            raise RuntimeError(
+                f"collective mismatch at sequence {seq}: rank {state.rank} called {op}, "
+                f"others called {inst['op']}"
+            )
+        inst["enters"][state.rank] = state.t
+        inst["rid"][state.rank] = rid
+        state.blocked = True
+        if len(inst["enters"]) == self.pinning.n_ranks:
+            self._complete_collective(seq, inst)
+
+    def _coll_nbytes(self, action) -> float:
+        for attr in ("nbytes", "nbytes_per_pair", "nbytes_per_rank"):
+            if hasattr(action, attr):
+                return getattr(action, attr)
+        return 0.0
+
+    def _complete_collective(self, seq: int, inst: dict) -> None:
+        ranks = self.pinning.ranks
+        action = inst["action"]
+        rep = max(1.0, float(getattr(action, "represents", 1.0)))
+        cost = self.collectives.cost(
+            inst["op"], self.pinning, ranks, self._coll_nbytes(action)
+        ) * rep
+        if self.cost.noise is not None:
+            cost *= self.cost.noise.network.factor(("coll", seq))
+        completion = max(inst["enters"].values()) + cost
+        coll_id = self._next_coll
+        self._next_coll += 1
+        n = len(ranks)
+        extra_bc = (rep - 1.0) / 2.0  # lt_1: each event stands for rep calls
+        for r in ranks:
+            st = self._ranks[r]
+            rid = inst["rid"][r]
+            t_enter = inst["enters"][r]
+            if self.measurement is not None:
+                instr = self.cost.mpi_wait_instructions(max(0.0, completion - t_enter))
+                instr += self.cost.mpi_library_instr_per_call * rep
+                self.emit_master(
+                    st,
+                    Ev(COLL_END, rid, completion,
+                       WorkDelta(instr=instr, burst_calls=extra_bc), aux=(coll_id, n)),
+                )
+            st.t = completion + (self.config.mpi_call_overhead + self._mpi_sync_cost) * rep
+            if self.measurement is not None:
+                self.emit_master(st, Ev(LEAVE, rid, st.t, WorkDelta(burst_calls=extra_bc)))
+                st.t += self.ev_cost * rep
+            self._resume(st, st.t)
+        del self._coll[seq]

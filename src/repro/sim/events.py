@@ -1,0 +1,162 @@
+"""Trace event model (the OTF2-like record vocabulary).
+
+The engine emits these events to the measurement layer; the clocks assign
+timestamps to them; the analyzer replays them.  Events are deliberately
+lightweight (``__slots__``) because realistic runs produce 10^5..10^6 of
+them.
+
+Event kinds
+-----------
+
+=============  ==========================================================
+ENTER / LEAVE  Region entry/exit (user, MPI, or OpenMP region).
+BURST          Aggregate of N instrumented enter/leave pairs of a small
+               function (see :class:`repro.sim.actions.CallBurst`); spans
+               ``[t_enter, t]`` on the location.
+MPI_SEND       Message send record (at initiation); ``aux = match_id``.
+MPI_RECV       Message receive-complete record; ``aux = match_id``.
+COLL_END       Collective completion record; ``aux = (coll_id, size)``.
+FORK / JOIN    OpenMP team fork/join on the master; ``aux = omp_id``.
+TEAM_BEGIN     First event of a worker in a team; ``aux = omp_id``.
+OBAR_ENTER /   Implicit (or explicit) OpenMP barrier; the leave record
+OBAR_LEAVE     carries ``aux = (omp_id, team_size)`` and synchronizes the
+               logical clocks of the whole team.
+=============  ==========================================================
+
+Work deltas: every event may carry the :class:`~repro.sim.kernels.WorkDelta`
+accumulated on its location since the previous event.  By convention the
+delta hangs on the event *ending* the interval in which the work happened.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.sim.kernels import WorkDelta, EMPTY_DELTA
+
+__all__ = [
+    "ENTER",
+    "LEAVE",
+    "BURST",
+    "MPI_SEND",
+    "MPI_RECV",
+    "COLL_END",
+    "FORK",
+    "JOIN",
+    "TEAM_BEGIN",
+    "OBAR_ENTER",
+    "OBAR_LEAVE",
+    "EVENT_NAMES",
+    "Ev",
+    "Paradigm",
+    "RegionRegistry",
+]
+
+ENTER = 0
+LEAVE = 1
+BURST = 2
+MPI_SEND = 3
+MPI_RECV = 4
+COLL_END = 5
+FORK = 6
+JOIN = 7
+TEAM_BEGIN = 8
+OBAR_ENTER = 9
+OBAR_LEAVE = 10
+
+EVENT_NAMES = {
+    ENTER: "ENTER",
+    LEAVE: "LEAVE",
+    BURST: "BURST",
+    MPI_SEND: "MPI_SEND",
+    MPI_RECV: "MPI_RECV",
+    COLL_END: "COLL_END",
+    FORK: "FORK",
+    JOIN: "JOIN",
+    TEAM_BEGIN: "TEAM_BEGIN",
+    OBAR_ENTER: "OBAR_ENTER",
+    OBAR_LEAVE: "OBAR_LEAVE",
+}
+
+
+class Ev:
+    """One trace event on one location.
+
+    Attributes
+    ----------
+    etype:  event kind constant (see module docstring)
+    region: region id (:class:`RegionRegistry`), or -1 where meaningless
+    t:      physical (virtual-seconds) timestamp
+    delta:  work since the previous event on this location
+    aux:    kind-specific payload (match id, collective id, team info, ...)
+    t_enter: for BURST events, the start of the aggregated interval
+    """
+
+    __slots__ = ("etype", "region", "t", "delta", "aux", "t_enter")
+
+    def __init__(self, etype: int, region: int, t: float,
+                 delta: WorkDelta = EMPTY_DELTA, aux=None, t_enter: float = 0.0):
+        self.etype = etype
+        self.region = region
+        self.t = t
+        self.delta = delta
+        self.aux = aux
+        self.t_enter = t_enter
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = EVENT_NAMES.get(self.etype, str(self.etype))
+        return f"Ev({name}, region={self.region}, t={self.t:.6g}, aux={self.aux})"
+
+
+class Paradigm:
+    """Region paradigm classification used by the metric tree."""
+
+    USER = "user"
+    MPI = "mpi"
+    OMP = "omp"
+    MEASUREMENT = "measurement"
+
+
+class RegionRegistry:
+    """Interns region names to integer ids with paradigm metadata.
+
+    MPI region names start with ``MPI_``, OpenMP runtime regions with
+    ``omp_`` -- the classifier mirrors how Score-P tags regions by adapter.
+    """
+
+    def __init__(self):
+        self._by_name = {}
+        self.names = []
+        self.paradigms = []
+
+    def intern(self, name: str, paradigm: Optional[str] = None) -> int:
+        rid = self._by_name.get(name)
+        if rid is not None:
+            return rid
+        if paradigm is None:
+            if name.startswith("MPI_"):
+                paradigm = Paradigm.MPI
+            elif name.startswith("omp_"):
+                paradigm = Paradigm.OMP
+            else:
+                paradigm = Paradigm.USER
+        rid = len(self.names)
+        self._by_name[name] = rid
+        self.names.append(name)
+        self.paradigms.append(paradigm)
+        return rid
+
+    def name(self, rid: int) -> str:
+        return self.names[rid]
+
+    def paradigm(self, rid: int) -> str:
+        return self.paradigms[rid]
+
+    def id_of(self, name: str) -> int:
+        return self._by_name[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self.names)

@@ -1,0 +1,77 @@
+"""Deterministic, named random-number streams.
+
+Reproducibility is a first-class requirement of this project: the paper's
+central experiment repeats the same measurement five times under different
+noise realizations and shows that logical traces are bit-identical while
+physical ones vary.  To express "same program, different noise realization"
+we derive independent :class:`numpy.random.Generator` instances from a
+``(base_seed, stream_name, *key)`` tuple via ``numpy``'s ``SeedSequence``
+spawning.  Two properties matter:
+
+* Streams with distinct names/keys are statistically independent.
+* A stream's output depends only on its key, never on how many draws other
+  streams have made.  Adding a new noise source therefore never perturbs an
+  existing one -- essential when comparing measurement modes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = ["stream_seed", "RngStreams"]
+
+
+def stream_seed(base_seed: int, *key) -> int:
+    """Derive a 64-bit child seed from ``base_seed`` and an arbitrary key.
+
+    The key elements are rendered with ``repr`` and hashed, so any mix of
+    strings, ints and tuples is acceptable.  The result is stable across
+    processes and Python versions (no reliance on ``hash()``).
+    """
+    h = hashlib.sha256()
+    h.update(str(int(base_seed)).encode())
+    for part in key:
+        h.update(b"\x1f")
+        h.update(repr(part).encode())
+    return int.from_bytes(h.digest()[:8], "little")
+
+
+class RngStreams:
+    """A factory of independent named random generators.
+
+    Example
+    -------
+    >>> rngs = RngStreams(seed=7)
+    >>> cpu = rngs.get("cpu-noise", rank=3, thread=1)
+    >>> net = rngs.get("net-noise", link=(0, 1))
+    >>> cpu is rngs.get("cpu-noise", rank=3, thread=1)
+    True
+    """
+
+    def __init__(self, seed: int):
+        self.seed = int(seed)
+        self._cache: Dict[Tuple, np.random.Generator] = {}
+
+    def get(self, name: str, **key) -> np.random.Generator:
+        """Return (and memoize) the generator for ``name`` + keyword key."""
+        k = (name,) + tuple(sorted(key.items()))
+        gen = self._cache.get(k)
+        if gen is None:
+            gen = np.random.default_rng(stream_seed(self.seed, *k))
+            self._cache[k] = gen
+        return gen
+
+    def fresh(self, name: str, **key) -> np.random.Generator:
+        """Return a *new* generator for the key without memoizing it."""
+        k = (name,) + tuple(sorted(key.items()))
+        return np.random.default_rng(stream_seed(self.seed, *k))
+
+    def child(self, *key) -> "RngStreams":
+        """Derive a whole child stream family (e.g. one per repetition)."""
+        return RngStreams(stream_seed(self.seed, "child", *key))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RngStreams(seed={self.seed}, cached={len(self._cache)})"

@@ -1,0 +1,93 @@
+"""Small statistics helpers used by the experiment harness.
+
+The paper reports arithmetic means over five repetitions and (implicitly)
+run-to-run spreads; these helpers centralize that logic so experiments and
+tests share one definition.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["mean_ci", "summarize", "welford", "RunningStats", "relative_spread"]
+
+
+def mean_ci(values: Sequence[float], confidence: float = 0.95) -> Tuple[float, float]:
+    """Mean and half-width of a normal-approximation confidence interval.
+
+    With fewer than two samples the half-width is zero (a single
+    measurement carries no spread information).
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("mean_ci requires at least one value")
+    m = float(arr.mean())
+    if arr.size < 2:
+        return m, 0.0
+    # Normal quantile for the two-sided interval; scipy is available but a
+    # closed form keeps this module dependency-free for the hot path.
+    from scipy.stats import norm
+
+    z = float(norm.ppf(0.5 + confidence / 2.0))
+    half = z * float(arr.std(ddof=1)) / math.sqrt(arr.size)
+    return m, half
+
+
+def summarize(values: Sequence[float]) -> dict:
+    """Return ``{n, mean, std, min, max}`` for a sample."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("summarize requires at least one value")
+    return {
+        "n": int(arr.size),
+        "mean": float(arr.mean()),
+        "std": float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+    }
+
+
+def relative_spread(values: Sequence[float]) -> float:
+    """(max - min) / mean -- the paper's informal 'run-to-run variation'."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("relative_spread requires at least one value")
+    m = float(arr.mean())
+    if m == 0.0:
+        return 0.0
+    return float((arr.max() - arr.min()) / m)
+
+
+@dataclass
+class RunningStats:
+    """Welford online mean/variance accumulator."""
+
+    n: int = 0
+    mean: float = 0.0
+    _m2: float = 0.0
+
+    def add(self, x: float) -> None:
+        self.n += 1
+        delta = x - self.mean
+        self.mean += delta / self.n
+        self._m2 += delta * (x - self.mean)
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.n - 1) if self.n > 1 else 0.0
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+
+def welford(values: Iterable[float]) -> RunningStats:
+    """Accumulate an iterable into a :class:`RunningStats`."""
+    rs = RunningStats()
+    for v in values:
+        rs.add(v)
+    return rs

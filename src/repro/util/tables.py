@@ -1,0 +1,86 @@
+"""Plain-text rendering of the paper's tables and bar figures.
+
+The benchmark harness prints every reproduced table/figure as text so the
+output can be diffed against the paper and recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_grouped_bars"]
+
+
+def _fmt_cell(value, floatfmt: str) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: Optional[str] = None,
+    floatfmt: str = ".2f",
+) -> str:
+    """Render an aligned ASCII table.
+
+    Columns are sized to their widest cell; the first column is
+    left-aligned (labels), all others right-aligned (numbers).
+    """
+    str_rows: List[List[str]] = [[_fmt_cell(c, floatfmt) for c in row] for row in rows]
+    cols = len(headers)
+    for r in str_rows:
+        if len(r) != cols:
+            raise ValueError(f"row has {len(r)} cells, expected {cols}: {r}")
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in str_rows)) if str_rows else len(str(headers[i]))
+        for i in range(cols)
+    ]
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, c in enumerate(cells):
+            parts.append(c.ljust(widths[i]) if i == 0 else c.rjust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row([str(h) for h in headers]))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(r) for r in str_rows)
+    return "\n".join(lines)
+
+
+def format_grouped_bars(
+    data: Mapping[str, Mapping[str, float]],
+    title: Optional[str] = None,
+    width: int = 40,
+    floatfmt: str = ".3f",
+) -> str:
+    """Render ``{group: {series: value}}`` as horizontal text bars.
+
+    Used for the paper's stacked/grouped bar figures (Figs. 3-9): each group
+    (e.g. a measurement mode) gets one block, each series (e.g. a call path
+    or experiment) one bar scaled to the global maximum.
+    """
+    all_vals = [v for series in data.values() for v in series.values()]
+    vmax = max(all_vals) if all_vals else 1.0
+    if vmax <= 0:
+        vmax = 1.0
+    label_w = max((len(s) for series in data.values() for s in series), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for group, series in data.items():
+        lines.append(f"[{group}]")
+        for name, value in series.items():
+            n = int(round(width * max(value, 0.0) / vmax))
+            bar = "#" * n
+            lines.append(f"  {name.ljust(label_w)} |{bar.ljust(width)}| {format(value, floatfmt)}")
+    return "\n".join(lines)

@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.machine import jureca_dc, small_test_cluster
+from repro.machine.noise import NoiseConfig, NoiseModel, ZeroNoise
+from repro.sim import CostModel
+
+
+@pytest.fixture
+def cluster():
+    """A tiny deterministic cluster (2 NUMA domains x 4 cores)."""
+    return small_test_cluster(cores_per_numa=4, numa_per_socket=2)
+
+
+@pytest.fixture
+def jureca():
+    return jureca_dc(1)
+
+
+@pytest.fixture
+def quiet_cost(cluster):
+    """Cost model with all noise off (fully deterministic runs)."""
+    return CostModel(cluster, noise=NoiseModel(ZeroNoise(), seed=1))
+
+
+@pytest.fixture
+def noisy_cost(cluster):
+    return CostModel(cluster, noise=NoiseModel(NoiseConfig(), seed=1))

@@ -1,0 +1,305 @@
+"""Tests for the Scalasca-analogue analysis: patterns, profiles, delays."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (
+    COMP,
+    DELAY_N2N,
+    IDLE_THREADS,
+    MPI_COLL_WAIT_NXN,
+    MPI_P2P_LATESENDER,
+    OMP_BARRIER_OVERHEAD,
+    OMP_BARRIER_WAIT,
+    OMP_MANAGEMENT,
+    TIME_LEAVES,
+    analyze_trace,
+    barrier_split,
+    group_totals,
+    late_receiver_wait,
+    late_sender_wait,
+    nxn_waits,
+    render_metric_tree,
+)
+from repro.clocks import timestamp_trace
+from repro.machine.noise import NoiseModel, ZeroNoise
+from repro.measure import Measurement
+from repro.sim import (
+    Allreduce,
+    Compute,
+    CostModel,
+    Engine,
+    Enter,
+    KernelSpec,
+    Leave,
+    ParallelFor,
+    Program,
+    Recv,
+    Send,
+)
+
+K = KernelSpec("k", flops_per_unit=1e6, omp_iters_per_unit=1.0, bb_per_unit=5,
+               stmt_per_unit=15, instr_per_unit=40, memory_scope="none")
+
+
+def analyze(script, cost, n_ranks=2, threads=1, mode="tsc", phases=()):
+    class P(Program):
+        name = "t"
+
+        def make_rank(self, ctx):
+            yield Enter("main")
+            yield from script(ctx)
+            yield Leave("main")
+
+    P.n_ranks = n_ranks
+    P.threads_per_rank = threads
+    res = Engine(P(), cost.cluster, cost, measurement=Measurement(mode)).run()
+    return analyze_trace(timestamp_trace(res.trace, mode))
+
+
+class TestPatternFormulas:
+    def test_nxn_waits_basic(self):
+        waits = nxn_waits([0.0, 3.0, 1.0], completion=5.0)
+        assert waits == [3.0, 0.0, 2.0]
+
+    def test_nxn_clamped_by_completion(self):
+        waits = nxn_waits([0.0, 10.0], completion=4.0)
+        assert waits[0] == 4.0
+
+    def test_nxn_empty(self):
+        assert nxn_waits([], 1.0) == []
+
+    def test_barrier_split(self):
+        waits, overheads = barrier_split([0.0, 2.0], [5.0, 5.0])
+        assert overheads == [3.0, 3.0]  # fastest path = intrinsic cost
+        assert waits == [2.0, 0.0]
+
+    def test_barrier_split_mismatched(self):
+        with pytest.raises(ValueError):
+            barrier_split([0.0], [1.0, 2.0])
+
+    def test_late_sender(self):
+        assert late_sender_wait(send_ts=5.0, recv_enter_ts=2.0, recv_complete_ts=8.0) == 3.0
+        assert late_sender_wait(1.0, 2.0, 8.0) == 0.0
+
+    def test_late_receiver(self):
+        assert late_receiver_wait(send_ts=1.0, recv_post_ts=4.0, complete_ts=9.0) == 3.0
+        assert late_receiver_wait(4.0, 1.0, 9.0) == 0.0
+
+    @given(st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=16))
+    @settings(max_examples=40)
+    def test_nxn_waits_nonnegative(self, enters):
+        completion = max(enters) + 1.0
+        assert all(w >= 0 for w in nxn_waits(enters, completion))
+
+    @given(st.lists(st.tuples(st.floats(0, 50), st.floats(0, 50)), min_size=1, max_size=8))
+    @settings(max_examples=40)
+    def test_barrier_split_partition(self, pairs):
+        enters = [e for e, _d in pairs]
+        leaves = [e + abs(d) for e, d in pairs]
+        waits, overheads = barrier_split(enters, leaves)
+        for (e, l, w, o) in zip(enters, leaves, waits, overheads):
+            assert w + o == pytest.approx(l - e, abs=1e-9)
+
+
+class TestMetricTree:
+    def test_fig1_rendering(self):
+        text = render_metric_tree()
+        for token in ("time", "latesender", "wait_nxn", "barrier_wait",
+                      "idle_threads", "delay_mpi_collective_n2n"):
+            assert token in text
+
+    def test_time_leaves_unique(self):
+        assert len(set(TIME_LEAVES)) == len(TIME_LEAVES)
+
+
+class TestAnalyzerBasics:
+    def test_pure_compute_is_comp(self, quiet_cost):
+        def script(ctx):
+            yield Compute(K, 100)
+
+        prof = analyze(script, quiet_cost, n_ranks=1)
+        g = group_totals(prof)
+        assert g["comp"] > 99.0
+
+    def test_total_time_positive(self, quiet_cost):
+        def script(ctx):
+            yield Compute(K, 10)
+
+        prof = analyze(script, quiet_cost, n_ranks=1)
+        assert prof.total_time() > 0
+
+    def test_comp_attributed_to_callpath(self, quiet_cost):
+        def script(ctx):
+            yield Enter("inner")
+            yield Compute(K, 100)
+            yield Leave("inner")
+
+        prof = analyze(script, quiet_cost, n_ranks=1)
+        shares = prof.metric_selection_percent(COMP)
+        assert shares[("main", "inner")] > 99.0
+
+    def test_time_tree_partitions_execution(self, quiet_cost):
+        """Sum of time leaves ~= sum of location lifetimes."""
+        def script(ctx):
+            yield Compute(K, 50 * (1 + ctx.rank))
+            yield ParallelFor("l", K, total_units=100)
+            yield Allreduce()
+
+        prof = analyze(script, quiet_cost, threads=2)
+        total = prof.total_time()
+        comp = sum(prof.metric_total(m) for m in TIME_LEAVES)
+        assert comp == pytest.approx(total)
+
+
+class TestWaitStates:
+    def test_imbalance_creates_nxn_wait(self, quiet_cost):
+        def script(ctx):
+            yield Compute(K, 100 * (1 + ctx.rank))
+            yield Enter("reduce")
+            yield Allreduce()
+            yield Leave("reduce")
+
+        prof = analyze(script, quiet_cost)
+        wait = prof.metric_total(MPI_COLL_WAIT_NXN)
+        # rank 0's wait ~ rank 1's extra compute
+        extra = 100 * 1e6 / quiet_cost.cluster.flops_per_core
+        assert wait == pytest.approx(extra, rel=0.05)
+
+    def test_balanced_ranks_no_wait(self, quiet_cost):
+        def script(ctx):
+            yield Compute(K, 100)
+            yield Allreduce()
+
+        prof = analyze(script, quiet_cost)
+        assert prof.percent_of_time(MPI_COLL_WAIT_NXN) < 1.0
+
+    def test_late_sender_detected(self, quiet_cost):
+        def script(ctx):
+            if ctx.rank == 0:
+                yield Compute(K, 500)
+                yield Send(dest=1, tag=1, nbytes=64)
+            else:
+                yield Recv(source=0, tag=1)
+
+        prof = analyze(script, quiet_cost)
+        wait = prof.metric_total(MPI_P2P_LATESENDER)
+        extra = 500 * 1e6 / quiet_cost.cluster.flops_per_core
+        assert wait == pytest.approx(extra, rel=0.05)
+        # attributed at the receiver's MPI_Recv call path
+        shares = prof.metric_selection_percent(MPI_P2P_LATESENDER)
+        assert any("MPI_Recv" in p for p in shares)
+
+    def test_omp_barrier_wait_from_imbalance(self, quiet_cost):
+        def script(ctx):
+            yield ParallelFor("l", K, total_units=400, shares=(3.0, 1.0))
+
+        prof = analyze(script, quiet_cost, n_ranks=1, threads=2)
+        assert prof.metric_total(OMP_BARRIER_WAIT) > 0
+        assert prof.metric_total(OMP_BARRIER_OVERHEAD) > 0
+
+    def test_omp_management_present(self, quiet_cost):
+        def script(ctx):
+            for _ in range(5):
+                yield ParallelFor("l", K, total_units=50)
+
+        prof = analyze(script, quiet_cost, n_ranks=1, threads=4)
+        assert prof.metric_total(OMP_MANAGEMENT) > 0
+
+
+class TestIdleThreads:
+    def test_serial_region_creates_idle(self, quiet_cost):
+        def script(ctx):
+            yield Enter("serial_part")
+            yield Compute(K, 300)
+            yield Leave("serial_part")
+            yield ParallelFor("l", K, total_units=300)
+
+        prof = analyze(script, quiet_cost, n_ranks=1, threads=4)
+        idle = prof.metric_total(IDLE_THREADS)
+        serial = 300 * 1e6 / quiet_cost.cluster.flops_per_core
+        # 3 workers idle during the serial part
+        assert idle == pytest.approx(3 * serial, rel=0.05)
+        shares = prof.metric_selection_percent(IDLE_THREADS)
+        agg = sum(v for p, v in shares.items() if "serial_part" in p)
+        assert agg > 95.0
+
+    def test_single_thread_no_idle(self, quiet_cost):
+        def script(ctx):
+            yield Compute(K, 100)
+
+        prof = analyze(script, quiet_cost, n_ranks=1, threads=1)
+        assert prof.metric_total(IDLE_THREADS) == 0.0
+
+
+class TestDelayCosts:
+    def test_delay_points_to_imbalanced_callpath(self, quiet_cost):
+        def script(ctx):
+            yield Enter("balanced")
+            yield Compute(K, 100)
+            yield Leave("balanced")
+            yield Enter("imbalanced")
+            yield Compute(K, 100 * (1 + 3 * ctx.rank))
+            yield Leave("imbalanced")
+            yield Allreduce()
+
+        prof = analyze(script, quiet_cost)
+        shares = prof.metric_selection_percent(DELAY_N2N)
+        imb = sum(v for p, v in shares.items() if "imbalanced" in p)
+        assert imb > 90.0
+
+    def test_delay_on_delayer_location(self, quiet_cost):
+        def script(ctx):
+            yield Compute(K, 100 * (1 + ctx.rank))
+            yield Allreduce()
+
+        prof = analyze(script, quiet_cost)
+        by_loc = prof.by_location(DELAY_N2N)
+        # rank 1 (loc 1) is the delayer
+        assert by_loc.get(1, 0.0) > 0.0
+        assert by_loc.get(0, 0.0) == 0.0
+
+    def test_epoch_resets_at_collectives(self, quiet_cost):
+        """Imbalance before the first allreduce must not leak into the
+        delay attribution of the second."""
+        def script(ctx):
+            yield Enter("early")
+            yield Compute(K, 100 * (1 + ctx.rank))
+            yield Leave("early")
+            yield Allreduce()
+            yield Enter("late")
+            yield Compute(K, 100 * (2 - ctx.rank))  # reversed imbalance
+            yield Leave("late")
+            yield Allreduce()
+
+        prof = analyze(script, quiet_cost)
+        # delay of the second instance must point to "late" on rank 0
+        by_loc = prof.by_location(DELAY_N2N)
+        assert by_loc.get(0, 0.0) > 0.0
+
+
+class TestClockAgnosticism:
+    """The analyzer consumes any clock's timestamps (paper Sec. III)."""
+
+    @pytest.mark.parametrize("mode", ["lt1", "ltloop", "ltbb", "ltstmt", "lthwctr"])
+    def test_logical_profiles_have_full_metric_tree(self, quiet_cost, mode):
+        def script(ctx):
+            yield Compute(K, 100 * (1 + ctx.rank))
+            yield ParallelFor("l", K, total_units=100)
+            yield Allreduce()
+
+        prof = analyze(script, quiet_cost, threads=2, mode=mode)
+        assert prof.total_time() > 0
+        total = sum(prof.metric_total(m) for m in TIME_LEAVES)
+        assert total == pytest.approx(prof.total_time())
+
+    def test_count_imbalance_visible_to_logical(self, quiet_cost):
+        """A deterministic count imbalance shows in logical waits too."""
+        def script(ctx):
+            yield Compute(K, 100 * (1 + ctx.rank))
+            yield Allreduce()
+
+        tsc = analyze(script, quiet_cost, mode="tsc")
+        ltbb = analyze(script, quiet_cost, mode="ltbb")
+        assert tsc.percent_of_time(MPI_COLL_WAIT_NXN) > 5
+        assert ltbb.percent_of_time(MPI_COLL_WAIT_NXN) > 5

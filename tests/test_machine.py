@@ -1,0 +1,222 @@
+"""Tests for repro.machine: topology, pinning, network, memory, noise."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import (
+    CacheModel,
+    CollectiveCostModel,
+    MemoryModel,
+    NetworkModel,
+    NoiseConfig,
+    NoiseModel,
+    Pinning,
+    ZeroNoise,
+    jureca_dc,
+    small_test_cluster,
+)
+from repro.machine.topology import build_cluster
+
+
+class TestTopology:
+    def test_jureca_dimensions(self):
+        cl = jureca_dc(1)
+        assert len(cl.nodes) == 1
+        assert len(cl.nodes[0].sockets) == 2
+        assert len(cl.numa_domains) == 8
+        assert len(cl.cores) == 128
+
+    def test_jureca_l3_512mb_per_node(self):
+        # Sec. IV-E: "8 x 4 x 16 MB = 512 MB L3 cache on the node"
+        cl = jureca_dc(1)
+        assert cl.nodes[0].l3_capacity == pytest.approx(512 * 1024**2)
+
+    def test_two_nodes(self):
+        cl = jureca_dc(2)
+        assert len(cl.cores) == 256
+        assert cl.cores[128].node_id == 1
+
+    def test_numa_domain_lookup(self):
+        cl = small_test_cluster()
+        d = cl.numa_domain(1)
+        assert d.global_id == 1
+        with pytest.raises(KeyError):
+            cl.numa_domain(99)
+
+    def test_core_lookup(self):
+        cl = small_test_cluster()
+        assert cl.core(0).global_id == 0
+        with pytest.raises(KeyError):
+            cl.core(10**6)
+
+    def test_build_cluster_validates(self):
+        with pytest.raises(ValueError):
+            build_cluster("x", 0, 1, 1, 1, 1.0, 1.0, 1.0, 1.0, 1e-6, 1e9)
+
+
+class TestPinning:
+    def test_packed_fills_in_order(self):
+        cl = small_test_cluster(cores_per_numa=4, numa_per_socket=2)
+        p = Pinning.packed(cl, n_ranks=2, threads_per_rank=4)
+        assert p.numa_of(0, 0) == 0
+        assert p.numa_of(1, 0) == 1
+
+    def test_packed_too_many_raises(self):
+        cl = small_test_cluster(cores_per_numa=2, numa_per_socket=1)
+        with pytest.raises(ValueError):
+            Pinning.packed(cl, n_ranks=4, threads_per_rank=4)
+
+    def test_spread_one_rank_per_domain(self):
+        cl = jureca_dc(1)
+        p = Pinning.spread_ranks_over_numa(cl, 8, 1)
+        assert sorted(p.numa_of(r, 0) for r in range(8)) == list(range(8))
+
+    def test_balanced_numa_lulesh2_shape(self):
+        # "Three NUMA domains are filled completely with four ranks (16
+        # threads) each.  The other five domains are assigned three ranks."
+        cl = jureca_dc(1)
+        p = Pinning.balanced_numa(cl, 27, 4)
+        occ = p.numa_occupancy()
+        counts = sorted(occ.values(), reverse=True)
+        assert counts == [16, 16, 16, 12, 12, 12, 12, 12]
+
+    def test_locations_count(self):
+        cl = small_test_cluster(cores_per_numa=4)
+        p = Pinning.packed(cl, 2, 2)
+        assert len(list(p.locations())) == 4
+
+    def test_same_node(self):
+        cl = jureca_dc(2)
+        p = Pinning.packed(cl, 64, 4)
+        assert p.same_node(0, 31)
+        assert not p.same_node(0, 63)
+
+
+class TestNetwork:
+    def test_eager_threshold(self):
+        net = NetworkModel(jureca_dc(1))
+        assert net.is_eager(1024)
+        assert not net.is_eager(10**6)
+
+    def test_intra_node_faster(self):
+        net = NetworkModel(jureca_dc(2))
+        assert net.transfer_time(1e6, same_node=True) < net.transfer_time(1e6, same_node=False)
+
+    def test_transfer_monotone_in_size(self):
+        net = NetworkModel(jureca_dc(1))
+        assert net.transfer_time(2e6, True) > net.transfer_time(1e6, True)
+
+    def test_collective_costs_grow_with_ranks(self):
+        cl = jureca_dc(1)
+        coll = CollectiveCostModel(NetworkModel(cl))
+        p8 = Pinning.spread_ranks_over_numa(cl, 8, 1)
+        p2 = Pinning.spread_ranks_over_numa(cl, 2, 1)
+        assert coll.allreduce(p8, range(8), 8.0) > coll.allreduce(p2, range(2), 8.0)
+
+    def test_single_rank_collective_free(self):
+        cl = jureca_dc(1)
+        coll = CollectiveCostModel(NetworkModel(cl))
+        p = Pinning.packed(cl, 1, 1)
+        assert coll.allreduce(p, [0], 8.0) == 0.0
+        assert coll.barrier(p, [0]) == 0.0
+
+    def test_unknown_op(self):
+        cl = jureca_dc(1)
+        coll = CollectiveCostModel(NetworkModel(cl))
+        p = Pinning.packed(cl, 2, 1)
+        with pytest.raises(ValueError):
+            coll.cost("gossip", p, [0, 1], 8.0)
+
+
+class TestMemoryModel:
+    def test_no_contention_single_actor(self):
+        mm = MemoryModel(jureca_dc(1))
+        bw1 = mm.bandwidth_per_actor(0, pinned_actors=1)
+        assert bw1 == pytest.approx(min(mm.per_core_bw_cap, 45e9))
+
+    def test_contention_reduces_bandwidth(self):
+        mm = MemoryModel(jureca_dc(1))
+        bw16 = mm.bandwidth_per_actor(0, pinned_actors=16)
+        bw4 = mm.bandwidth_per_actor(0, pinned_actors=4)
+        assert bw16 < bw4
+
+    def test_desync_restores_bandwidth(self):
+        mm = MemoryModel(jureca_dc(1))
+        synced = mm.bandwidth_per_actor(0, 16, desync=0.0, solo_duration=1.0)
+        spread = mm.bandwidth_per_actor(0, 16, desync=10.0, solo_duration=1.0)
+        assert spread > synced
+
+    @given(st.integers(min_value=1, max_value=64), st.floats(min_value=0, max_value=100))
+    @settings(max_examples=30)
+    def test_effective_accessors_bounds(self, actors, desync):
+        mm = MemoryModel(jureca_dc(1))
+        a = mm.effective_accessors(actors, desync, solo_duration=1.0)
+        assert 1.0 <= a <= actors or actors == 0
+
+
+class TestCacheModel:
+    def test_fits_in_cache(self):
+        cm = CacheModel(jureca_dc(1))
+        assert cm.hit_fraction(1024) == 1.0
+        assert cm.bandwidth_factor(1024) == pytest.approx(cm.cache_speedup)
+
+    def test_spill_reduces_factor(self):
+        cm = CacheModel(jureca_dc(1))
+        l3 = jureca_dc(1).nodes[0].sockets[0].l3_capacity
+        fits = cm.bandwidth_factor(l3)
+        spilled = cm.bandwidth_factor(l3, extra_footprint=l3)
+        assert spilled < fits
+
+    def test_huge_working_set_factor_near_one(self):
+        cm = CacheModel(jureca_dc(1))
+        assert cm.bandwidth_factor(1e12) == pytest.approx(1.0, rel=0.01)
+
+    def test_footprint_monotone(self):
+        cm = CacheModel(jureca_dc(1))
+        l3 = jureca_dc(1).nodes[0].sockets[0].l3_capacity
+        f = [cm.bandwidth_factor(l3, extra) for extra in (0.0, l3 / 4, l3 / 2, l3)]
+        assert all(a >= b for a, b in zip(f, f[1:]))
+
+
+class TestNoise:
+    def test_zero_noise_is_identity(self):
+        nm = NoiseModel(ZeroNoise(), seed=1)
+        assert nm.compute_time(0, 0, 1.0) == 1.0
+        assert nm.counter.perturb(0, 0, 100.0) == 100.0
+
+    def test_noise_reproducible_per_seed(self):
+        a = NoiseModel(NoiseConfig(), seed=5).compute_time(0, 0, 1.0)
+        b = NoiseModel(NoiseConfig(), seed=5).compute_time(0, 0, 1.0)
+        assert a == b
+
+    def test_noise_differs_across_seeds(self):
+        a = NoiseModel(NoiseConfig(), seed=5).compute_time(0, 0, 1.0)
+        b = NoiseModel(NoiseConfig(), seed=6).compute_time(0, 0, 1.0)
+        assert a != b
+
+    def test_cpu_noise_mean_near_one(self):
+        nm = NoiseModel(NoiseConfig(os_jitter_rate=0.0), seed=2)
+        samples = [nm.compute_time(0, 0, 1.0) for _ in range(2000)]
+        assert np.mean(samples) == pytest.approx(1.0, rel=0.01)
+
+    def test_os_jitter_additive(self):
+        cfg = NoiseConfig(cpu_sigma=0.0, os_jitter_rate=1000.0, os_jitter_duration=1e-4)
+        nm = NoiseModel(cfg, seed=3)
+        t = np.mean([nm.compute_time(0, 0, 1.0) for _ in range(50)])
+        assert t > 1.0
+
+    def test_counter_noise_nonnegative_offset(self):
+        nm = NoiseModel(NoiseConfig(), seed=4)
+        assert nm.counter.perturb(0, 0, 1e6) > 0
+
+    def test_scaled_config(self):
+        cfg = NoiseConfig().scaled(0.0)
+        assert cfg.cpu_sigma == 0.0 and cfg.network_sigma == 0.0
+
+    def test_negative_interval_raises(self):
+        nm = NoiseModel(NoiseConfig(), seed=1)
+        with pytest.raises(ValueError):
+            nm.os.detour_time(0, 0, -1.0)

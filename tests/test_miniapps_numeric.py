@@ -1,0 +1,138 @@
+"""Tests for the real NumPy numerics of the three mini-apps."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.miniapps.lulesh.numeric import HydroState, hydro_step, sedov_init, total_energy
+from repro.miniapps.lulesh.numeric import stable_timestep
+from repro.miniapps.minife.numeric import assemble_poisson_3d, cg_solve, generate_matrix_structure
+from repro.miniapps.tealeaf.numeric import HeatProblem, apply_operator, cg_5point, solve_step
+
+
+class TestMiniFENumeric:
+    def test_structure_row_counts(self):
+        indptr, indices = generate_matrix_structure(3)
+        counts = np.diff(indptr)
+        # corner nodes have 3 neighbours + diagonal = 4 entries
+        assert counts[0] == 4
+        # the centre node of a 3^3 grid has all 6 neighbours
+        assert counts[13] == 7
+
+    def test_structure_is_symmetric_pattern(self):
+        indptr, indices = generate_matrix_structure(4)
+        n = 4**3
+        a = sp.csr_matrix((np.ones_like(indices, dtype=float), indices, indptr), shape=(n, n))
+        assert (a != a.T).nnz == 0
+
+    def test_assemble_spd(self):
+        a, b = assemble_poisson_3d(4)
+        x = np.random.default_rng(0).random(a.shape[0])
+        assert x @ (a @ x) > 0  # positive definite direction
+
+    def test_cg_matches_scipy(self):
+        a, b = assemble_poisson_3d(5)
+        x, iters, res = cg_solve(a, b, tol=1e-10, max_iters=500)
+        x_ref = spla.spsolve(a.tocsc(), b)
+        assert np.allclose(x, x_ref, atol=1e-6)
+        assert res < 1e-8 * np.linalg.norm(b) * 10
+
+    def test_cg_iteration_count_reasonable(self):
+        a, b = assemble_poisson_3d(6)
+        _x, iters, _res = cg_solve(a, b, tol=1e-8)
+        assert 5 < iters < 200
+
+    def test_cg_honours_max_iters(self):
+        a, b = assemble_poisson_3d(5)
+        _x, iters, _res = cg_solve(a, b, tol=1e-30, max_iters=3)
+        assert iters == 3
+
+
+class TestLuleshNumeric:
+    def test_sedov_deposits_energy(self):
+        s = sedov_init(8)
+        assert s.e[0] > s.e[-1] * 1e3
+
+    def test_step_advances_time(self):
+        s = sedov_init(8)
+        dt = hydro_step(s)
+        assert dt > 0 and s.t == dt and s.step == 1
+
+    def test_density_positive(self):
+        s = sedov_init(8)
+        for _ in range(20):
+            hydro_step(s)
+        assert np.all(s.rho > 0)
+        assert np.all(s.e > 0)
+
+    def test_shock_expands(self):
+        s = sedov_init(10)
+        hot_cells0 = int((s.e > 1e-4).sum())
+        for _ in range(30):
+            hydro_step(s)
+        assert int((s.e > 1e-4).sum()) > hot_cells0
+
+    def test_energy_bounded(self):
+        """The explicit scheme is dissipative but must stay stable (no
+        blow-up) over a short run."""
+        s = sedov_init(8)
+        e0 = total_energy(s)
+        for _ in range(12):
+            hydro_step(s)
+        e1 = total_energy(s)
+        assert np.isfinite(e1) and 0.02 * e0 < e1 < e0 * 2.0
+
+    def test_timestep_respects_cfl(self):
+        s = sedov_init(8)
+        dt = stable_timestep(s, cfl=0.3)
+        cs_max = np.sqrt(5.0 / 3.0 * (2.0 / 3.0) * s.e.max())
+        assert dt <= 0.3 * s.dx / cs_max * 1.001
+
+
+class TestTeaLeafNumeric:
+    def test_operator_identity_at_zero_coeff(self):
+        v = np.random.default_rng(1).random((8, 8))
+        assert np.allclose(apply_operator(v, 0.0), v)
+
+    def test_operator_matches_dense(self):
+        n = 6
+        rng = np.random.default_rng(2)
+        v = rng.random((n, n))
+        coeff = 0.1
+        # build the dense operator by applying to unit vectors
+        cols = []
+        for j in range(n * n):
+            e = np.zeros(n * n)
+            e[j] = 1.0
+            cols.append(apply_operator(e.reshape(n, n), coeff).ravel())
+        dense = np.column_stack(cols)
+        assert np.allclose(dense @ v.ravel(), apply_operator(v, coeff).ravel())
+        # symmetric operator (needed for CG)
+        assert np.allclose(dense, dense.T)
+
+    def test_cg_solves_system(self):
+        rng = np.random.default_rng(3)
+        rhs = rng.random((10, 10))
+        x, iters, res = cg_5point(rhs, coeff=0.2, tol=1e-12)
+        assert np.allclose(apply_operator(x, 0.2), rhs, atol=1e-8)
+
+    def test_solve_step_conserves_heat(self):
+        """Neumann boundaries: total heat is conserved by diffusion."""
+        p = HeatProblem.benchmark(16)
+        before = p.u.sum()
+        solve_step(p, tol=1e-12)
+        assert p.u.sum() == pytest.approx(before, rel=1e-8)
+
+    def test_solve_step_smoothes(self):
+        p = HeatProblem.benchmark(16)
+        var_before = p.u.var()
+        for _ in range(5):
+            solve_step(p)
+        assert p.u.var() < var_before
+
+    def test_iterations_shrink_over_time(self):
+        p = HeatProblem.benchmark(16)
+        first = solve_step(p)
+        later = solve_step(p)
+        assert later <= first

@@ -1,0 +1,140 @@
+"""Property-based tests: engine and clock invariants on random programs.
+
+Hypothesis generates random SPMD programs (compute blocks, parallel
+loops, matched ring communication, collectives) and checks the global
+invariants that every component of the pipeline relies on:
+
+* the simulation terminates without deadlock and time never runs backwards,
+* every clock's timestamps are strictly increasing per location,
+* logical timestamps are invariant under the noise seed,
+* the analyzer's time tree exactly partitions the measured execution,
+* severities are non-negative and the Jaccard score stays in [0, 1].
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis import TIME_LEAVES, analyze_trace
+from repro.clocks import timestamp_trace
+from repro.machine import small_test_cluster
+from repro.machine.noise import NoiseConfig, NoiseModel
+from repro.measure import Measurement
+from repro.scoring import jaccard_metric_callpath
+from repro.sim import (
+    Allreduce,
+    Barrier,
+    CallBurst,
+    Compute,
+    CostModel,
+    Engine,
+    Enter,
+    Irecv,
+    Isend,
+    KernelSpec,
+    Leave,
+    ParallelFor,
+    Program,
+    Waitall,
+)
+
+K = KernelSpec("k", flops_per_unit=1e5, bytes_per_unit=1e4, omp_iters_per_unit=1.0,
+               bb_per_unit=4.0, stmt_per_unit=12.0, instr_per_unit=30.0)
+
+# One program "step" is drawn from this vocabulary; communication steps
+# are constructed to be globally matched (every rank executes them).
+step_strategy = st.sampled_from(["compute", "burst", "pfor", "ring", "allreduce", "barrier"])
+program_strategy = st.lists(step_strategy, min_size=1, max_size=8)
+
+
+class RandomProgram(Program):
+    name = "random"
+    n_ranks = 3
+    threads_per_rank = 2
+
+    def __init__(self, steps):
+        self.steps = list(steps)
+
+    def make_rank(self, ctx):
+        yield Enter("main")
+        for i, step in enumerate(self.steps):
+            region = f"step{i}_{step}"
+            yield Enter(region)
+            if step == "compute":
+                yield Compute(K, 10 + 5 * ctx.rank)
+            elif step == "burst":
+                yield CallBurst("tiny()", calls=50, kernel=K, units=5)
+            elif step == "pfor":
+                yield ParallelFor("loop", K, total_units=40 + 10 * ctx.rank)
+            elif step == "ring":
+                right = (ctx.rank + 1) % ctx.n_ranks
+                left = (ctx.rank - 1) % ctx.n_ranks
+                r1 = yield Irecv(source=left, tag=i)
+                r2 = yield Isend(dest=right, tag=i, nbytes=256)
+                yield Waitall([r1, r2])
+            elif step == "allreduce":
+                yield Allreduce()
+            elif step == "barrier":
+                yield Barrier()
+            yield Leave(region)
+        yield Leave("main")
+
+
+def _run(steps, seed, mode="tsc"):
+    cluster = small_test_cluster(cores_per_numa=4, numa_per_socket=2)
+    cost = CostModel(cluster, noise=NoiseModel(NoiseConfig(), seed=seed))
+    return Engine(RandomProgram(steps), cluster, cost, measurement=Measurement(mode)).run()
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(program_strategy, st.integers(min_value=0, max_value=100))
+def test_no_deadlock_and_monotone_trace(steps, seed):
+    res = _run(steps, seed)
+    assert res.runtime >= 0
+    res.trace.validate()  # per-location physical monotonicity
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(program_strategy)
+def test_all_clocks_strictly_increasing(steps):
+    res = _run(steps, seed=3)
+    for mode in ("tsc", "lt1", "ltloop", "ltbb", "ltstmt", "lthwctr"):
+        tt = timestamp_trace(res.trace, mode, counter_seed=1)
+        for arr in tt.times:
+            if len(arr) > 1:
+                assert np.all(np.diff(arr) >= 0), mode
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(program_strategy, st.integers(min_value=0, max_value=50),
+       st.integers(min_value=51, max_value=100))
+def test_logical_noise_invariance(steps, seed_a, seed_b):
+    ta = timestamp_trace(_run(steps, seed_a).trace, "ltbb").times
+    tb = timestamp_trace(_run(steps, seed_b).trace, "ltbb").times
+    for a, b in zip(ta, tb):
+        assert np.array_equal(a, b)
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(program_strategy)
+def test_time_tree_partitions_total(steps):
+    res = _run(steps, seed=5)
+    for mode in ("tsc", "ltstmt"):
+        prof = analyze_trace(timestamp_trace(res.trace, mode))
+        total = prof.total_time()
+        leaves = sum(prof.metric_total(m) for m in TIME_LEAVES)
+        assert leaves == pytest.approx(total, rel=1e-9)
+        for metric in prof.metrics:
+            for v in prof.cells(metric).values():
+                assert v >= -1e-9, metric
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(program_strategy)
+def test_jaccard_bounds_on_real_profiles(steps):
+    res = _run(steps, seed=7)
+    a = analyze_trace(timestamp_trace(res.trace, "tsc"))
+    b = analyze_trace(timestamp_trace(res.trace, "lt1"))
+    j = jaccard_metric_callpath(a, b)
+    assert 0.0 <= j <= 1.0
+    assert jaccard_metric_callpath(a, a) == pytest.approx(1.0)

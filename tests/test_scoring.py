@@ -1,0 +1,109 @@
+"""Tests for the generalized Jaccard score (paper Sec. V-B)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cube import CubeProfile, SystemTree
+from repro.scoring import (
+    jaccard,
+    jaccard_callpaths_for_metric,
+    jaccard_metric_callpath,
+    min_pairwise_jaccard,
+)
+
+nonneg = st.dictionaries(
+    st.text(min_size=1, max_size=4),
+    st.floats(min_value=0.0, max_value=1e6),
+    max_size=10,
+)
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard({"a": 1.0, "b": 2.0}, {"a": 1.0, "b": 2.0}) == 1.0
+
+    def test_disjoint_support_zero(self):
+        assert jaccard({"a": 1.0}, {"b": 1.0}) == 0.0
+
+    def test_both_empty_is_one(self):
+        assert jaccard({}, {}) == 1.0
+
+    def test_partial_overlap(self):
+        # min-sum = 1, max-sum = 3
+        assert jaccard({"a": 2.0}, {"a": 1.0, "b": 1.0}) == pytest.approx(1.0 / 3.0)
+
+    def test_known_value_from_definition(self):
+        a = {"x": 3.0, "y": 1.0}
+        b = {"x": 1.0, "y": 2.0}
+        assert jaccard(a, b) == pytest.approx((1 + 1) / (3 + 2))
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            jaccard({"a": -1.0}, {"a": 1.0})
+
+    @given(nonneg, nonneg)
+    @settings(max_examples=60)
+    def test_bounds(self, a, b):
+        j = jaccard(a, b)
+        assert 0.0 <= j <= 1.0
+
+    @given(nonneg, nonneg)
+    @settings(max_examples=60)
+    def test_symmetry(self, a, b):
+        assert jaccard(a, b) == pytest.approx(jaccard(b, a))
+
+    @given(nonneg)
+    @settings(max_examples=60)
+    def test_self_similarity(self, a):
+        assert jaccard(a, a) == pytest.approx(1.0)
+
+    @given(nonneg, st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=40)
+    def test_scale_sensitivity(self, a, factor):
+        """Scaling one argument reduces similarity unless factor == 1."""
+        if not a or all(v == 0 for v in a.values()):
+            return
+        scaled = {k: v * factor for k, v in a.items()}
+        expected = min(factor, 1 / factor)
+        assert jaccard(a, scaled) == pytest.approx(expected, rel=1e-6)
+
+
+def _profile(values, time_metrics=("comp", "wait")):
+    p = CubeProfile(SystemTree([(0, 0)]), time_metrics)
+    for (metric, path), v in values.items():
+        p.add(metric, path, 0, v)
+    return p
+
+
+class TestProfileJaccard:
+    def test_identical_profiles(self):
+        p = _profile({("comp", ("main",)): 5.0, ("wait", ("main",)): 1.0})
+        assert jaccard_metric_callpath(p, p) == pytest.approx(1.0)
+
+    def test_normalisation_removes_units(self):
+        """Profiles measured in different units but identical shape score 1."""
+        a = _profile({("comp", ("f",)): 5.0, ("comp", ("g",)): 5.0})
+        b = _profile({("comp", ("f",)): 500.0, ("comp", ("g",)): 500.0})
+        assert jaccard_metric_callpath(a, b) == pytest.approx(1.0)
+
+    def test_different_attribution_scores_low(self):
+        a = _profile({("comp", ("f",)): 10.0})
+        b = _profile({("comp", ("g",)): 10.0})
+        assert jaccard_metric_callpath(a, b) == pytest.approx(0.0)
+
+    def test_callpath_score_for_metric(self):
+        a = _profile({("comp", ("f",)): 8.0, ("comp", ("g",)): 2.0})
+        b = _profile({("comp", ("f",)): 2.0, ("comp", ("g",)): 8.0})
+        j = jaccard_callpaths_for_metric(a, b, "comp")
+        assert j == pytest.approx((20 + 20) / (80 + 80))
+
+    def test_min_pairwise_single(self):
+        p = _profile({("comp", ("f",)): 1.0})
+        assert min_pairwise_jaccard([p]) == 1.0
+
+    def test_min_pairwise_detects_outlier(self):
+        a = _profile({("comp", ("f",)): 1.0})
+        b = _profile({("comp", ("f",)): 1.0})
+        c = _profile({("comp", ("g",)): 1.0})
+        assert min_pairwise_jaccard([a, b]) == pytest.approx(1.0)
+        assert min_pairwise_jaccard([a, b, c]) == pytest.approx(0.0)

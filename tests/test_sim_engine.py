@@ -1,0 +1,335 @@
+"""Tests for the discrete-event engine: MPI semantics, OpenMP, bursts."""
+
+import pytest
+
+from repro.machine import small_test_cluster
+from repro.machine.noise import NoiseModel, ZeroNoise
+from repro.measure import Measurement
+from repro.sim import (
+    Allreduce,
+    Barrier,
+    CallBurst,
+    Compute,
+    CostModel,
+    Engine,
+    Enter,
+    Irecv,
+    Isend,
+    KernelSpec,
+    Leave,
+    ParallelFor,
+    Program,
+    Recv,
+    Send,
+    Wait,
+    Waitall,
+)
+from repro.sim.events import (
+    COLL_END,
+    ENTER,
+    LEAVE,
+    MPI_RECV,
+    MPI_SEND,
+    OBAR_LEAVE,
+    TEAM_BEGIN,
+)
+
+K = KernelSpec.balanced("k", flops_per_unit=1e5, bytes_per_unit=0.0, memory_scope="none")
+KL = KernelSpec("kl", flops_per_unit=1e5, omp_iters_per_unit=1.0, bb_per_unit=3,
+                stmt_per_unit=9, instr_per_unit=20, memory_scope="none")
+
+
+class _P(Program):
+    """Program built from a per-rank script function."""
+
+    name = "test"
+    phases = ("main",)
+
+    def __init__(self, script, n_ranks=2, threads=1):
+        self.script = script
+        self.n_ranks = n_ranks
+        self.threads_per_rank = threads
+
+    def make_rank(self, ctx):
+        yield Enter("main")
+        yield from self.script(ctx)
+        yield Leave("main")
+
+
+def run(script, cost, n_ranks=2, threads=1, mode=None):
+    p = _P(script, n_ranks=n_ranks, threads=threads)
+    cl = cost.cluster
+    m = Measurement(mode) if mode else None
+    return Engine(p, cl, cost, measurement=m).run()
+
+
+class TestComputeAndRegions:
+    def test_compute_advances_time(self, quiet_cost):
+        def script(ctx):
+            yield Compute(K, 10)
+
+        res = run(script, quiet_cost, n_ranks=1)
+        expected = 10 * 1e5 / quiet_cost.cluster.flops_per_core
+        assert res.runtime == pytest.approx(expected, rel=1e-6)
+
+    def test_phase_times_tracked_without_measurement(self, quiet_cost):
+        def script(ctx):
+            yield Compute(K, 5)
+
+        res = run(script, quiet_cost, n_ranks=1)
+        assert res.phase("main") == pytest.approx(res.runtime)
+
+    def test_unknown_phase_raises(self, quiet_cost):
+        def script(ctx):
+            yield Compute(K, 1)
+
+        res = run(script, quiet_cost, n_ranks=1)
+        with pytest.raises(KeyError):
+            res.phase("nope")
+
+    def test_mismatched_leave_raises(self, quiet_cost):
+        def script(ctx):
+            yield Enter("a")
+            yield Leave("b")
+
+        with pytest.raises(RuntimeError, match="does not match"):
+            run(script, quiet_cost, n_ranks=1)
+
+    def test_events_recorded_in_order(self, quiet_cost):
+        def script(ctx):
+            yield Enter("f")
+            yield Compute(K, 5)
+            yield Leave("f")
+
+        res = run(script, quiet_cost, n_ranks=1, mode="tsc")
+        res.trace.validate()
+        types = [e.etype for e in res.trace.events[0]]
+        assert types == [ENTER, ENTER, LEAVE, LEAVE]
+
+
+class TestPointToPoint:
+    def test_blocking_send_recv(self, quiet_cost):
+        def script(ctx):
+            if ctx.rank == 0:
+                yield Send(dest=1, tag=1, nbytes=100)
+            else:
+                yield Recv(source=0, tag=1)
+
+        res = run(script, quiet_cost, mode="tsc")
+        evs = [e.etype for e in res.trace.events[1]]
+        assert MPI_RECV in evs
+
+    def test_late_sender_receiver_blocks(self, quiet_cost):
+        def script(ctx):
+            if ctx.rank == 0:
+                yield Compute(K, 1000)  # sender is late
+                yield Send(dest=1, tag=1, nbytes=100)
+            else:
+                yield Recv(source=0, tag=1)
+
+        res = run(script, quiet_cost)
+        # both ranks end at roughly the sender's compute time
+        assert res.rank_end_times[1] >= res.rank_end_times[0] * 0.99
+
+    def test_rendezvous_blocks_sender(self, quiet_cost):
+        big = 10**6  # above the eager threshold
+
+        def script(ctx):
+            if ctx.rank == 0:
+                yield Send(dest=1, tag=1, nbytes=big)
+            else:
+                yield Compute(K, 1000)  # receiver is late
+                yield Recv(source=0, tag=1)
+
+        res = run(script, quiet_cost)
+        compute_t = 1000 * 1e5 / quiet_cost.cluster.flops_per_core
+        assert res.rank_end_times[0] >= compute_t  # sender waited
+
+    def test_eager_send_does_not_block(self, quiet_cost):
+        def script(ctx):
+            if ctx.rank == 0:
+                yield Send(dest=1, tag=1, nbytes=64)
+            else:
+                yield Compute(K, 1000)
+                yield Recv(source=0, tag=1)
+
+        res = run(script, quiet_cost)
+        compute_t = 1000 * 1e5 / quiet_cost.cluster.flops_per_core
+        assert res.rank_end_times[0] < compute_t / 10  # sender long gone
+
+    def test_nonblocking_waitall(self, quiet_cost):
+        def script(ctx):
+            other = 1 - ctx.rank
+            r1 = yield Irecv(source=other, tag=2)
+            r2 = yield Isend(dest=other, tag=2, nbytes=128)
+            yield Waitall([r1, r2])
+
+        res = run(script, quiet_cost, mode="tsc")
+        res.trace.validate()
+        for loc in (0, 1):
+            assert any(e.etype == MPI_RECV for e in res.trace.events[loc])
+
+    def test_single_wait(self, quiet_cost):
+        def script(ctx):
+            other = 1 - ctx.rank
+            r = yield Irecv(source=other, tag=3)
+            yield Isend(dest=other, tag=3, nbytes=8)
+            yield Wait(r)
+
+        run(script, quiet_cost)  # must not deadlock
+
+    def test_message_ordering_fifo(self, quiet_cost):
+        received = []
+
+        def script(ctx):
+            if ctx.rank == 0:
+                yield Send(dest=1, tag=1, nbytes=8)
+                yield Send(dest=1, tag=1, nbytes=8)
+            else:
+                yield Recv(source=0, tag=1)
+                yield Recv(source=0, tag=1)
+
+        run(script, quiet_cost)  # FIFO matching must not deadlock
+
+    def test_deadlock_detected(self, quiet_cost):
+        def script(ctx):
+            yield Recv(source=1 - ctx.rank, tag=9)  # nobody sends
+
+        with pytest.raises(RuntimeError, match="deadlock"):
+            run(script, quiet_cost)
+
+
+class TestCollectives:
+    def test_allreduce_synchronizes(self, quiet_cost):
+        def script(ctx):
+            yield Compute(K, 100 * (1 + ctx.rank))
+            yield Allreduce()
+
+        res = run(script, quiet_cost)
+        assert res.rank_end_times[0] == pytest.approx(res.rank_end_times[1], rel=1e-9)
+
+    def test_barrier(self, quiet_cost):
+        def script(ctx):
+            yield Compute(K, 10 * (1 + ctx.rank))
+            yield Barrier()
+
+        res = run(script, quiet_cost)
+        assert res.rank_end_times[0] == pytest.approx(res.rank_end_times[1], rel=1e-9)
+
+    def test_collective_mismatch_raises(self, quiet_cost):
+        def script(ctx):
+            if ctx.rank == 0:
+                yield Allreduce()
+            else:
+                yield Barrier()
+
+        with pytest.raises(RuntimeError, match="collective mismatch"):
+            run(script, quiet_cost)
+
+    def test_coll_end_events_carry_group(self, quiet_cost):
+        def script(ctx):
+            yield Allreduce()
+
+        res = run(script, quiet_cost, mode="tsc")
+        ends = [e for loc in range(2) for e in res.trace.events[loc] if e.etype == COLL_END]
+        assert len(ends) == 2
+        assert all(e.aux[1] == 2 for e in ends)
+
+    def test_represents_scales_cost(self, quiet_cost):
+        def script_r(ctx):
+            yield Allreduce(represents=100.0)
+
+        def script_1(ctx):
+            yield Allreduce()
+
+        r100 = run(script_r, quiet_cost)
+        r1 = run(script_1, quiet_cost)
+        assert r100.runtime > r1.runtime * 10
+
+
+class TestOpenMP:
+    def test_parallel_for_speedup(self, quiet_cost):
+        def script(ctx):
+            yield ParallelFor("loop", KL, total_units=4000)
+
+        serial = run(script, quiet_cost, n_ranks=1, threads=1).runtime
+        parallel = run(script, quiet_cost, n_ranks=1, threads=4).runtime
+        assert parallel < serial / 2  # not 4x because of fork/join cost
+
+    def test_thread_events_emitted(self, quiet_cost):
+        def script(ctx):
+            yield ParallelFor("loop", KL, total_units=100)
+
+        res = run(script, quiet_cost, n_ranks=1, threads=2, mode="tsc")
+        res.trace.validate()
+        worker = res.trace.events[1]
+        types = [e.etype for e in worker]
+        assert types[0] == TEAM_BEGIN
+        assert OBAR_LEAVE in types
+
+    def test_shares_must_match_thread_count(self, quiet_cost):
+        def script(ctx):
+            yield ParallelFor("loop", KL, total_units=100, shares=(1.0,))
+
+        with pytest.raises(ValueError, match="shares"):
+            run(script, quiet_cost, n_ranks=1, threads=2)
+
+    def test_imbalanced_shares_cause_barrier_gap(self, quiet_cost):
+        def script(ctx):
+            yield ParallelFor("loop", KL, total_units=1000, shares=(3.0, 1.0))
+
+        res = run(script, quiet_cost, n_ranks=1, threads=2, mode="tsc")
+        tr = res.trace
+        # worker (thread 1) waits at the implicit barrier for thread 0
+        worker = tr.events[1]
+        enter = next(e for e in worker if e.etype == 9)  # OBAR_ENTER
+        leave = next(e for e in worker if e.etype == OBAR_LEAVE)
+        assert leave.t - enter.t > 0
+
+    def test_represents_scales_construct_cost(self, quiet_cost):
+        def script_r(ctx):
+            yield ParallelFor("loop", KL, total_units=100, represents=50.0)
+
+        def script_1(ctx):
+            yield ParallelFor("loop", KL, total_units=100)
+
+        r = run(script_r, quiet_cost, n_ranks=1, threads=2)
+        one = run(script_1, quiet_cost, n_ranks=1, threads=2)
+        assert r.runtime > one.runtime
+
+
+class TestBursts:
+    def test_burst_records_single_event(self, quiet_cost):
+        def script(ctx):
+            yield Enter("phase")
+            yield CallBurst("op()", calls=1000, kernel=K, units=10)
+            yield Leave("phase")
+
+        res = run(script, quiet_cost, n_ranks=1, mode="tsc")
+        bursts = [e for e in res.trace.events[0] if e.etype == 2]
+        assert len(bursts) == 1
+        assert bursts[0].delta.burst_calls == 1000
+
+    def test_burst_pays_per_call_event_cost(self, cluster):
+        cost = CostModel(cluster, noise=NoiseModel(ZeroNoise(), seed=1))
+
+        def script(ctx):
+            yield CallBurst("op()", calls=100000, kernel=K, units=1)
+
+        ref = run(script, cost, n_ranks=1)
+        instr = run(script, cost, n_ranks=1, mode="tsc")
+        assert instr.runtime > ref.runtime * 1.5  # 2e5 events x event cost
+
+
+class TestDeterminism:
+    def test_zero_noise_runs_identical(self, cluster):
+        def script(ctx):
+            yield Compute(K, 50)
+            yield Allreduce()
+            yield ParallelFor("l", KL, total_units=100)
+
+        c1 = CostModel(cluster, noise=NoiseModel(ZeroNoise(), seed=1))
+        c2 = CostModel(cluster, noise=NoiseModel(ZeroNoise(), seed=99))
+        r1 = run(script, c1, threads=2)
+        r2 = run(script, c2, threads=2)
+        assert r1.runtime == r2.runtime
