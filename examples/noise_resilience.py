@@ -19,7 +19,7 @@ from repro.machine import jureca_dc
 from repro.machine.noise import NoiseConfig, NoiseModel
 from repro.measure import Measurement
 from repro.miniapps.minife import MiniFE, MiniFEConfig
-from repro.scoring import jaccard_metric_callpath, min_pairwise_jaccard
+from repro.scoring import min_pairwise_jaccard
 from repro.sim import CostModel, Engine
 from repro.util.tables import format_table
 

@@ -10,7 +10,7 @@ Run:  python examples/quickstart.py
 from repro import quick_measure, jureca_dc
 from repro.analysis import COMP, MPI_COLL_WAIT_NXN, render_metric_tree
 from repro.measure import MODES, MODE_LABELS
-from repro.sim import Allreduce, Compute, Enter, KernelSpec, Leave, ParallelFor, Program
+from repro.sim import Allreduce, Enter, KernelSpec, Leave, ParallelFor, Program
 from repro.util.tables import format_table
 
 # A compute kernel: flops/bytes drive the physical clock, the static

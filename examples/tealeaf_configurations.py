@@ -10,7 +10,6 @@ while the 128-rank configuration shifts its cost into MPI waiting.
 Run:  python examples/tealeaf_configurations.py
 """
 
-import numpy as np
 
 from repro.analysis import MPI_COLL_WAIT_NXN, analyze_trace, group_totals
 from repro.clocks import timestamp_trace

@@ -8,7 +8,7 @@ semantics unit-testable independent of the trace walker.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 __all__ = ["nxn_waits", "barrier_split", "late_sender_wait", "late_receiver_wait"]
 

@@ -5,6 +5,8 @@
 * ``repro-analyze``  -- analyze a trace archive into a Cube profile.
 * ``repro-score``    -- generalized Jaccard score of two profiles.
 * ``repro-report``   -- regenerate the paper's tables/figures.
+* ``repro-lint``     -- statically lint experiment programs / sanitize
+  trace archives (see ``docs/verify.md``).
 """
 
 from __future__ import annotations
@@ -13,7 +15,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-__all__ = ["main_run", "main_analyze", "main_score", "main_report"]
+__all__ = ["main_run", "main_analyze", "main_score", "main_report", "main_lint"]
 
 
 def main_run(argv: Optional[List[str]] = None) -> int:
@@ -121,6 +123,130 @@ def main_report(argv: Optional[List[str]] = None) -> int:
         print(text)
         print()
     return 0
+
+
+def main_lint(argv: Optional[List[str]] = None) -> int:
+    """Static program linter + trace sanitizer.
+
+    ``repro-lint NAME...`` dry-runs the named experiment programs (or
+    lint fixtures via ``--fixture``) and reports MPI/OpenMP misuse;
+    ``repro-lint --trace ARCHIVE`` sanitizes a recorded trace archive
+    against the happened-before invariants for every clock mode.
+    Exit status: 0 clean, 1 errors found (or warnings under
+    ``--strict``), 2 usage error.
+    """
+    import json as _json
+
+    from repro.verify import (
+        FIXTURES,
+        fixture_names,
+        lint_program,
+        make_fixture,
+        sanitize_trace,
+        worst_severity,
+    )
+
+    parser = argparse.ArgumentParser(prog="repro-lint", description=main_lint.__doc__)
+    parser.add_argument("names", nargs="*",
+                        help="experiment names to lint (see repro-run); "
+                             "'all' lints every experiment")
+    parser.add_argument("--trace", action="append", default=[],
+                        metavar="ARCHIVE",
+                        help="sanitize a trace archive written by repro-run "
+                             "(repeatable)")
+    parser.add_argument("--fixture", action="append", default=[],
+                        metavar="NAME",
+                        help="lint a built-in buggy fixture program "
+                             f"(one of: {', '.join(fixture_names())})")
+    parser.add_argument("--selftest", action="store_true",
+                        help="lint every built-in fixture and check that "
+                             "exactly the expected rules fire")
+    parser.add_argument("--mode", action="append", default=[],
+                        help="restrict --trace timestamp checks to these "
+                             "clock modes (repeatable; default: all)")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable diagnostics on stdout")
+    parser.add_argument("--strict", action="store_true",
+                        help="treat warnings as failures")
+    args = parser.parse_args(argv)
+
+    if not (args.names or args.trace or args.fixture or args.selftest):
+        parser.error("nothing to lint: give experiment names, --trace, "
+                     "--fixture or --selftest")
+
+    reports = []  # (label, report) pairs; report has .diagnostics/.format()
+    failed = False
+
+    if args.selftest:
+        ok = True
+        for fx in FIXTURES.values():
+            got = lint_program(fx.make()).rule_ids()
+            if got != set(fx.expected_rules):
+                ok = False
+                print(f"selftest {fx.name}: expected "
+                      f"{sorted(fx.expected_rules)}, got {sorted(got)}")
+        print(f"selftest: {len(FIXTURES)} fixtures "
+              f"{'ok' if ok else 'FAILED'}")
+        failed |= not ok
+
+    names = list(args.names)
+    if "all" in names:
+        from repro.experiments.configs import experiment_names
+
+        names = experiment_names()
+    for name in names:
+        from repro.experiments.configs import experiment_names, make_app
+
+        if name not in experiment_names():
+            parser.error(f"unknown experiment {name!r}; "
+                         f"known: {experiment_names()}")
+        reports.append((name, lint_program(make_app(name))))
+    for name in args.fixture:
+        try:
+            program = make_fixture(name)
+        except KeyError as exc:
+            parser.error(str(exc))
+        reports.append((f"fixture:{name}", lint_program(program)))
+
+    from repro.measure.config import validate_mode
+
+    try:
+        modes = tuple(validate_mode(m) for m in args.mode) or None
+    except ValueError as exc:
+        parser.error(str(exc))
+    for path in args.trace:
+        from repro.measure import read_trace
+
+        try:
+            trace = read_trace(path)
+        except OSError as exc:
+            parser.error(f"cannot read trace archive {path!r}: {exc}")
+        reports.append((path, sanitize_trace(trace, modes=modes)))
+
+    for label, report in reports:
+        worst = worst_severity(report.diagnostics)
+        bad = worst == "error" or (args.strict and worst == "warning")
+        failed |= bad
+        if args.json:
+            print(_json.dumps({
+                "target": label,
+                "ok": not bad,
+                "diagnostics": [
+                    {
+                        "rule": d.rule_id,
+                        "severity": d.severity,
+                        "message": d.message,
+                        "rank": d.rank,
+                        "location": d.location,
+                        "call_path": list(d.call_path),
+                        "mode": d.mode,
+                    }
+                    for d in report.diagnostics
+                ],
+            }))
+        else:
+            print(report.format())
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -8,7 +8,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.machine.noise import CounterNoise, NoiseConfig
-from repro.measure.config import LT1, LTBB, LTHWCTR, LTLOOP, LTSTMT, TSC, validate_mode
+from repro.measure.config import LTHWCTR, TSC, validate_mode
 from repro.measure.trace import RawTrace
 from repro.util.rng import RngStreams
 

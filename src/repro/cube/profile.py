@@ -16,7 +16,7 @@ repetitions.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.cube.calltree import CallPath, CallTree
 from repro.cube.systemtree import SystemTree

@@ -8,14 +8,14 @@ the numbers and print the same rows/series the paper reports.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.analysis import metrics as M
 from repro.analysis.metrics import group_totals, render_metric_tree
 from repro.cube import CubeProfile
-from repro.experiments.workflow import ExperimentResult, run_experiment
+from repro.experiments.workflow import run_experiment
 from repro.measure.config import MODE_LABELS, MODES, NOISY_MODES, TSC
 from repro.scoring import jaccard_metric_callpath, min_pairwise_jaccard
 from repro.util.tables import format_grouped_bars, format_table

@@ -24,12 +24,18 @@ from repro.clocks import timestamp_trace
 from repro.cube import CubeProfile, read_profile, write_profile
 from repro.experiments.configs import EXPERIMENTS, make_app, make_cluster
 from repro.machine.noise import NoiseConfig, NoiseModel
-from repro.measure import MODES, Measurement, OverheadModel
-from repro.measure.config import NOISY_MODES, TSC
+from repro.measure import MODES, Measurement
+from repro.measure.config import NOISY_MODES
 from repro.sim import CostModel, Engine
 from repro.util.rng import stream_seed
 
-__all__ = ["ExperimentResult", "run_experiment", "clear_cache", "CACHE_VERSION"]
+__all__ = [
+    "ExperimentResult",
+    "preflight_lint",
+    "run_experiment",
+    "clear_cache",
+    "CACHE_VERSION",
+]
 
 #: bump to invalidate cached results after calibration/code changes
 CACHE_VERSION = 3
@@ -83,11 +89,31 @@ def _run_once(name: str, mode: Optional[str], seed: int, rep: int):
     return engine.run()
 
 
+def preflight_lint(name: str) -> None:
+    """Statically lint the experiment's mini-app before burning CPU on it.
+
+    Raises :class:`repro.verify.VerificationError` when the linter finds
+    an error-severity diagnostic (warnings are tolerated); a buggy
+    program would otherwise deadlock or corrupt the archive hours into
+    the measurement campaign.
+    """
+    from repro.verify import VerificationError, lint_program
+
+    report = lint_program(make_app(name))
+    if not report.ok:
+        raise VerificationError(
+            f"pre-flight lint of {name!r} found "
+            f"{len(report.errors)} error(s)",
+            report.diagnostics,
+        )
+
+
 def run_experiment(
     name: str,
     seed: int = 0,
     use_cache: bool = True,
     verbose: bool = False,
+    preflight: bool = True,
 ) -> ExperimentResult:
     """Run (or load from cache) the complete workflow for ``name``."""
     spec = EXPERIMENTS[name]
@@ -97,6 +123,9 @@ def run_experiment(
             return _load(cache, name, seed)
         except Exception:
             shutil.rmtree(cache, ignore_errors=True)
+
+    if preflight:
+        preflight_lint(name)
 
     ref_runtimes: List[float] = []
     ref_phases: Dict[str, List[float]] = {p: [] for p in spec.phases}

@@ -11,10 +11,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.machine.topology import Cluster, Pinning
-from repro.util.validation import check_nonnegative, check_positive
+from repro.util.validation import check_nonnegative
 
 __all__ = ["NetworkModel", "CollectiveCostModel"]
 

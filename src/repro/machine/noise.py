@@ -22,8 +22,7 @@ repetition) pair fully determines every noise realization.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -9,8 +9,8 @@ per NUMA domain; LULESH-2 deliberately fills domains unevenly).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
 
 from repro.util.validation import check_positive
 

@@ -14,7 +14,7 @@ Rules follow the Score-P filter-file spirit: an ordered list of
 from __future__ import annotations
 
 import fnmatch
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 __all__ = ["FilterRules"]
 

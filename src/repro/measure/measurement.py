@@ -26,6 +26,7 @@ class Measurement:
         mode: str,
         overhead: Optional[OverheadModel] = None,
         filter_rules: Optional[FilterRules] = None,
+        sanitize: bool = False,
     ):
         self.mode = validate_mode(mode)
         self.overhead = overhead if overhead is not None else OverheadModel()
@@ -35,6 +36,14 @@ class Measurement:
         self._engine = None
         self._footprint = 0.0
         self._finished = False
+        self._sanitize = sanitize
+        self._sanitizer = None
+
+    def enable_sanitize(self) -> None:
+        """Opt in to online invariant checking (before the engine run)."""
+        if self._engine is not None:
+            raise RuntimeError("enable_sanitize() must precede begin()")
+        self._sanitize = True
 
     # -- engine hookup ----------------------------------------------------
     def begin(self, engine) -> None:
@@ -52,8 +61,14 @@ class Measurement:
             sockets[sid] = sockets.get(sid, 0) + 1
         per_socket = (len(locs) / len(sockets)) if sockets else 0.0
         self._footprint = self.overhead.footprint(self.mode, per_socket)
+        if self._sanitize:
+            from repro.verify.online import OnlineSanitizer
+
+            self._sanitizer = OnlineSanitizer(region_names=engine.regions.name)
 
     def record(self, loc: int, ev: Ev) -> None:
+        if self._sanitizer is not None:
+            self._sanitizer.observe(loc, ev)
         self._events[loc].append(ev)
 
     def finish(self, runtime: float) -> RawTrace:
@@ -63,6 +78,8 @@ class Measurement:
         if self._finished:
             raise RuntimeError("finish() called twice")
         self._finished = True
+        if self._sanitizer is not None:
+            self._sanitizer.final_check()
         return RawTrace(
             mode=self.mode,
             regions=self._engine.regions,

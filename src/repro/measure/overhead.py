@@ -30,10 +30,15 @@ paper's Sec. V-A:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict
+from dataclasses import dataclass
 
-from repro.measure.config import LOGICAL_MODES, LTBB, LTHWCTR, LTSTMT, MODES, TSC, validate_mode
+from repro.measure.config import (
+    LOGICAL_MODES,
+    LTBB,
+    LTHWCTR,
+    LTSTMT,
+    validate_mode,
+)
 from repro.sim.kernels import WorkDelta
 
 __all__ = ["OverheadModel"]

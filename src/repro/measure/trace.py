@@ -105,15 +105,24 @@ class RawTrace:
                 heapq.heappush(iters, (nxt.t, loc, nxt, it))
 
     def validate(self) -> None:
-        """Check per-location monotonicity and matching consistency."""
-        for loc, evs in enumerate(self.events):
-            prev = -float("inf")
-            for ev in evs:
-                if ev.t < prev - 1e-15:
-                    raise AssertionError(
-                        f"location {loc}: event {ev!r} out of order (prev t={prev})"
-                    )
-                prev = ev.t
+        """Check per-location monotonicity and matching consistency.
+
+        Runs the full structural pass of the trace sanitizer
+        (:func:`repro.verify.sanitize_raw`): per-location monotonicity,
+        ENTER/LEAVE stack discipline, send/recv match-id integrity and
+        collective-epoch consistency.  Raises ``AssertionError`` on the
+        first rule violation (preserving the historical contract of this
+        method); use :func:`repro.verify.sanitize_trace` directly for a
+        structured report instead of an exception.
+        """
+        from repro.verify.diagnostics import format_diagnostics, has_errors
+        from repro.verify.sanitizer import sanitize_raw
+
+        diagnostics = sanitize_raw(self)
+        if has_errors(diagnostics):
+            raise AssertionError(format_diagnostics(
+                diagnostics, header="trace failed validation:"
+            ))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

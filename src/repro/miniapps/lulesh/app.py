@@ -32,7 +32,7 @@ Configurations:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, Tuple
+from typing import Generator
 
 from repro.miniapps import base
 from repro.miniapps.lulesh import calibration as C

@@ -25,7 +25,7 @@ The two configurations of the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Generator
 
 import numpy as np

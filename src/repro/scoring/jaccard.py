@@ -18,7 +18,7 @@ Two instantiations are used in the evaluation:
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Dict, Hashable, Mapping, Optional, Sequence
+from typing import Hashable, Mapping, Optional, Sequence
 
 from repro.analysis import metrics as M
 from repro.cube.profile import CubeProfile

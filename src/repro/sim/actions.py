@@ -10,7 +10,7 @@ parallel loops with fork/join and implicit barriers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 import numpy as np

@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from repro.machine.network import CollectiveCostModel, NetworkModel
-from repro.machine.topology import Cluster, Pinning
+from repro.machine.topology import Cluster
 from repro.sim import actions as A
 from repro.sim.costmodel import ComputeContext, CostModel, OmpCostModel
 from repro.sim.events import (
@@ -114,6 +114,7 @@ class _RankState:
         "wait_requests",
         "wait_region",
         "epoch",
+        "block_site",
     )
 
     def __init__(self, rank: int, gen: Generator, n_threads: int):
@@ -132,6 +133,8 @@ class _RankState:
         self.wait_requests: List[int] = []
         self.wait_region: int = -1
         self.epoch = 0  # bumped on every resume to invalidate stale heap entries
+        #: (action description, call-path snapshot) of the current block site
+        self.block_site: Optional[Tuple[str, Tuple[str, ...]]] = None
 
     def flush_delta(self) -> WorkDelta:
         d = self.pending_delta
@@ -166,6 +169,10 @@ class Engine:
     measurement:
         A measurement object from :mod:`repro.measure`, or ``None`` for an
         uninstrumented reference run.
+    sanitize:
+        When true, the measurement checks trace invariants online as
+        events are emitted (see :mod:`repro.verify.online`); requires a
+        measurement object.
     """
 
     def __init__(
@@ -176,6 +183,7 @@ class Engine:
         measurement=None,
         config: Optional[EngineConfig] = None,
         network: Optional[NetworkModel] = None,
+        sanitize: bool = False,
     ):
         self.program = program
         self.cluster = cluster
@@ -197,7 +205,11 @@ class Engine:
         self.n_locations = base
 
         # Measurement feedback, cached for the hot path.
+        if sanitize and measurement is None:
+            raise ValueError("sanitize=True requires a measurement object")
         if measurement is not None:
+            if sanitize:
+                measurement.enable_sanitize()
             measurement.begin(self)
             self.ev_cost = measurement.event_cost()
             self._mpi_sync_cost = measurement.mpi_sync_cost()
@@ -354,11 +366,7 @@ class Engine:
             if self._step(state):
                 n_done += 1
         if n_done != n_ranks:
-            stuck = [r for r, s in self._ranks.items() if not s.done]
-            raise RuntimeError(
-                f"deadlock: ranks {stuck} blocked at end of simulation "
-                f"(unmatched communication in {self.program.name!r})"
-            )
+            raise self._deadlock_error()
 
         runtime = max(self._rank_time.values()) if self._rank_time else 0.0
         phases = {}
@@ -375,6 +383,24 @@ class Engine:
             trace=trace,
         )
 
+    def _deadlock_error(self) -> RuntimeError:
+        """Per stuck rank: the blocked MPI action and its call path."""
+        from repro.verify.diagnostics import Diagnostic, format_diagnostics
+
+        stuck = sorted(r for r, s in self._ranks.items() if not s.done)
+        diags = []
+        for r in stuck:
+            s = self._ranks[r]
+            desc, path = s.block_site or ("<unknown action>", tuple(s.stack))
+            diags.append(Diagnostic(
+                "MPI008", f"blocked on {desc}", rank=r, call_path=path
+            ))
+        header = (
+            f"deadlock: ranks {stuck} blocked at end of simulation "
+            f"(unmatched communication in {self.program.name!r})"
+        )
+        return RuntimeError(format_diagnostics(diags, header=header))
+
     def _push(self, state: _RankState) -> None:
         self._seq += 1
         heapq.heappush(self._heap, (state.t, self._seq, state.rank, state.epoch))
@@ -382,6 +408,7 @@ class Engine:
     def _resume(self, state: _RankState, t: float, result: Any = None) -> None:
         state.t = t
         state.blocked = False
+        state.block_site = None
         state.epoch += 1
         state.pending_result = result
         self._rank_time[state.rank] = t
@@ -608,6 +635,11 @@ class Engine:
             entry["sender"] = state
             entry["pending_leave"] = (rid, t0)
             state.blocked = True
+            state.block_site = (
+                f"Send(dest={action.dest}, tag={action.tag}, "
+                f"nbytes={nbytes:g}) [rendezvous, no matching recv]",
+                tuple(state.stack),
+            )
         else:
             self._mpi_leave(state, rid, state.t + self.config.mpi_call_overhead + self._mpi_sync_cost, t0)
             state.pending_result = req.rid
@@ -631,6 +663,11 @@ class Engine:
             entry["parked"] = True
             ch["recvs"].append(entry)
             state.blocked = True
+            state.block_site = (
+                f"Recv(source={action.source}, tag={action.tag}) "
+                "[no matching send]",
+                tuple(state.stack),
+            )
 
     def _do_irecv(self, state: _RankState, action: A.Irecv) -> None:
         rid = self._mpi_enter(state, "MPI_Irecv")
@@ -710,10 +747,17 @@ class Engine:
     def _try_finish_wait(self, state: _RankState) -> None:
         reqs = [state.requests[i] for i in state.wait_requests]
         if any(r.complete_t is None for r in reqs):
+            pending = []
             for r in reqs:
                 if r.complete_t is None:
                     r.waiter = state
+                    pending.append(f"{r.kind} request #{r.rid}")
             state.blocked = True
+            state.block_site = (
+                f"{self.regions.name(state.wait_region)} on "
+                f"{len(pending)} incomplete request(s): {', '.join(pending)}",
+                tuple(state.stack),
+            )
             return
         t0 = state.wait_t0
         end = max([t0] + [r.complete_t for r in reqs]) + self.config.mpi_call_overhead
@@ -766,6 +810,12 @@ class Engine:
         inst["enters"][state.rank] = state.t
         inst["rid"][state.rank] = rid
         state.blocked = True
+        missing = self.pinning.n_ranks - len(inst["enters"])
+        state.block_site = (
+            f"{region} (collective sequence {seq}, "
+            f"waiting for {missing} more rank(s))",
+            tuple(state.stack),
+        )
         if len(inst["enters"]) == self.pinning.n_ranks:
             self._complete_collective(seq, inst)
 

@@ -30,7 +30,7 @@ delta hangs on the event *ending* the interval in which the work happened.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 from repro.sim.kernels import WorkDelta, EMPTY_DELTA
 

@@ -27,8 +27,7 @@ lt_hwctr   +Delta(instruction counter), spin-wait instructions included
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass, replace
 
 from repro.util.validation import check_nonnegative
 

@@ -28,12 +28,11 @@ waits scale linearly in sigma x total work.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.sim.actions import ParallelFor
-from repro.sim.costmodel import ComputeContext
 from repro.sim.events import (
     ENTER,
     FORK,

@@ -9,7 +9,7 @@ timing, working-set size for the cache model).  The three mini-apps in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, Iterable, Optional, Tuple
+from typing import Generator, Tuple
 
 from repro.machine.topology import Cluster, Pinning
 from repro.util.validation import check_positive

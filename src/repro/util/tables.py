@@ -6,7 +6,7 @@ output can be diffed against the paper and recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 __all__ = ["format_table", "format_grouped_bars"]
 

@@ -1,0 +1,181 @@
+"""Symbolic dry-run of rank generator programs.
+
+The linter needs each rank's *action sequence* without paying for a full
+simulation: no cost model, no noise, no virtual time.  A rank generator
+only ever consumes the request ids the engine feeds back for
+``Isend``/``Irecv``, so driving it with stub ids reproduces the exact
+action stream the engine would dispatch.
+
+The dry-run also performs the per-rank structural checks that need the
+call-path context while it is live: ``Enter``/``Leave`` discipline
+(STR001..STR004) and ``ParallelFor`` share validation (OMP001).
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim import actions as A
+from repro.sim.program import Program, ProgramContext
+from repro.verify.diagnostics import Diagnostic
+
+__all__ = ["ActionRecord", "RankDryRun", "dry_run_rank", "dry_run_program", "DEFAULT_MAX_ACTIONS"]
+
+#: hard cap on actions per rank; guards against unbounded generators
+DEFAULT_MAX_ACTIONS = 2_000_000
+
+
+@dataclass(frozen=True)
+class ActionRecord:
+    """One action a rank yielded, with its static context."""
+
+    index: int
+    action: A.Action
+    call_path: Tuple[str, ...]
+    #: stub request id fed back for Isend/Irecv, else None
+    result: Optional[int] = None
+
+    def describe(self) -> str:
+        name = type(self.action).__name__
+        a = self.action
+        if isinstance(a, (A.Send, A.Isend)):
+            return f"{name}(dest={a.dest}, tag={a.tag})"
+        if isinstance(a, (A.Recv, A.Irecv)):
+            return f"{name}(source={a.source}, tag={a.tag})"
+        if isinstance(a, A.Wait):
+            return f"{name}(request={a.request})"
+        if isinstance(a, A.Waitall):
+            return f"{name}(requests={list(a.requests)})"
+        if isinstance(a, (A.Enter, A.Leave)):
+            return f"{name}({getattr(a, 'region', None)!r})"
+        if isinstance(a, A.Bcast) or isinstance(a, A.Reduce):
+            return f"{name}(root={a.root})"
+        return name
+
+
+@dataclass
+class RankDryRun:
+    """Dry-run result of one rank."""
+
+    rank: int
+    records: List[ActionRecord] = field(default_factory=list)
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: True when the generator ran to completion within the action limit
+    completed: bool = False
+
+
+def dry_run_rank(
+    program: Program,
+    rank: int,
+    max_actions: int = DEFAULT_MAX_ACTIONS,
+) -> RankDryRun:
+    """Drive one rank generator to completion with stub results."""
+    ctx = ProgramContext(
+        rank=rank, n_ranks=program.n_ranks, n_threads=program.threads_per_rank
+    )
+    run = RankDryRun(rank=rank)
+    stack: List[str] = []
+    next_req = 0
+    result: Optional[int] = None
+
+    try:
+        gen = program.make_rank(ctx)
+    except Exception as exc:  # construction itself may blow up
+        run.diagnostics.append(Diagnostic(
+            "PRG001", f"make_rank failed: {exc!r}", rank=rank,
+        ))
+        return run
+
+    index = 0
+    while True:
+        if index >= max_actions:
+            run.diagnostics.append(Diagnostic(
+                "PRG002",
+                f"dry-run stopped after {max_actions} actions",
+                rank=rank, call_path=tuple(stack), action_index=index,
+            ))
+            break
+        try:
+            action = gen.send(result)
+        except StopIteration:
+            run.completed = True
+            break
+        except Exception as exc:
+            tb = traceback.extract_tb(exc.__traceback__)
+            site = f"{tb[-1].filename}:{tb[-1].lineno}" if tb else "?"
+            run.diagnostics.append(Diagnostic(
+                "PRG001",
+                f"generator raised {type(exc).__name__}: {exc} ({site})",
+                rank=rank, call_path=tuple(stack), action_index=index,
+            ))
+            break
+
+        result = None
+        path = tuple(stack)
+        cls = type(action)
+
+        if cls is A.Enter:
+            stack.append(action.region)
+        elif cls is A.Leave:
+            if action.region is None:
+                run.diagnostics.append(Diagnostic(
+                    "STR004",
+                    f"bare Leave() closing {stack[-1]!r}" if stack
+                    else "bare Leave() with nothing open",
+                    rank=rank, call_path=path, action_index=index,
+                ))
+            if not stack:
+                run.diagnostics.append(Diagnostic(
+                    "STR001", "Leave with no open region",
+                    rank=rank, call_path=path, action_index=index,
+                ))
+            else:
+                top = stack.pop()
+                if action.region is not None and action.region != top:
+                    run.diagnostics.append(Diagnostic(
+                        "STR002",
+                        f"Leave({action.region!r}) closes Enter({top!r})",
+                        rank=rank, call_path=path, action_index=index,
+                    ))
+        elif cls is A.ParallelFor:
+            try:
+                action.thread_units(program.threads_per_rank)
+            except ValueError as exc:
+                run.diagnostics.append(Diagnostic(
+                    "OMP001", str(exc),
+                    rank=rank, call_path=path, action_index=index,
+                ))
+        elif cls is A.Isend or cls is A.Irecv:
+            result = next_req
+            next_req += 1
+        elif not isinstance(action, A.Action):
+            run.diagnostics.append(Diagnostic(
+                "PRG001",
+                f"yielded non-action object {action!r}",
+                rank=rank, call_path=path, action_index=index,
+            ))
+            break
+
+        run.records.append(ActionRecord(index, action, path, result))
+        index += 1
+
+    if run.completed and stack:
+        run.diagnostics.append(Diagnostic(
+            "STR003",
+            "still open at end: " + " > ".join(repr(r) for r in stack),
+            rank=rank, call_path=tuple(stack), action_index=index,
+        ))
+    return run
+
+
+def dry_run_program(
+    program: Program,
+    max_actions: int = DEFAULT_MAX_ACTIONS,
+) -> Dict[int, RankDryRun]:
+    """Dry-run every rank of ``program``; returns ``{rank: RankDryRun}``."""
+    return {
+        r: dry_run_rank(program, r, max_actions=max_actions)
+        for r in range(program.n_ranks)
+    }

@@ -1,0 +1,227 @@
+"""Seeded-buggy fixture programs for the linter.
+
+Each fixture is a small two-rank program with exactly one planted class
+of MPI/OpenMP misuse, together with the rule ids the linter must raise
+for it.  They serve three audiences: the test suite (every fixture must
+trigger its expected rules and nothing of higher severity), the
+``repro-lint --selftest`` command (a deployment smoke test for the rule
+registry), and documentation by example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Generator
+
+from repro.sim.actions import (
+    Allreduce,
+    Barrier,
+    Compute,
+    Enter,
+    Irecv,
+    Isend,
+    Leave,
+    Recv,
+    Send,
+    Waitall,
+)
+from repro.sim.kernels import KernelSpec
+from repro.sim.program import Program, ProgramContext
+
+__all__ = ["FIXTURES", "LintFixture", "fixture_names", "make_fixture"]
+
+#: featherweight kernel so fixtures can also be simulated in tests
+_K = KernelSpec.balanced("fixture_kernel", flops_per_unit=1e4,
+                         bytes_per_unit=0.0, memory_scope="none")
+
+
+class _TwoRankProgram(Program):
+    """Program defined by a single two-rank generator function."""
+
+    threads_per_rank = 1
+
+    def __init__(self, name: str, body: Callable[[ProgramContext], Generator],
+                 n_ranks: int = 2):
+        self.name = name
+        self.n_ranks = n_ranks
+        self._body = body
+
+    def make_rank(self, ctx: ProgramContext) -> Generator:
+        return self._body(ctx)
+
+
+def _clean(ctx: ProgramContext) -> Generator:
+    """Correct halo-style exchange + collective; must lint clean."""
+    other = 1 - ctx.rank
+    yield Enter("main")
+    yield Barrier()
+    yield Enter("exchange")
+    reqs = [(yield Irecv(source=other, tag=1))]
+    reqs.append((yield Isend(dest=other, tag=1, nbytes=1024.0)))
+    yield Waitall(reqs)
+    yield Leave("exchange")
+    yield Compute(_K, 5.0)
+    yield Allreduce(nbytes=8.0)
+    yield Leave("main")
+
+
+def _unmatched_recv(ctx: ProgramContext) -> Generator:
+    """Rank 1 receives a message rank 0 never sends."""
+    yield Enter("main")
+    yield Compute(_K, 5.0)
+    if ctx.rank == 1:
+        yield Enter("lonely_recv")
+        yield Recv(source=0, tag=42)
+        yield Leave("lonely_recv")
+    yield Leave("main")
+
+
+def _unmatched_send(ctx: ProgramContext) -> Generator:
+    """Rank 0 sends a message nobody receives (eager, so it returns)."""
+    yield Enter("main")
+    if ctx.rank == 0:
+        yield Send(dest=1, tag=3, nbytes=8.0)
+    yield Compute(_K, 5.0)
+    yield Barrier()
+    yield Leave("main")
+
+
+def _leaked_request(ctx: ProgramContext) -> Generator:
+    """Waits only on the receive requests; the Isend requests leak."""
+    other = 1 - ctx.rank
+    yield Enter("main")
+    yield Enter("exchange")
+    recv_req = yield Irecv(source=other, tag=7)
+    yield Isend(dest=other, tag=7, nbytes=256.0)  # request id dropped!
+    yield Waitall([recv_req])
+    yield Leave("exchange")
+    yield Leave("main")
+
+
+def _double_wait(ctx: ProgramContext) -> Generator:
+    """Waits twice on the same request id."""
+    other = 1 - ctx.rank
+    yield Enter("main")
+    recv_req = yield Irecv(source=other, tag=2)
+    send_req = yield Isend(dest=other, tag=2, nbytes=64.0)
+    yield Waitall([recv_req, send_req])
+    yield Waitall([recv_req])  # already completed
+    yield Leave("main")
+
+
+def _collective_mismatch(ctx: ProgramContext) -> Generator:
+    """Rank 0 calls Allreduce where rank 1 calls Barrier."""
+    yield Enter("main")
+    if ctx.rank == 0:
+        yield Allreduce(nbytes=8.0)
+    else:
+        yield Barrier()
+    yield Leave("main")
+
+
+def _collective_count_mismatch(ctx: ProgramContext) -> Generator:
+    """Rank 1 skips the second Barrier (classic branch-around bug)."""
+    yield Enter("main")
+    yield Barrier()
+    if ctx.rank == 0:
+        yield Barrier()
+    yield Leave("main")
+
+
+def _deadlock_cycle(ctx: ProgramContext) -> Generator:
+    """Head-to-head blocking receives: the canonical wait-for cycle."""
+    other = 1 - ctx.rank
+    yield Enter("main")
+    yield Recv(source=other, tag=1)
+    yield Send(dest=other, tag=1, nbytes=8.0)
+    yield Leave("main")
+
+
+def _bare_leave(ctx: ProgramContext) -> Generator:
+    """Closes a region with an unnamed Leave()."""
+    yield Enter("main")
+    yield Enter("phase")
+    yield Compute(_K, 2.0)
+    yield Leave()  # should name the region
+    yield Leave("main")
+
+
+def _region_mismatch(ctx: ProgramContext) -> Generator:
+    """Leave names a region that is not the innermost Enter."""
+    yield Enter("main")
+    yield Enter("inner")
+    yield Compute(_K, 2.0)
+    yield Leave("main")  # closes "inner"
+    yield Leave("main")
+
+
+def _invalid_peer(ctx: ProgramContext) -> Generator:
+    """Sends to a rank outside the job."""
+    yield Enter("main")
+    if ctx.rank == 0:
+        yield Isend(dest=5, tag=1, nbytes=8.0)
+    yield Barrier()
+    yield Leave("main")
+
+
+@dataclass(frozen=True)
+class LintFixture:
+    """One buggy (or clean) fixture and the rule ids it must trigger."""
+
+    name: str
+    make: Callable[[], Program]
+    expected_rules: FrozenSet[str]
+    description: str
+
+
+def _fixture(name, body, expected, description, n_ranks=2) -> LintFixture:
+    return LintFixture(
+        name=name,
+        make=lambda: _TwoRankProgram(f"fixture-{name}", body, n_ranks=n_ranks),
+        expected_rules=frozenset(expected),
+        description=description,
+    )
+
+
+FIXTURES: Dict[str, LintFixture] = {
+    f.name: f
+    for f in [
+        _fixture("clean", _clean, (),
+                 "correct exchange + collective; lints clean"),
+        _fixture("unmatched-recv", _unmatched_recv, ("MPI002", "MPI008"),
+                 "Recv with no matching send (also hangs)"),
+        _fixture("unmatched-send", _unmatched_send, ("MPI001",),
+                 "eager Send nobody receives"),
+        _fixture("leaked-request", _leaked_request, ("MPI003",),
+                 "Isend request ids never completed by Wait/Waitall"),
+        _fixture("double-wait", _double_wait, ("MPI004",),
+                 "Waitall on an already-completed request id"),
+        _fixture("collective-mismatch", _collective_mismatch, ("MPI005",),
+                 "ranks disagree on the collective at one position"),
+        _fixture("collective-count-mismatch", _collective_count_mismatch,
+                 ("MPI006", "MPI008"),
+                 "one rank skips a collective"),
+        _fixture("deadlock-cycle", _deadlock_cycle, ("MPI008",),
+                 "head-to-head blocking receives"),
+        _fixture("bare-leave", _bare_leave, ("STR004",),
+                 "Leave() without a region name"),
+        _fixture("region-mismatch", _region_mismatch, ("STR002",),
+                 "Leave closes the wrong region"),
+        _fixture("invalid-peer", _invalid_peer,
+                 ("MPI007", "MPI001", "MPI003"),
+                 "Isend to a rank outside the job (and leaked)"),
+    ]
+}
+
+
+def fixture_names():
+    return list(FIXTURES)
+
+
+def make_fixture(name: str) -> Program:
+    try:
+        return FIXTURES[name].make()
+    except KeyError:
+        raise KeyError(
+            f"unknown fixture {name!r}; known: {fixture_names()}"
+        ) from None

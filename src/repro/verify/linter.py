@@ -1,0 +1,510 @@
+"""Static MPI/OpenMP program linter.
+
+Checks each rank's dry-run action sequence (see
+:mod:`repro.verify.dryrun`) for communication misuse *before* any
+simulation time is spent:
+
+* point-to-point matching per ``(src, dst, tag)`` channel in posting
+  order, mirroring the engine's FIFO matching (MPI001/MPI002),
+* request hygiene -- every ``Isend``/``Irecv`` id completed exactly once
+  (MPI003/MPI004),
+* positional collective consistency across ranks (MPI005/MPI006),
+* peer validity (MPI007), and
+* potential deadlock via an abstract execution of the blocking semantics
+  plus wait-for-graph cycle detection (MPI008).
+
+Blocking ``Send`` above the eager threshold is treated as rendezvous (it
+blocks until the matching receive is posted), mirroring the engine's
+protocol selection; eager sends complete locally.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.sim import actions as A
+from repro.sim.program import Program
+from repro.verify.diagnostics import (
+    Diagnostic,
+    format_diagnostics,
+    has_errors,
+)
+from repro.verify.dryrun import (
+    DEFAULT_MAX_ACTIONS,
+    ActionRecord,
+    RankDryRun,
+    dry_run_program,
+)
+
+__all__ = ["LintReport", "lint_program", "DEFAULT_EAGER_THRESHOLD"]
+
+#: protocol cutoff for blocking sends in the deadlock analysis; matches
+#: repro.machine.network.NetworkModel.eager_threshold
+DEFAULT_EAGER_THRESHOLD = 16 * 1024
+
+
+@dataclass
+class LintReport:
+    """Outcome of linting one program."""
+
+    program_name: str
+    n_ranks: int
+    n_actions: int
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not has_errors(self.diagnostics)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "warning"]
+
+    def rule_ids(self) -> Set[str]:
+        return {d.rule_id for d in self.diagnostics}
+
+    def format(self, with_hints: bool = True) -> str:
+        status = "clean" if not self.diagnostics else (
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)"
+        )
+        header = (
+            f"lint {self.program_name}: {self.n_ranks} ranks, "
+            f"{self.n_actions} actions -- {status}"
+        )
+        if not self.diagnostics:
+            return header
+        return format_diagnostics(self.diagnostics, header=header,
+                                  with_hints=with_hints)
+
+
+def lint_program(
+    program: Program,
+    max_actions: int = DEFAULT_MAX_ACTIONS,
+    eager_threshold: float = DEFAULT_EAGER_THRESHOLD,
+) -> LintReport:
+    """Statically lint ``program``; returns the full diagnostic report."""
+    runs = dry_run_program(program, max_actions=max_actions)
+    diagnostics: List[Diagnostic] = []
+    for run in runs.values():
+        diagnostics.extend(run.diagnostics)
+
+    diagnostics.extend(_check_peers(runs, program.n_ranks))
+    diagnostics.extend(_check_p2p_matching(runs))
+    diagnostics.extend(_check_requests(runs))
+    diagnostics.extend(_check_collectives(runs))
+    # the abstract execution needs complete sequences; a crashed or
+    # truncated rank would show up as a bogus deadlock
+    if all(run.completed for run in runs.values()):
+        diagnostics.extend(_check_deadlock(runs, eager_threshold))
+
+    return LintReport(
+        program_name=program.name,
+        n_ranks=program.n_ranks,
+        n_actions=sum(len(r.records) for r in runs.values()),
+        diagnostics=diagnostics,
+    )
+
+
+# ---------------------------------------------------------------------------
+# peer validity
+# ---------------------------------------------------------------------------
+
+
+def _peer_of(action: A.Action) -> Optional[Tuple[str, int, int]]:
+    """(direction, peer, tag) of a point-to-point action, else None."""
+    if isinstance(action, (A.Send, A.Isend)):
+        return ("send", action.dest, action.tag)
+    if isinstance(action, (A.Recv, A.Irecv)):
+        return ("recv", action.source, action.tag)
+    return None
+
+
+def _check_peers(runs: Dict[int, RankDryRun], n_ranks: int) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    seen: Set[Tuple[int, str, int, int]] = set()
+    for rank, run in runs.items():
+        for rec in run.records:
+            p = _peer_of(rec.action)
+            if p is None:
+                continue
+            kind, peer, tag = p
+            bad = peer < 0 or peer >= n_ranks or peer == rank
+            if not bad:
+                continue
+            key = (rank, kind, peer, tag)
+            if key in seen:
+                continue
+            seen.add(key)
+            why = "itself" if peer == rank else f"nonexistent rank {peer}"
+            out.append(Diagnostic(
+                "MPI007",
+                f"{rec.describe()} targets {why} (job has {n_ranks} ranks)",
+                rank=rank, call_path=rec.call_path, action_index=rec.index,
+            ))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# point-to-point matching
+# ---------------------------------------------------------------------------
+
+
+def _check_p2p_matching(runs: Dict[int, RankDryRun]) -> List[Diagnostic]:
+    """Count sends vs. receives per (src, dst, tag) channel."""
+    sends: Dict[Tuple[int, int, int], List[Tuple[int, ActionRecord]]] = {}
+    recvs: Dict[Tuple[int, int, int], List[Tuple[int, ActionRecord]]] = {}
+    for rank, run in runs.items():
+        for rec in run.records:
+            a = rec.action
+            if isinstance(a, (A.Send, A.Isend)):
+                sends.setdefault((rank, a.dest, a.tag), []).append((rank, rec))
+            elif isinstance(a, (A.Recv, A.Irecv)):
+                recvs.setdefault((a.source, rank, a.tag), []).append((rank, rec))
+
+    out: List[Diagnostic] = []
+    for key in sorted(set(sends) | set(recvs)):
+        src, dst, tag = key
+        s = sends.get(key, [])
+        r = recvs.get(key, [])
+        if len(s) > len(r):
+            rank, rec = s[len(r)]  # first surplus send, FIFO matching
+            out.append(Diagnostic(
+                "MPI001",
+                f"{len(s)} send(s) but {len(r)} receive(s) on channel "
+                f"{src}->{dst} tag {tag}; first unmatched: {rec.describe()}",
+                rank=rank, call_path=rec.call_path, action_index=rec.index,
+            ))
+        elif len(r) > len(s):
+            rank, rec = r[len(s)]
+            out.append(Diagnostic(
+                "MPI002",
+                f"{len(r)} receive(s) but {len(s)} send(s) on channel "
+                f"{src}->{dst} tag {tag}; first unmatched: {rec.describe()}",
+                rank=rank, call_path=rec.call_path, action_index=rec.index,
+            ))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# request hygiene
+# ---------------------------------------------------------------------------
+
+
+def _check_requests(runs: Dict[int, RankDryRun]) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    for rank, run in runs.items():
+        outstanding: Dict[int, ActionRecord] = {}
+        for rec in run.records:
+            a = rec.action
+            if isinstance(a, (A.Isend, A.Irecv)):
+                outstanding[rec.result] = rec
+            elif isinstance(a, (A.Wait, A.Waitall)):
+                rids = (a.request,) if isinstance(a, A.Wait) else a.requests
+                for rid in rids:
+                    if rid in outstanding:
+                        del outstanding[rid]
+                    else:
+                        out.append(Diagnostic(
+                            "MPI004",
+                            f"{rec.describe()} waits on request {rid} that "
+                            "is not outstanding (never issued, or already "
+                            "completed)",
+                            rank=rank, call_path=rec.call_path,
+                            action_index=rec.index,
+                        ))
+        if not run.completed:
+            continue  # leaks past a crash point are noise
+        # group leaks by issuing call path so a leaky loop is one finding
+        grouped: Dict[Tuple[str, Tuple[str, ...]], List[ActionRecord]] = {}
+        for rec in outstanding.values():
+            kind = type(rec.action).__name__
+            grouped.setdefault((kind, rec.call_path), []).append(rec)
+        for (kind, path), recs in sorted(grouped.items()):
+            first = min(recs, key=lambda r: r.index)
+            out.append(Diagnostic(
+                "MPI003",
+                f"{len(recs)} {kind} request(s) never completed by "
+                f"Wait/Waitall; first leaked: {first.describe()}",
+                rank=rank, call_path=path, action_index=first.index,
+            ))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# collective consistency
+# ---------------------------------------------------------------------------
+
+
+def _coll_signature(action: A.Action) -> Optional[Tuple[str, Optional[int]]]:
+    if type(action) in A.COLLECTIVE_INFO:
+        op, _region = A.COLLECTIVE_INFO[type(action)]
+        return (op, getattr(action, "root", None))
+    return None
+
+
+def _check_collectives(runs: Dict[int, RankDryRun]) -> List[Diagnostic]:
+    seqs: Dict[int, List[Tuple[Tuple[str, Optional[int]], ActionRecord]]] = {}
+    for rank, run in runs.items():
+        seq = []
+        for rec in run.records:
+            sig = _coll_signature(rec.action)
+            if sig is not None:
+                seq.append((sig, rec))
+        seqs[rank] = seq
+
+    out: List[Diagnostic] = []
+    counts = {rank: len(seq) for rank, seq in seqs.items()}
+    if len(set(counts.values())) > 1:
+        lo = min(counts, key=counts.get)
+        hi = max(counts, key=counts.get)
+        out.append(Diagnostic(
+            "MPI006",
+            f"collective counts differ across ranks: rank {lo} issues "
+            f"{counts[lo]}, rank {hi} issues {counts[hi]}",
+            rank=lo,
+        ))
+    n_common = min(counts.values()) if counts else 0
+    ref_rank = min(seqs)
+    for k in range(n_common):
+        ref_sig, ref_rec = seqs[ref_rank][k]
+        for rank in sorted(seqs):
+            sig, rec = seqs[rank][k]
+            if sig != ref_sig:
+                out.append(Diagnostic(
+                    "MPI005",
+                    f"collective #{k}: rank {rank} calls "
+                    f"{_sig_name(sig)} at {'/'.join(rec.call_path) or '<top>'}"
+                    f" but rank {ref_rank} calls {_sig_name(ref_sig)}",
+                    rank=rank, call_path=rec.call_path,
+                    action_index=rec.index,
+                ))
+                return out  # later positions are all skewed; stop at first
+    return out
+
+
+def _sig_name(sig: Tuple[str, Optional[int]]) -> str:
+    op, root = sig
+    return f"{op}(root={root})" if root is not None else op
+
+
+# ---------------------------------------------------------------------------
+# deadlock detection (abstract execution + wait-for graph)
+# ---------------------------------------------------------------------------
+
+
+class _AbstractRank:
+    """Replay cursor over one rank's dry-run records."""
+
+    __slots__ = ("rank", "records", "pc", "requests", "blocked_on",
+                 "blocked_entry", "coll_k")
+
+    def __init__(self, rank: int, records: Sequence[ActionRecord]):
+        self.rank = rank
+        self.records = records
+        self.pc = 0
+        #: rid -> _ChanEntry for outstanding non-blocking operations
+        self.requests: Dict[int, "_ChanEntry"] = {}
+        self.blocked_on: Optional[ActionRecord] = None
+        self.blocked_entry: Optional["_ChanEntry"] = None
+        self.coll_k = 0  # next collective instance index
+
+    @property
+    def done(self) -> bool:
+        return self.pc >= len(self.records)
+
+
+class _ChanEntry:
+    """One posted send or receive in the abstract channel state."""
+
+    __slots__ = ("rank", "peer", "matched")
+
+    def __init__(self, rank: int, peer: int):
+        self.rank = rank
+        self.peer = peer
+        self.matched = False
+
+
+def _check_deadlock(
+    runs: Dict[int, RankDryRun],
+    eager_threshold: float = DEFAULT_EAGER_THRESHOLD,
+) -> List[Diagnostic]:
+    ranks = {r: _AbstractRank(r, run.records) for r, run in runs.items()}
+    n_ranks = len(ranks)
+    chan_sends: Dict[Tuple[int, int, int], deque] = {}
+    chan_recvs: Dict[Tuple[int, int, int], deque] = {}
+    coll_arrived: Dict[int, Set[int]] = {}  # instance -> ranks present
+
+    def _take_match(table, key) -> Optional[_ChanEntry]:
+        q = table.get(key)
+        if q:
+            e = q.popleft()
+            e.matched = True
+            return e
+        return None
+
+    def _step(st: _AbstractRank) -> bool:
+        """Try to advance one action; returns False when the rank blocks."""
+        rec = st.records[st.pc]
+        a = rec.action
+        cls = type(a)
+        if cls is A.Isend or cls is A.Send:
+            key = (st.rank, a.dest, a.tag)
+            entry = _ChanEntry(st.rank, a.dest)
+            if _take_match(chan_recvs, key) is not None:
+                entry.matched = True
+            else:
+                chan_sends.setdefault(key, deque()).append(entry)
+            if cls is A.Isend:
+                st.requests[rec.result] = entry
+            elif not entry.matched and a.nbytes > eager_threshold:
+                st.blocked_on, st.blocked_entry = rec, entry
+                return False  # rendezvous send parks until matched
+        elif cls is A.Irecv or cls is A.Recv:
+            key = (a.source, st.rank, a.tag)
+            entry = _ChanEntry(st.rank, a.source)
+            if _take_match(chan_sends, key) is not None:
+                entry.matched = True
+            else:
+                chan_recvs.setdefault(key, deque()).append(entry)
+            if cls is A.Irecv:
+                st.requests[rec.result] = entry
+            elif not entry.matched:
+                st.blocked_on, st.blocked_entry = rec, entry
+                return False
+        elif cls is A.Wait or cls is A.Waitall:
+            rids = (a.request,) if cls is A.Wait else a.requests
+            if any(r in st.requests and not st.requests[r].matched
+                   for r in rids):
+                st.blocked_on = rec
+                return False
+            for r in rids:
+                st.requests.pop(r, None)
+        elif cls in A.COLLECTIVE_INFO:
+            arrived = coll_arrived.setdefault(st.coll_k, set())
+            arrived.add(st.rank)
+            if len(arrived) < n_ranks:
+                st.blocked_on = rec
+                return False
+            # all ranks arrived: this one was last in; the others are
+            # released when the sweep re-examines them
+            st.coll_k += 1
+        st.pc += 1
+        st.blocked_on = None
+        st.blocked_entry = None
+        return True
+
+    def _release_if_runnable(st: _AbstractRank) -> bool:
+        """Unblock a parked rank whose condition is now satisfied."""
+        a = st.blocked_on.action
+        cls = type(a)
+        if cls is A.Send or cls is A.Recv:
+            runnable = st.blocked_entry.matched
+        elif cls is A.Wait or cls is A.Waitall:
+            rids = (a.request,) if cls is A.Wait else a.requests
+            runnable = all(
+                r not in st.requests or st.requests[r].matched for r in rids
+            )
+            if runnable:
+                for r in rids:
+                    st.requests.pop(r, None)
+        else:  # collective
+            runnable = len(coll_arrived.get(st.coll_k, ())) >= n_ranks
+            if runnable:
+                st.coll_k += 1
+        if not runnable:
+            return False
+        st.pc += 1
+        st.blocked_on = None
+        st.blocked_entry = None
+        return True
+
+    # sweep until global quiescence
+    progress = True
+    while progress:
+        progress = False
+        for st in ranks.values():
+            if st.blocked_on is not None:
+                if not _release_if_runnable(st):
+                    continue
+                progress = True
+            while not st.done and _step(st):
+                progress = True
+
+    stuck = [st for st in ranks.values() if not st.done]
+    if not stuck:
+        return []
+
+    # wait-for edges for the cycle report
+    waits_on: Dict[int, Set[int]] = {}
+    for st in stuck:
+        a = st.blocked_on.action
+        cls = type(a)
+        if cls is A.Send or cls is A.Recv:
+            peers = {st.blocked_entry.peer}
+        elif cls is A.Wait or cls is A.Waitall:
+            rids = (a.request,) if cls is A.Wait else a.requests
+            peers = {st.requests[r].peer for r in rids
+                     if r in st.requests and not st.requests[r].matched}
+        else:  # collective
+            peers = set(ranks) - coll_arrived.get(st.coll_k, set())
+        waits_on[st.rank] = peers
+
+    cycle = _find_cycle(waits_on)
+    out: List[Diagnostic] = []
+    if cycle:
+        out.append(Diagnostic(
+            "MPI008",
+            "wait-for cycle: " + " -> ".join(str(r) for r in cycle),
+            rank=cycle[0],
+        ))
+    for st in sorted(stuck, key=lambda s: s.rank):
+        rec = st.blocked_on
+        done_peers = sorted(
+            p for p in waits_on[st.rank] if p in ranks and ranks[p].done
+        )
+        extra = (
+            f"; waits on terminated rank(s) {done_peers}" if done_peers else ""
+        )
+        out.append(Diagnostic(
+            "MPI008",
+            f"blocked forever in {rec.describe()}{extra}",
+            rank=st.rank, call_path=rec.call_path, action_index=rec.index,
+        ))
+    return out
+
+
+def _find_cycle(graph: Dict[int, Set[int]]) -> Optional[List[int]]:
+    """First directed cycle among the stuck ranks, as a closed walk."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {n: WHITE for n in graph}
+    path: List[int] = []
+
+    def visit(n: int) -> Optional[List[int]]:
+        color[n] = GREY
+        path.append(n)
+        for m in sorted(graph.get(n, ())):
+            if m not in color:
+                continue
+            if color[m] == GREY:
+                i = path.index(m)
+                return path[i:] + [m]
+            if color[m] == WHITE:
+                found = visit(m)
+                if found:
+                    return found
+        path.pop()
+        color[n] = BLACK
+        return None
+
+    for n in sorted(graph):
+        if color[n] == WHITE:
+            found = visit(n)
+            if found:
+                return found
+    return None

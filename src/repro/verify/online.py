@@ -1,0 +1,175 @@
+"""Online trace-invariant checking while events are emitted.
+
+The :class:`OnlineSanitizer` plugs into the measurement layer (opt in via
+``Measurement(..., sanitize=True)`` or ``Engine(..., sanitize=True)``)
+and validates every event at recording time: per-location monotonicity
+(TRC001), ENTER/LEAVE discipline (TRC006), match-id integrity (TRC002)
+and synchronisation-group membership (TRC007).  A violation raises
+:class:`TraceInvariantError` immediately, pointing at the exact emitting
+location instead of leaving a corrupt archive for the analyzer to choke
+on later.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.sim.events import (
+    COLL_END,
+    ENTER,
+    FORK,
+    LEAVE,
+    MPI_RECV,
+    MPI_SEND,
+    OBAR_LEAVE,
+    TEAM_BEGIN,
+    Ev,
+)
+from repro.verify.diagnostics import Diagnostic, format_diagnostics
+
+__all__ = ["OnlineSanitizer", "TraceInvariantError"]
+
+
+class TraceInvariantError(RuntimeError):
+    """A trace invariant was violated during event emission."""
+
+    def __init__(self, diagnostics: List[Diagnostic]):
+        self.diagnostics = diagnostics
+        super().__init__(format_diagnostics(
+            diagnostics, header="trace invariant violated during emission:"
+        ))
+
+
+class OnlineSanitizer:
+    """Incremental invariant checker over one run's event stream."""
+
+    def __init__(self, region_names=None):
+        #: optional resolver (rid -> name) for readable messages
+        self._region_names = region_names
+        self._last_t: Dict[int, float] = {}
+        self._stacks: Dict[int, List[int]] = {}
+        self._sends: Set[int] = set()
+        self._recvs: Set[int] = set()
+        self._groups: Dict[Tuple[str, int], int] = {}
+        self._group_sizes: Dict[Tuple[str, int], int] = {}
+        self._forks: Set[int] = set()
+
+    # -- helpers ----------------------------------------------------------
+    def _region(self, rid: int) -> str:
+        if self._region_names is not None:
+            try:
+                return self._region_names(rid)
+            except Exception:
+                pass
+        return f"<region {rid}>"
+
+    def _fail(self, rule_id: str, message: str, loc: Optional[int] = None):
+        raise TraceInvariantError([
+            Diagnostic(rule_id, message, location=loc)
+        ])
+
+    # -- per-event check --------------------------------------------------
+    def observe(self, loc: int, ev: Ev) -> None:
+        last = self._last_t.get(loc)
+        if last is not None and ev.t < last - 1e-15:
+            self._fail(
+                "TRC001",
+                f"event at t={ev.t:.9g} emitted after t={last:.9g}", loc,
+            )
+        self._last_t[loc] = max(ev.t, last) if last is not None else ev.t
+
+        et = ev.etype
+        if et == ENTER:
+            self._stacks.setdefault(loc, []).append(ev.region)
+        elif et == LEAVE:
+            stack = self._stacks.get(loc)
+            if not stack:
+                self._fail(
+                    "TRC006",
+                    f"LEAVE {self._region(ev.region)} with no open ENTER",
+                    loc,
+                )
+            if stack[-1] != ev.region:
+                self._fail(
+                    "TRC006",
+                    f"LEAVE {self._region(ev.region)} closes ENTER "
+                    f"{self._region(stack[-1])}",
+                    loc,
+                )
+            stack.pop()
+        elif et == MPI_SEND:
+            mid = ev.aux[0]
+            if mid in self._sends:
+                self._fail("TRC002", f"duplicate MPI_SEND match id {mid}", loc)
+            self._sends.add(mid)
+        elif et == MPI_RECV:
+            mid = ev.aux
+            if mid not in self._sends:
+                self._fail(
+                    "TRC002",
+                    f"MPI_RECV match id {mid} before/without its MPI_SEND",
+                    loc,
+                )
+            if mid in self._recvs:
+                self._fail("TRC002", f"duplicate MPI_RECV match id {mid}", loc)
+            self._recvs.add(mid)
+        elif et == COLL_END or et == OBAR_LEAVE:
+            gid, size = ev.aux
+            key = ("coll" if et == COLL_END else "obar", gid)
+            known = self._group_sizes.setdefault(key, size)
+            if known != size:
+                self._fail(
+                    "TRC007",
+                    f"{key[0]} instance {gid}: conflicting group sizes "
+                    f"{known} and {size}",
+                    loc,
+                )
+            n = self._groups.get(key, 0) + 1
+            self._groups[key] = n
+            if n > size:
+                self._fail(
+                    "TRC007",
+                    f"{key[0]} instance {gid} has {n} members for group "
+                    f"size {size}",
+                    loc,
+                )
+        elif et == FORK:
+            self._forks.add(ev.aux)
+        elif et == TEAM_BEGIN:
+            if ev.aux not in self._forks:
+                self._fail(
+                    "TRC007",
+                    f"TEAM_BEGIN for construct {ev.aux} without its FORK",
+                    loc,
+                )
+
+    # -- end-of-run check -------------------------------------------------
+    def final_check(self) -> None:
+        """Invariants that only hold once the run is complete."""
+        problems: List[Diagnostic] = []
+        for loc, stack in sorted(self._stacks.items()):
+            if stack:
+                problems.append(Diagnostic(
+                    "TRC006",
+                    "ENTER(s) never left: "
+                    + " > ".join(self._region(r) for r in stack),
+                    location=loc,
+                ))
+        unreceived = self._sends - self._recvs
+        if unreceived:
+            some = sorted(unreceived)[:5]
+            problems.append(Diagnostic(
+                "TRC002",
+                f"{len(unreceived)} MPI_SEND(s) without a receive record "
+                f"(match ids {some}{'...' if len(unreceived) > 5 else ''})",
+            ))
+        for key, n in sorted(self._groups.items()):
+            size = self._group_sizes[key]
+            if n != size:
+                problems.append(Diagnostic(
+                    "TRC007",
+                    f"{key[0]} instance {key[1]} ended with {n}/{size} "
+                    "member events",
+                ))
+        if problems:
+            raise TraceInvariantError(problems)

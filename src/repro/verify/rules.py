@@ -1,0 +1,219 @@
+"""The verification rule registry.
+
+Every check the linter or the trace sanitizer can report is a
+:class:`Rule` with a stable id, a severity and a fix hint.  Rules are
+registered at import time; adding a new check is one :func:`rule` call
+plus the code that emits its diagnostics.
+
+Rule id families
+----------------
+
+=======  ==================================================================
+``STR``  Call-path structure (``Enter``/``Leave`` discipline) in programs.
+``OMP``  OpenMP construct misuse in programs.
+``MPI``  MPI misuse in programs (matching, requests, collectives, deadlock).
+``PRG``  Problems with the rank generator itself (crash, runaway).
+``TRC``  Trace-level invariants (happened-before, matching, clock condition).
+=======  ==================================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["Severity", "Rule", "RULES", "rule", "get_rule"]
+
+
+class Severity:
+    """Diagnostic severity levels, ordered by :func:`severity_rank`."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    _ORDER = {ERROR: 2, WARNING: 1, INFO: 0}
+
+    @classmethod
+    def rank(cls, severity: str) -> int:
+        return cls._ORDER[severity]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered check.
+
+    Attributes
+    ----------
+    id:       stable identifier (``MPI002``); referenced by tests and docs
+    severity: default severity of diagnostics carrying this rule
+    summary:  one-line description of what the rule detects
+    hint:     how to fix a typical violation
+    """
+
+    id: str
+    severity: str
+    summary: str
+    hint: str = ""
+
+
+#: id -> Rule for every registered check
+RULES: Dict[str, Rule] = {}
+
+
+def rule(rule_id: str, severity: str, summary: str, hint: str = "") -> Rule:
+    """Register (and return) a rule; ids must be unique."""
+    if rule_id in RULES:
+        raise ValueError(f"duplicate rule id {rule_id!r}")
+    r = Rule(rule_id, severity, summary, hint)
+    RULES[rule_id] = r
+    return r
+
+
+def get_rule(rule_id: str) -> Rule:
+    try:
+        return RULES[rule_id]
+    except KeyError:
+        raise KeyError(f"unknown rule id {rule_id!r}; known: {sorted(RULES)}") from None
+
+
+# ---------------------------------------------------------------------------
+# call-path structure (static)
+# ---------------------------------------------------------------------------
+
+STR001 = rule(
+    "STR001", Severity.ERROR,
+    "Leave with an empty region stack",
+    "every Leave must pair with an earlier Enter on the same rank",
+)
+STR002 = rule(
+    "STR002", Severity.ERROR,
+    "Leave(region) does not match the innermost Enter",
+    "close regions in strict LIFO order; check for a missing or extra Leave",
+)
+STR003 = rule(
+    "STR003", Severity.ERROR,
+    "regions still open when the rank program ends",
+    "add the missing Leave actions before the generator returns",
+)
+STR004 = rule(
+    "STR004", Severity.WARNING,
+    "bare Leave() without a region name",
+    "pass the region name (Leave('region')) so mismatches are caught early",
+)
+
+# ---------------------------------------------------------------------------
+# OpenMP (static)
+# ---------------------------------------------------------------------------
+
+OMP001 = rule(
+    "OMP001", Severity.ERROR,
+    "ParallelFor with invalid per-thread shares",
+    "supply exactly n_threads non-negative shares with a positive sum",
+)
+
+# ---------------------------------------------------------------------------
+# MPI (static)
+# ---------------------------------------------------------------------------
+
+MPI001 = rule(
+    "MPI001", Severity.ERROR,
+    "send without a matching receive",
+    "post a Recv/Irecv with the same (source, tag) on the destination rank",
+)
+MPI002 = rule(
+    "MPI002", Severity.ERROR,
+    "receive without a matching send",
+    "post a Send/Isend with the same (dest, tag) on the source rank",
+)
+MPI003 = rule(
+    "MPI003", Severity.ERROR,
+    "non-blocking request never completed by Wait/Waitall",
+    "complete every Isend/Irecv request id with Wait or Waitall",
+)
+MPI004 = rule(
+    "MPI004", Severity.ERROR,
+    "Wait/Waitall on an unknown or already-completed request id",
+    "wait exactly once on each request id returned by Isend/Irecv",
+)
+MPI005 = rule(
+    "MPI005", Severity.ERROR,
+    "ranks disagree on the collective operation at the same sequence position",
+    "all ranks must issue the same collective (and root) in the same order",
+)
+MPI006 = rule(
+    "MPI006", Severity.ERROR,
+    "ranks issue different numbers of collective operations",
+    "make every rank execute the same collective sequence (check rank-"
+    "dependent branches around collectives)",
+)
+MPI007 = rule(
+    "MPI007", Severity.ERROR,
+    "point-to-point peer rank is invalid",
+    "dest/source must name another rank in [0, n_ranks)",
+)
+MPI008 = rule(
+    "MPI008", Severity.ERROR,
+    "potential deadlock (communication cannot complete)",
+    "break the wait-for cycle, e.g. order sends before receives on one "
+    "side or switch to non-blocking communication",
+)
+
+# ---------------------------------------------------------------------------
+# program execution (static dry-run)
+# ---------------------------------------------------------------------------
+
+PRG001 = rule(
+    "PRG001", Severity.ERROR,
+    "rank generator raised an exception during the dry-run",
+    "fix the crash; the linter dry-runs programs with stub request ids",
+)
+PRG002 = rule(
+    "PRG002", Severity.WARNING,
+    "rank generator exceeded the dry-run action limit",
+    "raise max_actions if the program is genuinely this long",
+)
+
+# ---------------------------------------------------------------------------
+# trace invariants (sanitizer)
+# ---------------------------------------------------------------------------
+
+TRC001 = rule(
+    "TRC001", Severity.ERROR,
+    "physical timestamps decrease within one location",
+    "events of one location must be recorded in non-decreasing time order",
+)
+TRC002 = rule(
+    "TRC002", Severity.ERROR,
+    "message-matching ids are inconsistent",
+    "every match id must appear on exactly one MPI_SEND and one MPI_RECV",
+)
+TRC003 = rule(
+    "TRC003", Severity.ERROR,
+    "clock condition violated on a send->recv edge",
+    "the receive timestamp must exceed the matching send timestamp "
+    "(Lamport condition); the trace or its timestamps are corrupt",
+)
+TRC004 = rule(
+    "TRC004", Severity.ERROR,
+    "participants of one collective epoch have diverging timestamps",
+    "all COLL_END/OBAR_LEAVE records of one instance must carry the group "
+    "timestamp",
+)
+TRC005 = rule(
+    "TRC005", Severity.ERROR,
+    "derived timestamps decrease within one location",
+    "logical clocks are monotone by construction; a decrease means the "
+    "timestamp arrays were tampered with or the replay order is wrong",
+)
+TRC006 = rule(
+    "TRC006", Severity.ERROR,
+    "ENTER/LEAVE events are imbalanced on a location",
+    "each LEAVE must close the innermost open ENTER of the same region",
+)
+TRC007 = rule(
+    "TRC007", Severity.ERROR,
+    "synchronisation group is incomplete or over-subscribed",
+    "each collective/barrier instance must have exactly its group size of "
+    "member events, and TEAM_BEGIN must follow its FORK",
+)

@@ -1,0 +1,362 @@
+"""Happened-before trace sanitizer.
+
+Verifies a recorded :class:`~repro.measure.trace.RawTrace` and the
+logical/physical timestamps derived from it against the invariants the
+paper's analysis relies on:
+
+* **structure** (mode-independent): per-location physical monotonicity
+  (TRC001), ENTER/LEAVE balance per location (TRC006), message-matching
+  integrity -- every match id on exactly one ``MPI_SEND`` and one
+  ``MPI_RECV`` (TRC002) -- and complete synchronisation groups: each
+  collective / OpenMP-barrier instance with exactly its group size of
+  member events, each ``TEAM_BEGIN`` preceded by its ``FORK`` (TRC007),
+  plus equal physical completion times within a group (TRC004);
+
+* **clock condition** (per timestamp mode): derived timestamps must be
+  non-decreasing per location (TRC005), every send->recv edge must
+  satisfy the Lamport condition ``C(send) < C(recv)`` (TRC003), and all
+  members of a synchronisation group must carry the group timestamp
+  (TRC004).
+
+``sanitize_trace`` bundles both passes over any subset of the paper's
+six clock modes; ``check_timestamps`` takes an existing
+:class:`~repro.clocks.base.TimestampedTrace` so externally supplied (or
+forged) timestamp arrays can be audited too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.measure.config import LOGICAL_MODES, MODES
+from repro.measure.trace import RawTrace
+from repro.sim.events import (
+    COLL_END,
+    ENTER,
+    FORK,
+    LEAVE,
+    MPI_RECV,
+    MPI_SEND,
+    OBAR_LEAVE,
+    TEAM_BEGIN,
+)
+from repro.verify.diagnostics import Diagnostic, format_diagnostics, has_errors
+
+__all__ = ["SanitizeReport", "sanitize_raw", "check_timestamps", "sanitize_trace"]
+
+#: tolerance for "equal" physical timestamps within a group
+_REL_TOL = 1e-9
+#: cap duplicate findings of one rule per pass (keeps reports readable)
+_MAX_PER_RULE = 8
+
+
+@dataclass
+class SanitizeReport:
+    """Outcome of sanitizing one trace over one or more modes."""
+
+    trace_mode: str
+    n_locations: int
+    n_events: int
+    modes: Tuple[str, ...]
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not has_errors(self.diagnostics)
+
+    def rule_ids(self) -> Set[str]:
+        return {d.rule_id for d in self.diagnostics}
+
+    def format(self, with_hints: bool = True) -> str:
+        status = "clean" if not self.diagnostics else (
+            f"{len(self.diagnostics)} finding(s)"
+        )
+        header = (
+            f"sanitize trace [{self.trace_mode}]: {self.n_locations} "
+            f"locations, {self.n_events} events, modes "
+            f"{'/'.join(self.modes)} -- {status}"
+        )
+        if not self.diagnostics:
+            return header
+        return format_diagnostics(self.diagnostics, header=header,
+                                  with_hints=with_hints)
+
+
+class _Capped:
+    """Collects diagnostics, truncating repeats of the same rule."""
+
+    def __init__(self, limit: int = _MAX_PER_RULE):
+        self.out: List[Diagnostic] = []
+        self._limit = limit
+        self._counts: Dict[str, int] = {}
+
+    def add(self, diag: Diagnostic) -> None:
+        n = self._counts.get(diag.rule_id, 0) + 1
+        self._counts[diag.rule_id] = n
+        if n <= self._limit:
+            self.out.append(diag)
+
+    def finish(self) -> List[Diagnostic]:
+        for rule_id, n in sorted(self._counts.items()):
+            if n > self._limit:
+                self.out.append(Diagnostic(
+                    rule_id,
+                    f"... {n - self._limit} further {rule_id} finding(s) "
+                    "suppressed",
+                ))
+        return self.out
+
+
+# ---------------------------------------------------------------------------
+# structural pass (mode-independent)
+# ---------------------------------------------------------------------------
+
+
+def sanitize_raw(trace: RawTrace) -> List[Diagnostic]:
+    """Mode-independent structural checks on a raw trace."""
+    cap = _Capped()
+    sends: Dict[int, int] = {}  # match id -> send location
+    recvs: Dict[int, int] = {}
+    groups: Dict[Tuple[str, int], List[Tuple[int, float]]] = {}
+    group_size: Dict[Tuple[str, int], int] = {}
+    forks: Set[int] = set()
+
+    def region(rid: int) -> str:
+        try:
+            return trace.regions.name(rid)
+        except IndexError:
+            return f"<region {rid}>"
+
+    for loc, evs in enumerate(trace.events):
+        prev_t = -float("inf")
+        stack: List[int] = []
+        for i, ev in enumerate(evs):
+            if ev.t < prev_t - 1e-15:
+                cap.add(Diagnostic(
+                    "TRC001",
+                    f"event #{i} ({region(ev.region)}) at t={ev.t:.9g} "
+                    f"after t={prev_t:.9g}",
+                    location=loc,
+                ))
+            prev_t = max(prev_t, ev.t)
+            et = ev.etype
+            if et == ENTER:
+                stack.append(ev.region)
+            elif et == LEAVE:
+                if not stack:
+                    cap.add(Diagnostic(
+                        "TRC006",
+                        f"LEAVE {region(ev.region)} (event #{i}) with no "
+                        "open ENTER",
+                        location=loc,
+                    ))
+                elif stack[-1] != ev.region:
+                    cap.add(Diagnostic(
+                        "TRC006",
+                        f"LEAVE {region(ev.region)} (event #{i}) closes "
+                        f"ENTER {region(stack[-1])}",
+                        location=loc,
+                    ))
+                    stack.pop()
+                else:
+                    stack.pop()
+            elif et == MPI_SEND:
+                mid = ev.aux[0]
+                if mid in sends:
+                    cap.add(Diagnostic(
+                        "TRC002",
+                        f"duplicate MPI_SEND for match id {mid} (also on "
+                        f"location {sends[mid]})",
+                        location=loc,
+                    ))
+                sends[mid] = loc
+            elif et == MPI_RECV:
+                mid = ev.aux
+                if mid in recvs:
+                    cap.add(Diagnostic(
+                        "TRC002",
+                        f"duplicate MPI_RECV for match id {mid} (also on "
+                        f"location {recvs[mid]})",
+                        location=loc,
+                    ))
+                recvs[mid] = loc
+            elif et == COLL_END or et == OBAR_LEAVE:
+                gid, size = ev.aux
+                key = ("coll" if et == COLL_END else "obar", gid)
+                groups.setdefault(key, []).append((loc, ev.t))
+                if group_size.setdefault(key, size) != size:
+                    cap.add(Diagnostic(
+                        "TRC007",
+                        f"{key[0]} instance {gid}: conflicting group sizes "
+                        f"{group_size[key]} and {size}",
+                        location=loc,
+                    ))
+            elif et == FORK:
+                forks.add(ev.aux)
+            elif et == TEAM_BEGIN:
+                if ev.aux not in forks:
+                    cap.add(Diagnostic(
+                        "TRC007",
+                        f"TEAM_BEGIN for OpenMP construct {ev.aux} without "
+                        "a FORK on the master",
+                        location=loc,
+                    ))
+        if stack:
+            cap.add(Diagnostic(
+                "TRC006",
+                "ENTER(s) never left: "
+                + " > ".join(region(r) for r in stack),
+                location=loc,
+            ))
+
+    for mid in sorted(set(sends) - set(recvs)):
+        cap.add(Diagnostic(
+            "TRC002",
+            f"MPI_SEND with match id {mid} has no MPI_RECV (dropped "
+            "receive record?)",
+            location=sends[mid],
+        ))
+    for mid in sorted(set(recvs) - set(sends)):
+        cap.add(Diagnostic(
+            "TRC002",
+            f"MPI_RECV with match id {mid} has no MPI_SEND (dropped send "
+            "record?)",
+            location=recvs[mid],
+        ))
+
+    for key in sorted(groups):
+        kind, gid = key
+        members = groups[key]
+        size = group_size[key]
+        if len(members) != size:
+            cap.add(Diagnostic(
+                "TRC007",
+                f"{kind} instance {gid} has {len(members)} member event(s) "
+                f"but group size {size}",
+                location=members[0][0],
+            ))
+            continue
+        ts = [t for (_loc, t) in members]
+        lo, hi = min(ts), max(ts)
+        if hi - lo > _REL_TOL * max(1.0, abs(hi)):
+            cap.add(Diagnostic(
+                "TRC004",
+                f"{kind} instance {gid}: physical completion times spread "
+                f"over [{lo:.9g}, {hi:.9g}]",
+                location=members[0][0],
+            ))
+    return cap.finish()
+
+
+# ---------------------------------------------------------------------------
+# timestamp pass (per mode)
+# ---------------------------------------------------------------------------
+
+
+def check_timestamps(tt) -> List[Diagnostic]:
+    """Clock-condition checks on a :class:`TimestampedTrace`.
+
+    Works for physical (``tsc``) and all logical modes; forged or
+    corrupted timestamp arrays are reported against the event structure
+    of the underlying raw trace.
+    """
+    trace: RawTrace = tt.trace
+    mode: str = tt.mode
+    logical = mode in LOGICAL_MODES
+    cap = _Capped()
+
+    # per-location monotonicity of the derived timestamps
+    for loc, ts in enumerate(tt.times):
+        prev = -float("inf")
+        for i in range(len(ts)):
+            if ts[i] < prev - 1e-12:
+                cap.add(Diagnostic(
+                    "TRC005",
+                    f"timestamp of event #{i} ({ts[i]:.9g}) below its "
+                    f"predecessor ({prev:.9g})",
+                    location=loc, mode=mode,
+                ))
+            prev = max(prev, float(ts[i]))
+
+    # send->recv Lamport condition; sends collected first because the
+    # per-location walk does not follow the global causal order
+    send_ts: Dict[int, Tuple[int, float]] = {}
+    for loc, evs in enumerate(trace.events):
+        for i, ev in enumerate(evs):
+            if ev.etype == MPI_SEND:
+                send_ts[ev.aux[0]] = (loc, float(tt.times[loc][i]))
+
+    groups: Dict[Tuple[str, int], List[Tuple[int, float]]] = {}
+    for loc, evs in enumerate(trace.events):
+        for i, ev in enumerate(evs):
+            et = ev.etype
+            if et == MPI_RECV:
+                hit = send_ts.get(ev.aux)
+                if hit is None:
+                    continue  # structural pass reports the missing send
+                _sloc, c_send = hit
+                c_recv = float(tt.times[loc][i])
+                # Lamport: C(recv) >= C(send) + 1 for logical clocks;
+                # physical time needs strict order only
+                bound = c_send + 1.0 - 1e-9 if logical else c_send
+                if c_recv < bound:
+                    cap.add(Diagnostic(
+                        "TRC003",
+                        f"message {ev.aux}: recv timestamp {c_recv:.9g} "
+                        f"does not follow send timestamp {c_send:.9g}",
+                        location=loc, mode=mode,
+                    ))
+            elif et == COLL_END or et == OBAR_LEAVE:
+                key = ("coll" if et == COLL_END else "obar", ev.aux[0])
+                groups.setdefault(key, []).append((loc, float(tt.times[loc][i])))
+
+    for key in sorted(groups):
+        kind, gid = key
+        ts = [t for (_loc, t) in groups[key]]
+        lo, hi = min(ts), max(ts)
+        if hi - lo > _REL_TOL * max(1.0, abs(hi)):
+            cap.add(Diagnostic(
+                "TRC004",
+                f"{kind} instance {gid}: group timestamps spread over "
+                f"[{lo:.9g}, {hi:.9g}] instead of one group value",
+                location=groups[key][0][0], mode=mode,
+            ))
+    return cap.finish()
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
+
+def sanitize_trace(
+    trace: RawTrace,
+    modes: Optional[Sequence[str]] = None,
+    counter_seed: int = 0,
+) -> SanitizeReport:
+    """Run the structural pass plus the timestamp pass for each mode.
+
+    ``modes`` defaults to all six of the paper's clock modes; pass e.g.
+    ``("tsc", "lt1")`` to restrict.  ``counter_seed`` feeds the simulated
+    hardware-counter noise of ``lthwctr``.
+    """
+    from repro.clocks import timestamp_trace
+
+    mode_list = tuple(modes) if modes is not None else MODES
+    diagnostics = sanitize_raw(trace)
+    structural_errors = has_errors(diagnostics)
+    for mode in mode_list:
+        if structural_errors:
+            # replaying clocks over a structurally broken trace can crash
+            # (incomplete groups) or mislead; report structure first
+            break
+        tt = timestamp_trace(trace, mode, counter_seed=counter_seed)
+        diagnostics.extend(check_timestamps(tt))
+    return SanitizeReport(
+        trace_mode=trace.mode,
+        n_locations=trace.n_locations,
+        n_events=trace.n_events,
+        modes=mode_list,
+        diagnostics=diagnostics,
+    )

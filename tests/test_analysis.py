@@ -22,12 +22,10 @@ from repro.analysis import (
     render_metric_tree,
 )
 from repro.clocks import timestamp_trace
-from repro.machine.noise import NoiseModel, ZeroNoise
 from repro.measure import Measurement
 from repro.sim import (
     Allreduce,
     Compute,
-    CostModel,
     Engine,
     Enter,
     KernelSpec,

@@ -2,7 +2,6 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.clocks import (
     LamportClock,
@@ -33,7 +32,7 @@ from repro.sim import (
     Send,
 )
 from repro.sim.events import Ev, ENTER
-from repro.sim.kernels import EMPTY_DELTA, WorkDelta
+from repro.sim.kernels import WorkDelta
 
 K = KernelSpec("k", flops_per_unit=1e5, omp_iters_per_unit=1.0, bb_per_unit=5,
                stmt_per_unit=15, instr_per_unit=40, memory_scope="none")

@@ -1,6 +1,5 @@
 """Tests for repro.machine: topology, pinning, network, memory, noise."""
 
-import math
 
 import numpy as np
 import pytest

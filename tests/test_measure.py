@@ -15,13 +15,11 @@ from repro.measure import (
 from repro.measure.config import validate_mode
 from repro.sim import (
     CallBurst,
-    Compute,
     CostModel,
     Engine,
     Enter,
     KernelSpec,
     Leave,
-    ParallelFor,
     Program,
     Send,
     Recv,

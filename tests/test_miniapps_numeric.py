@@ -5,7 +5,7 @@ import pytest
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
-from repro.miniapps.lulesh.numeric import HydroState, hydro_step, sedov_init, total_energy
+from repro.miniapps.lulesh.numeric import hydro_step, sedov_init, total_energy
 from repro.miniapps.lulesh.numeric import stable_timestep
 from repro.miniapps.minife.numeric import assemble_poisson_3d, cg_solve, generate_matrix_structure
 from repro.miniapps.tealeaf.numeric import HeatProblem, apply_operator, cg_5point, solve_step

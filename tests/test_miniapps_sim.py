@@ -3,14 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.analysis import (
-    COMP,
-    IDLE_THREADS,
-    MPI_COLL_WAIT_NXN,
-    TIME_LEAVES,
-    analyze_trace,
-    group_totals,
-)
+from repro.analysis import COMP, MPI_COLL_WAIT_NXN, TIME_LEAVES, analyze_trace
 from repro.clocks import timestamp_trace
 from repro.machine import jureca_dc
 from repro.machine.noise import NoiseConfig, NoiseModel

@@ -1,13 +1,12 @@
 """Tests for plain profiling and the remaining collective operations."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import MPI_COLL_WAIT_NXN, PLAIN_TIME, analyze_trace, plain_profile
 from repro.clocks import timestamp_trace
-from repro.machine.noise import NoiseConfig, NoiseModel, ZeroNoise
+from repro.machine.noise import NoiseConfig, NoiseModel
 from repro.measure import Measurement
-from repro.scoring import jaccard, min_pairwise_jaccard
+from repro.scoring import min_pairwise_jaccard
 from repro.sim import (
     Allgather,
     Allreduce,

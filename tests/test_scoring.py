@@ -61,7 +61,10 @@ class TestJaccard:
     @settings(max_examples=40)
     def test_scale_sensitivity(self, a, factor):
         """Scaling one argument reduces similarity unless factor == 1."""
-        if not a or all(v == 0 for v in a.values()):
+        # subnormal values underflow when scaled, breaking the exact
+        # expected ratio below
+        a = {k: v for k, v in a.items() if v > 1e-150}
+        if not a:
             return
         scaled = {k: v * factor for k, v in a.items()}
         expected = min(factor, 1 / factor)

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.machine import small_test_cluster
 from repro.machine.noise import NoiseModel, ZeroNoise
 from repro.measure import Measurement
 from repro.sim import (
@@ -29,7 +28,6 @@ from repro.sim.events import (
     ENTER,
     LEAVE,
     MPI_RECV,
-    MPI_SEND,
     OBAR_LEAVE,
     TEAM_BEGIN,
 )
