@@ -44,9 +44,37 @@ def test_perf_lamport_replay(benchmark, trace):
     assert len(times.times) == trace.n_locations
 
 
+def test_perf_lamport_replay_legacy(benchmark, trace):
+    """Per-event walk, kept as the reference point for the columnar speedup."""
+    times = benchmark(lambda: timestamp_trace(trace, "ltbb", impl="legacy"))
+    assert len(times.times) == trace.n_locations
+
+
 def test_perf_hwctr_replay(benchmark, trace):
     times = benchmark(lambda: timestamp_trace(trace, "lthwctr", counter_seed=1))
     assert len(times.times) == trace.n_locations
+
+
+def test_perf_replay_plan_compile(benchmark, trace):
+    """One-time cost of compiling the static replay plan for a trace."""
+    from repro.clocks.columnar import _build_replay_plan
+
+    cols = trace.columns()
+    records, _tails = benchmark(lambda: _build_replay_plan(cols))
+    assert len(records) > 0
+
+
+def test_perf_npz_write_read(benchmark, trace, tmp_path):
+    from repro.measure import read_trace, write_trace
+
+    path = tmp_path / "t.npz"
+
+    def round_trip():
+        write_trace(trace, path)
+        return read_trace(path)
+
+    back = benchmark(round_trip)
+    assert back.n_events == trace.n_events
 
 
 def test_perf_analyzer(benchmark, trace):

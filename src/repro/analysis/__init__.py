@@ -26,9 +26,13 @@ from repro.analysis.metrics import (
 )
 from repro.analysis.patterns import (
     nxn_waits,
+    nxn_waits_batch,
     barrier_split,
+    barrier_split_batch,
     late_sender_wait,
+    late_sender_wait_many,
     late_receiver_wait,
+    late_receiver_wait_many,
 )
 from repro.analysis.analyzer import analyze_trace
 from repro.analysis.report import render_report, top_callpaths, load_balance_summary
@@ -53,9 +57,13 @@ __all__ = [
     "render_metric_tree",
     "group_totals",
     "nxn_waits",
+    "nxn_waits_batch",
     "barrier_split",
+    "barrier_split_batch",
     "late_sender_wait",
+    "late_sender_wait_many",
     "late_receiver_wait",
+    "late_receiver_wait_many",
     "analyze_trace",
     "render_report",
     "top_callpaths",

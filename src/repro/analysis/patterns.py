@@ -4,13 +4,37 @@ These functions are clock-agnostic: they take timestamps in whatever unit
 the active clock produces (seconds for tsc, logical units otherwise) and
 return severities in the same unit.  Keeping them pure makes the pattern
 semantics unit-testable independent of the trace walker.
+
+Each per-instance function switches to a NumPy evaluation above
+:data:`VECTOR_MIN` participants; the array expressions perform the exact
+same IEEE operations per element as the scalar comprehensions, so both
+paths are bit-identical (locked by ``tests/test_columnar.py``).  The
+``*_batch`` variants evaluate *many* instances in one shot over flattened
+arrays (``np.maximum.reduceat`` per group) for bulk consumers such as the
+benchmark harness.
 """
 
 from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
-__all__ = ["nxn_waits", "barrier_split", "late_sender_wait", "late_receiver_wait"]
+import numpy as np
+
+__all__ = [
+    "nxn_waits",
+    "nxn_waits_batch",
+    "barrier_split",
+    "barrier_split_batch",
+    "late_sender_wait",
+    "late_sender_wait_many",
+    "late_receiver_wait",
+    "late_receiver_wait_many",
+]
+
+#: participant count above which the per-instance formulas evaluate as
+#: NumPy expressions; below it, plain Python is faster (array allocation
+#: overhead exceeds the work).  Both paths are bit-identical.
+VECTOR_MIN = 32
 
 
 def nxn_waits(enters: Sequence[float], completion: float) -> List[float]:
@@ -21,10 +45,38 @@ def nxn_waits(enters: Sequence[float], completion: float) -> List[float]:
     ``wait_i = max_j(enter_j) - enter_i``, clamped into the participant's
     own interval ``[0, completion - enter_i]``.
     """
-    if not enters:
+    if not len(enters):
         return []
+    if len(enters) >= VECTOR_MIN:
+        e = np.asarray(enters, dtype=np.float64)
+        lim = min(float(e.max()), completion)
+        return np.maximum(0.0, lim - e).tolist()
     latest = max(enters)
-    return [max(0.0, min(latest, completion) - e) for e in enters]
+    lim = min(latest, completion)
+    return [max(0.0, lim - e) for e in enters]
+
+
+def nxn_waits_batch(
+    enters: np.ndarray, starts: np.ndarray, completions: np.ndarray
+) -> np.ndarray:
+    """Wait-at-NxN severities for many collective instances at once.
+
+    ``enters`` is the flat concatenation of all instances' enter
+    timestamps, ``starts[k]`` the offset at which instance ``k`` begins,
+    and ``completions[k]`` its completion timestamp.  Returns the flat
+    severity array aligned with ``enters``; element for element identical
+    to calling :func:`nxn_waits` per instance.
+    """
+    e = np.asarray(enters, dtype=np.float64)
+    if not len(e):
+        return np.empty(0, dtype=np.float64)
+    starts = np.asarray(starts, dtype=np.int64)
+    lim = np.minimum(
+        np.maximum.reduceat(e, starts),
+        np.asarray(completions, dtype=np.float64),
+    )
+    sizes = np.diff(np.append(starts, len(e)))
+    return np.maximum(0.0, np.repeat(lim, sizes) - e)
 
 
 def barrier_split(enters: Sequence[float], leaves: Sequence[float]) -> Tuple[List[float], List[float]]:
@@ -37,12 +89,36 @@ def barrier_split(enters: Sequence[float], leaves: Sequence[float]) -> Tuple[Lis
     """
     if len(enters) != len(leaves):
         raise ValueError("enters and leaves must have the same length")
-    if not enters:
+    if not len(enters):
         return [], []
+    if len(enters) >= VECTOR_MIN:
+        d = np.asarray(leaves, dtype=np.float64) - np.asarray(enters, dtype=np.float64)
+        overhead = max(0.0, float(d.min()))
+        return np.maximum(0.0, d - overhead).tolist(), [overhead] * len(d)
     durations = [l - e for e, l in zip(enters, leaves)]
     overhead = max(0.0, min(durations))
     waits = [max(0.0, d - overhead) for d in durations]
     return waits, [overhead] * len(durations)
+
+
+def barrier_split_batch(
+    enters: np.ndarray, leaves: np.ndarray, starts: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(waits, overheads) for many barrier instances at once.
+
+    Flat-array analogue of :func:`barrier_split` with the same
+    ``starts`` convention as :func:`nxn_waits_batch`; element for element
+    identical to the per-instance function.
+    """
+    e = np.asarray(enters, dtype=np.float64)
+    if not len(e):
+        return np.empty(0, dtype=np.float64), np.empty(0, dtype=np.float64)
+    d = np.asarray(leaves, dtype=np.float64) - e
+    starts = np.asarray(starts, dtype=np.int64)
+    overhead = np.maximum(0.0, np.minimum.reduceat(d, starts))
+    sizes = np.diff(np.append(starts, len(d)))
+    o_flat = np.repeat(overhead, sizes)
+    return np.maximum(0.0, d - o_flat), o_flat
 
 
 def late_sender_wait(send_ts: float, recv_enter_ts: float, recv_complete_ts: float) -> float:
@@ -54,6 +130,17 @@ def late_sender_wait(send_ts: float, recv_enter_ts: float, recv_complete_ts: flo
     return max(0.0, min(send_ts, recv_complete_ts) - recv_enter_ts)
 
 
+def late_sender_wait_many(
+    send_ts: np.ndarray, recv_enter_ts: np.ndarray, recv_complete_ts: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`late_sender_wait` over aligned message arrays."""
+    return np.maximum(
+        0.0,
+        np.minimum(np.asarray(send_ts, dtype=np.float64), recv_complete_ts)
+        - recv_enter_ts,
+    )
+
+
 def late_receiver_wait(send_ts: float, recv_post_ts: float, complete_ts: float) -> float:
     """Late-receiver severity at the sender (rendezvous protocol only).
 
@@ -61,3 +148,14 @@ def late_receiver_wait(send_ts: float, recv_post_ts: float, complete_ts: float) 
     the receiver posted after the send started, the sender waited.
     """
     return max(0.0, min(recv_post_ts, complete_ts) - send_ts)
+
+
+def late_receiver_wait_many(
+    send_ts: np.ndarray, recv_post_ts: np.ndarray, complete_ts: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`late_receiver_wait` over aligned message arrays."""
+    return np.maximum(
+        0.0,
+        np.minimum(np.asarray(recv_post_ts, dtype=np.float64), complete_ts)
+        - np.asarray(send_ts, dtype=np.float64),
+    )

@@ -1,0 +1,204 @@
+"""Performance benchmark harness behind the ``repro-bench`` CLI.
+
+Times the toolchain's hot paths -- the discrete-event engine, the clock
+replay (per-event vs. columnar), the analyzer walk, and a miniature
+measurement campaign (serial vs. parallel workers) -- and writes the
+numbers to ``BENCH_repro.json``.  A committed baseline
+(``benchmarks/BENCH_baseline.json``) plus ``--baseline`` turns the run
+into a smoke gate: any timed section slower than ``--threshold`` times
+its baseline value fails the run (CI uses 2x).
+
+The numbers are wall-clock best-of-``repeats`` measurements of single-
+process work, so they are machine-dependent but robust against transient
+load; the *speedup* figures (columnar vs. legacy replay) are
+machine-independent enough to track the paper-repro's own performance
+claims.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["run_benchmarks", "compare_to_baseline", "REGRESSION_KEYS"]
+
+#: (section, field) pairs gated by the baseline comparison; wall-time
+#: fields only -- throughput/speedup fields are derived from them
+REGRESSION_KEYS: Tuple[Tuple[str, str], ...] = (
+    ("engine", "seconds"),
+    ("replay_ltbb", "columnar_seconds"),
+    ("replay_lthwctr", "columnar_seconds"),
+    ("analyzer", "seconds"),
+)
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _make_trace(quick: bool):
+    from repro.machine import jureca_dc
+    from repro.machine.noise import NoiseConfig, NoiseModel
+    from repro.measure import Measurement
+    from repro.miniapps.minife import MiniFE, MiniFEConfig
+    from repro.sim import CostModel, Engine
+
+    if quick:
+        cfg = MiniFEConfig.tiny(nx=64, n_ranks=4, threads_per_rank=2, cg_iters=4)
+    else:
+        cfg = MiniFEConfig.tiny(nx=96, n_ranks=8, threads_per_rank=4, cg_iters=8)
+    cluster = jureca_dc(1)
+    cost = CostModel(cluster, noise=NoiseModel(NoiseConfig(), seed=0))
+
+    def build():
+        return Engine(MiniFE(cfg), cluster, cost,
+                      measurement=Measurement("tsc")).run().trace
+
+    return build
+
+
+def run_benchmarks(quick: bool = False, workers: int = 2,
+                   verbose: bool = True) -> Dict:
+    """Time every hot path; returns the ``BENCH_repro.json`` document."""
+    from repro.analysis import analyze_trace
+    from repro.clocks import timestamp_trace
+
+    repeats = 3 if quick else 5
+    log = print if verbose else (lambda *_a, **_k: None)
+    build = _make_trace(quick)
+
+    engine_s = _best_of(build, repeats)
+    trace = build()
+    n_events = trace.n_events
+    log(f"engine:          {engine_s * 1e3:8.2f} ms "
+        f"({n_events / engine_s:,.0f} events/s)")
+
+    results: Dict[str, Dict] = {
+        "engine": {
+            "seconds": engine_s,
+            "events": n_events,
+            "events_per_sec": n_events / engine_s,
+        },
+    }
+
+    for mode, kwargs in (("ltbb", {}), ("lthwctr", {"counter_seed": 1})):
+        legacy_s = _best_of(
+            lambda: timestamp_trace(trace, mode, impl="legacy", **kwargs), repeats
+        )
+        columnar_s = _best_of(
+            lambda: timestamp_trace(trace, mode, **kwargs), repeats
+        )
+        results[f"replay_{mode}"] = {
+            "legacy_seconds": legacy_s,
+            "columnar_seconds": columnar_s,
+            "speedup": legacy_s / columnar_s,
+            "events_per_sec": n_events / columnar_s,
+        }
+        log(f"replay {mode:8s}{columnar_s * 1e3:8.2f} ms "
+            f"({n_events / columnar_s:,.0f} events/s, "
+            f"{legacy_s / columnar_s:.1f}x vs per-event walk)")
+
+    tt = timestamp_trace(trace, "tsc")
+    analyzer_s = _best_of(lambda: analyze_trace(tt), repeats)
+    results["analyzer"] = {
+        "seconds": analyzer_s,
+        "events_per_sec": n_events / analyzer_s,
+    }
+    log(f"analyzer:        {analyzer_s * 1e3:8.2f} ms "
+        f"({n_events / analyzer_s:,.0f} events/s)")
+
+    results["campaign"] = _bench_campaign(quick, workers, log)
+    return {
+        "format": "repro-bench-1",
+        "quick": quick,
+        "results": results,
+    }
+
+
+def _bench_campaign(quick: bool, workers: int, log) -> Dict:
+    """Wall time of a miniature campaign, serial vs. ``workers`` processes.
+
+    Registers a throwaway experiment for the duration of the measurement;
+    caching is disabled so both runs really compute.
+    """
+    from repro.experiments import configs as C
+    from repro.experiments.configs import ExperimentSpec
+    from repro.experiments.workflow import run_experiment
+
+    def make():
+        from repro.miniapps.minife import MiniFE, MiniFEConfig
+
+        return MiniFE(MiniFEConfig.tiny(
+            nx=48 if quick else 64, n_ranks=4, cg_iters=3, init_segments=2))
+
+    name = "Bench-Micro"
+    spec = ExperimentSpec(name, make, nodes=1, reps_ref=2, reps_noisy=2,
+                          phases=("init", "solve"))
+    C.EXPERIMENTS[name] = spec
+    try:
+        serial_s = _best_of(
+            lambda: run_experiment(name, seed=0, use_cache=False,
+                                   preflight=False, workers=1), 1
+        )
+        parallel_s = _best_of(
+            lambda: run_experiment(name, seed=0, use_cache=False,
+                                   preflight=False, workers=workers), 1
+        )
+    finally:
+        del C.EXPERIMENTS[name]
+    log(f"campaign:        {serial_s * 1e3:8.2f} ms serial, "
+        f"{parallel_s * 1e3:8.2f} ms with {workers} workers")
+    return {
+        "serial_seconds": serial_s,
+        "workers": workers,
+        "parallel_seconds": parallel_s,
+    }
+
+
+def compare_to_baseline(
+    doc: Dict, baseline: Dict, threshold: float = 2.0
+) -> List[str]:
+    """Regressions of ``doc`` vs. ``baseline`` (empty list = all clear).
+
+    Only the wall-time fields in :data:`REGRESSION_KEYS` are gated; a
+    section missing from the baseline is skipped so the gate survives
+    benchmark additions without invalidating old baselines.  Comparing a
+    quick run against a full baseline (or vice versa) is meaningless --
+    that mismatch is reported as the single problem instead.
+    """
+    if doc.get("quick") != baseline.get("quick"):
+        return [
+            f"fixture mismatch: run quick={doc.get('quick')} vs baseline "
+            f"quick={baseline.get('quick')} -- regenerate the baseline with "
+            f"the same --quick setting"
+        ]
+    problems = []
+    for section, field in REGRESSION_KEYS:
+        base = baseline.get("results", {}).get(section, {}).get(field)
+        cur = doc.get("results", {}).get(section, {}).get(field)
+        if base is None or cur is None:
+            continue
+        if cur > threshold * base:
+            problems.append(
+                f"{section}.{field}: {cur * 1e3:.2f} ms vs baseline "
+                f"{base * 1e3:.2f} ms (>{threshold:g}x)"
+            )
+    return problems
+
+
+def write_bench(doc: Dict, path: Path) -> None:
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def load_bench(path: Path) -> Optional[Dict]:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None

@@ -7,6 +7,8 @@
 * ``repro-report``   -- regenerate the paper's tables/figures.
 * ``repro-lint``     -- statically lint experiment programs / sanitize
   trace archives (see ``docs/verify.md``).
+* ``repro-bench``    -- time the toolchain's hot paths and write
+  ``BENCH_repro.json`` (see ``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -15,7 +17,8 @@ import argparse
 import sys
 from typing import List, Optional
 
-__all__ = ["main_run", "main_analyze", "main_score", "main_report", "main_lint"]
+__all__ = ["main_run", "main_analyze", "main_score", "main_report", "main_lint",
+           "main_bench"]
 
 
 def main_run(argv: Optional[List[str]] = None) -> int:
@@ -117,7 +120,14 @@ def main_report(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("items", nargs="*", default=list(all_items),
                         choices=list(all_items) + [[]], help="which tables/figures")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="processes per measurement campaign (default: "
+                             "the REPRO_WORKERS environment variable, else 1)")
     args = parser.parse_args(argv)
+    if args.workers is not None:
+        import os
+
+        os.environ["REPRO_WORKERS"] = str(args.workers)
     for item in args.items or list(all_items):
         _data, text = all_items[item](seed=args.seed)
         print(text)
@@ -247,6 +257,50 @@ def main_lint(argv: Optional[List[str]] = None) -> int:
         else:
             print(report.format())
     return 1 if failed else 0
+
+
+def main_bench(argv: Optional[List[str]] = None) -> int:
+    """Time the toolchain's hot paths and write ``BENCH_repro.json``.
+
+    With ``--baseline``, any gated wall-time more than ``--threshold``
+    times its baseline value fails the run (exit 1) -- the CI smoke gate.
+    """
+    from pathlib import Path
+
+    from repro.bench import compare_to_baseline, load_bench, run_benchmarks, write_bench
+
+    parser = argparse.ArgumentParser(prog="repro-bench", description=main_bench.__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller fixture and fewer repetitions (CI)")
+    parser.add_argument("-o", "--output", default="BENCH_repro.json",
+                        help="result file (default: %(default)s)")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="compare against a committed baseline bench file")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="regression factor that fails the gate "
+                             "(default: %(default)s)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker count for the campaign benchmark "
+                             "(default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    doc = run_benchmarks(quick=args.quick, workers=args.workers)
+    write_bench(doc, Path(args.output))
+    print(f"bench results written to {args.output}")
+
+    if args.baseline:
+        baseline = load_bench(Path(args.baseline))
+        if baseline is None:
+            print(f"cannot read baseline {args.baseline!r}")
+            return 2
+        problems = compare_to_baseline(doc, baseline, args.threshold)
+        if problems:
+            for p in problems:
+                print(f"REGRESSION {p}")
+            return 1
+        print(f"no regressions vs {args.baseline} "
+              f"(threshold {args.threshold:g}x)")
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -12,6 +12,11 @@ property the paper investigates.
 """
 
 from repro.clocks.base import TimestampedTrace, timestamp_trace
+from repro.clocks.columnar import (
+    columnar_increments,
+    lamport_assign_columnar,
+    timestamp_columns,
+)
 from repro.clocks.lamport import LamportClock
 from repro.clocks.increments import (
     increment_lt1,
@@ -30,6 +35,9 @@ __all__ = [
     "TimestampedTrace",
     "timestamp_trace",
     "LamportClock",
+    "columnar_increments",
+    "lamport_assign_columnar",
+    "timestamp_columns",
     "increment_lt1",
     "increment_ltloop",
     "increment_ltbb",

@@ -50,6 +50,7 @@ def timestamp_trace(
     mode: Optional[str] = None,
     counter_seed: int = 0,
     counter_noise_config: Optional[NoiseConfig] = None,
+    impl: Optional[str] = None,
 ) -> TimestampedTrace:
     """Assign timestamps to ``trace`` under ``mode``.
 
@@ -58,13 +59,38 @@ def timestamp_trace(
     simulated run-to-run variability of the instruction counter (pass the
     repetition seed to reproduce the paper's five-repetition studies;
     a ``ZeroNoise`` config makes the counter exact).
+
+    ``impl`` selects the replay engine: ``"columnar"`` (the vectorized
+    segment replay over the trace's structure-of-arrays view, see
+    :mod:`repro.clocks.columnar`) or ``"legacy"`` (the per-event walk).
+    Both produce bit-identical timestamps; the default (``None``) uses the
+    columnar engine and falls back to the per-event walk for traces whose
+    payloads cannot be converted to columns.
     """
     from repro.clocks.hwcounter import HwCounterIncrement
     from repro.clocks.increments import make_increment
     from repro.clocks.lamport import LamportClock
     from repro.clocks.physical import physical_times
+    from repro.measure.columnar import ColumnarConversionError
 
     mode = validate_mode(mode or trace.mode)
+    if impl not in (None, "columnar", "legacy"):
+        raise ValueError(f"unknown replay impl {impl!r}; expected columnar/legacy")
+    if impl != "legacy":
+        try:
+            cols = trace.columns()
+        except ColumnarConversionError:
+            if impl == "columnar":
+                raise
+        else:
+            from repro.clocks.columnar import timestamp_columns
+
+            times = timestamp_columns(
+                cols, mode,
+                counter_seed=counter_seed,
+                counter_noise_config=counter_noise_config,
+            )
+            return TimestampedTrace(trace, times, mode)
     if mode == TSC:
         return TimestampedTrace(trace, physical_times(trace), TSC)
     if mode == LTHWCTR:

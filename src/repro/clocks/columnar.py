@@ -1,0 +1,307 @@
+"""Vectorized clock replay over columnar (structure-of-arrays) traces.
+
+The per-event replay in :mod:`repro.clocks.lamport` walks every event of
+the merged trace through Python, paying for a heap pop, an increment
+callable and a NumPy scalar write per event.  This module exploits the
+structure of the Lamport replay instead:
+
+* Between synchronisation events a location's clock is a plain running
+  sum of its work increments, so the increments are computed **in bulk**
+  per location (one NumPy expression per mode) and the timestamp stretches
+  between synchronisation points are filled by sequential accumulation of
+  those precomputed values.
+* Only the synchronisation events -- sends, receives, collective/barrier
+  completions, forks and team begins, typically a third of a trace --
+  are walked in merged order, performing the ``max``-exchanges of
+  Algorithm 1.
+
+The result is **bit-identical** to :class:`~repro.clocks.lamport.
+LamportClock` for every mode: ``itertools.accumulate`` performs exactly
+the sequential left-to-right float additions the legacy loop performs,
+the merged order of the
+synchronisation events is the same ``(t, loc)``-heap order, and the
+group-completion counter overwrite is replayed at the exact merged
+position at which the legacy loop performs it (including the corner case
+of a member recording further events between its own completion record
+and the group's last arrival).  ``tests/test_columnar.py`` locks this
+equivalence for all six modes.
+"""
+
+from __future__ import annotations
+
+from itertools import accumulate
+from typing import List, Optional
+
+import numpy as np
+
+from repro.machine.noise import CounterNoise, NoiseConfig
+from repro.measure.columnar import TraceColumns
+from repro.measure.config import (
+    LT1,
+    LTBB,
+    LTHWCTR,
+    LTLOOP,
+    LTSTMT,
+    TSC,
+    X_BB_PER_OMP_CALL,
+    Y_STMT_PER_OMP_CALL,
+)
+from repro.sim.events import COLL_END, FORK, MPI_RECV, MPI_SEND, OBAR_LEAVE, TEAM_BEGIN
+from repro.util.rng import RngStreams
+
+__all__ = ["columnar_increments", "lamport_assign_columnar", "timestamp_columns"]
+
+#: gap length above which segment fills switch from the plain Python
+#: accumulate loop to ``itertools.accumulate`` (both perform the same
+#: sequential left-to-right float additions, so both are bit-exact; the
+#: C iterator only wins once its constant call overhead is amortized)
+_BULK_FILL = 6
+
+
+def columnar_increments(
+    cols: TraceColumns,
+    mode: str,
+    counter_noise: Optional[CounterNoise] = None,
+    x_bb: float = X_BB_PER_OMP_CALL,
+    y_stmt: float = Y_STMT_PER_OMP_CALL,
+) -> List[np.ndarray]:
+    """Per-location clock-increment arrays for a logical mode.
+
+    Vectorizes the effort models of :mod:`repro.clocks.increments`; the
+    arithmetic mirrors the scalar definitions operation for operation so
+    every element is bit-identical to the per-event callable.  ``lthwctr``
+    draws its noise through :meth:`CounterNoise.perturb_many`, which keeps
+    the scalar path's per-event draw interleaving.
+    """
+    out: List[np.ndarray] = []
+    for loc, lc in enumerate(cols.locs):
+        base = 1.0 + 2.0 * lc.burst_calls
+        if mode == LT1:
+            inc = base
+        elif mode == LTLOOP:
+            inc = base + lc.omp_iters
+        elif mode == LTBB:
+            inc = base + lc.bb + x_bb * lc.omp_calls
+        elif mode == LTSTMT:
+            inc = base + lc.stmt + y_stmt * lc.omp_calls
+        elif mode == LTHWCTR:
+            if counter_noise is None:
+                raise ValueError("lthwctr increments need a CounterNoise")
+            rank, thread = cols.locations[loc]
+            readings = counter_noise.perturb_many(rank, thread, lc.instr.tolist())
+            inc = np.maximum(1.0, readings)
+        else:
+            raise ValueError(f"no increment model for mode {mode!r}")
+        out.append(inc)
+    return out
+
+
+#: replay-plan opcodes
+_OP_RECORD = 0  # publish the clock (sends, forks, waiting group members)
+_OP_MAXSRC = 1  # max-exchange with an earlier record (receives, team begins)
+_OP_FINAL = 2  # last group member: apply the group max to all members
+
+
+def _build_replay_plan(cols: TraceColumns):
+    """Compile the synchronisation walk into a flat, mode-independent plan.
+
+    Everything about the replay's control flow is static per trace: which
+    send each receive pairs with, which arrival completes each group, the
+    fill range in front of every synchronisation event, and the merged
+    position at which each member's counter is overwritten by the group
+    maximum.  Only the *float values* depend on the mode.  Compiling the
+    walk once therefore moves all dict/group/searchsorted bookkeeping out
+    of the per-mode replay, which then just dispatches over plan records.
+
+    Returns ``(records, tails)``: ``records[s] = (loc, i, a, op, arg)``
+    meaning "fill events ``a..i`` of ``loc``, then apply ``op``"; ``arg``
+    is the record's value slot (:data:`_OP_RECORD`), the source slot
+    (:data:`_OP_MAXSRC`), or ``(slot, member_slots, overwrites)`` for
+    :data:`_OP_FINAL` with overwrite entries ``(l2, i2, a2, b2)`` (set
+    event ``i2`` to the group max after filling ``a2..b2-1``).  ``tails``
+    is the per-location index of the last planned event.  Raises exactly
+    the errors the per-event replay raises for malformed traces (receive
+    before send, team begin without fork, incomplete groups).
+    """
+    t_lists = cols.t_lists()
+    t_arrays = [lc.t for lc in cols.locs]
+    last = [-1] * cols.n_locations  # highest event index already planned
+    send_pos = {}
+    fork_pos = {}
+    # (etype, group id) -> list of (loc, event index, value slot)
+    groups = {}
+    records = []
+
+    s_loc, s_idx, s_et, s_a, s_b, s_t = cols.sync_order()
+    for s in range(len(s_loc)):
+        loc = s_loc[s]
+        i = s_idx[s]
+        et = s_et[s]
+        aux = s_a[s]
+        a = last[loc] + 1
+        last[loc] = i
+
+        if et == COLL_END or et == OBAR_LEAVE:
+            key = (et, aux)
+            grp = groups.get(key)
+            if grp is None:
+                grp = groups[key] = []
+            grp.append((loc, i, s))
+            if len(grp) < s_b[s]:
+                records.append((loc, i, a, _OP_RECORD, s))
+                continue
+            t_c = s_t[s]
+            overwrites = []
+            for l2, i2, _slot in grp:
+                # The group max lands on member l2 at the exact merged
+                # position of this (last) arrival: events l2 recorded
+                # after its own completion but before this point keep
+                # their provisional timestamps.
+                nxt = last[l2] + 1
+                if l2 == loc:
+                    p2 = nxt
+                else:
+                    tl2 = t_lists[l2]
+                    if nxt >= len(tl2):
+                        p2 = nxt
+                    else:
+                        t_next = tl2[nxt]
+                        if t_next > t_c or (t_next == t_c and l2 > loc):
+                            p2 = nxt
+                        else:
+                            p2 = int(np.searchsorted(
+                                t_arrays[l2], t_c,
+                                side="right" if l2 < loc else "left",
+                            ))
+                if p2 > nxt:
+                    last[l2] = p2 - 1
+                overwrites.append((l2, i2, nxt, p2))
+            slots = tuple(slot for (_l, _i, slot) in grp)
+            records.append((loc, i, a, _OP_FINAL, (s, slots, overwrites)))
+            del groups[key]
+        elif et == TEAM_BEGIN:
+            records.append((loc, i, a, _OP_MAXSRC, fork_pos[aux]))
+        elif et == FORK:
+            fork_pos[aux] = s
+            records.append((loc, i, a, _OP_RECORD, s))
+        elif et == MPI_SEND:
+            send_pos[aux] = s
+            records.append((loc, i, a, _OP_RECORD, s))
+        else:  # MPI_RECV
+            try:
+                src = send_pos.pop(aux)
+            except KeyError:
+                raise AssertionError(
+                    f"receive of message {aux} before/without its send -- "
+                    "merged order is not topological"
+                ) from None
+            records.append((loc, i, a, _OP_MAXSRC, src))
+
+    if groups:
+        raise AssertionError(
+            f"{len(groups)} incomplete synchronisation groups at end of "
+            f"trace (first keys: {_legacy_group_keys(groups)})"
+        )
+    return records, last
+
+
+def _replay_plan(cols: TraceColumns):
+    """The trace's compiled replay plan (built once, shared by all modes)."""
+    plan = cols._replay_plan
+    if plan is None:
+        plan = cols._replay_plan = _build_replay_plan(cols)
+    return plan
+
+
+def lamport_assign_columnar(
+    cols: TraceColumns, increments: List[np.ndarray]
+) -> List[np.ndarray]:
+    """Logical timestamps per location (Algorithm 1, segment-vectorized).
+
+    Equivalent to ``LamportClock(inc).assign(trace)`` with per-event
+    increments matching ``increments``; see the module docstring for the
+    equivalence argument.  Executes the trace's compiled replay plan
+    (:func:`_build_replay_plan`): per record, a sequential fill of the
+    work stretch in front of the synchronisation event followed by one of
+    three opcodes.  This loop is the replay's only per-event Python cost.
+    """
+    records, tails = _replay_plan(cols)
+    inc_lists = [arr.tolist() for arr in increments]
+    times: List[list] = [[0.0] * len(l) for l in inc_lists]
+    clock = [0.0] * cols.n_locations
+    val = [0.0] * len(records)  # published clock value per plan record
+    val_get = val.__getitem__
+
+    for loc, i, a, op, arg in records:
+        c = clock[loc]
+        g = i - a
+        if g == 0:
+            c += inc_lists[loc][i]
+            times[loc][i] = c
+        elif g > _BULK_FILL:
+            b = i + 1
+            seg = list(accumulate(inc_lists[loc][a:b], initial=c))
+            times[loc][a:b] = seg[1:]
+            c = seg[-1]
+        elif g > 0:
+            il = inc_lists[loc]
+            tl = times[loc]
+            for j in range(a, i + 1):
+                c += il[j]
+                tl[j] = c
+        # g < 0: a group overwrite already timestamped this stretch
+
+        if op == _OP_RECORD:
+            clock[loc] = c
+            val[arg] = c
+        elif op == _OP_MAXSRC:
+            p1 = val[arg] + 1.0
+            if p1 > c:
+                c = p1
+                times[loc][i] = c
+            clock[loc] = c
+        else:  # _OP_FINAL
+            slot, slots, overwrites = arg
+            val[slot] = c
+            m = max(map(val_get, slots))
+            for l2, i2, a2, b2 in overwrites:
+                if b2 > a2:
+                    il2 = inc_lists[l2]
+                    tl2 = times[l2]
+                    c2 = clock[l2]
+                    for j in range(a2, b2):
+                        c2 += il2[j]
+                        tl2[j] = c2
+                clock[l2] = m
+                times[l2][i2] = m
+
+    out: List[np.ndarray] = []
+    for loc in range(cols.n_locations):
+        tl = times[loc]
+        lo = tails[loc] + 1
+        if lo < len(tl):
+            tl[lo:] = list(accumulate(inc_lists[loc][lo:],
+                                      initial=clock[loc]))[1:]
+        out.append(np.asarray(tl, dtype=np.float64))
+    return out
+
+
+def _legacy_group_keys(groups) -> list:
+    """Format leftover group keys the way the per-event replay does."""
+    return [("c" if et == COLL_END else "b", gid) for (et, gid) in list(groups)[:3]]
+
+
+def timestamp_columns(
+    cols: TraceColumns,
+    mode: str,
+    counter_seed: int = 0,
+    counter_noise_config: Optional[NoiseConfig] = None,
+) -> List[np.ndarray]:
+    """Mode-dispatched timestamp assignment over a columnar trace."""
+    if mode == TSC:
+        return [lc.t.copy() for lc in cols.locs]
+    noise = None
+    if mode == LTHWCTR:
+        cfg = counter_noise_config if counter_noise_config is not None else NoiseConfig()
+        noise = CounterNoise(RngStreams(counter_seed), cfg)
+    return lamport_assign_columnar(cols, columnar_increments(cols, mode, noise))

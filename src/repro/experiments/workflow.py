@@ -7,15 +7,28 @@ logical clocks ...  Additionally, tsc and lt_hwctr measurements are
 influenced by noise, therefore we repeat these measurements five times.
 We base our evaluation ... on the arithmetic mean of the five call-path
 profiles."
+
+Every (reference | mode, repetition) run of a campaign is independently
+seeded via :func:`repro.util.rng.stream_seed`, so runs are embarrassingly
+parallel: ``run_experiment(..., workers=N)`` fans the runs out over a
+process pool and reassembles the results in canonical order, making the
+campaign **bit-identical** to the serial execution (``workers=1``, the
+default; the ``REPRO_WORKERS`` environment variable overrides it).
+Completed runs are also checkpointed individually, so an interrupted
+campaign resumes instead of recomputing.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import shutil
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from multiprocessing import get_context
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -33,14 +46,19 @@ __all__ = [
     "ExperimentResult",
     "preflight_lint",
     "run_experiment",
+    "resolve_workers",
     "clear_cache",
     "CACHE_VERSION",
 ]
 
 #: bump to invalidate cached results after calibration/code changes
-CACHE_VERSION = 3
+CACHE_VERSION = 4
 
 _CACHE_DIR = Path(__file__).resolve().parents[3] / ".results_cache"
+
+#: task key for uninstrumented reference runs (``mode`` is otherwise a
+#: measurement mode name)
+_REF = "ref"
 
 
 @dataclass
@@ -79,14 +97,45 @@ def _reps_for(mode: str, spec) -> int:
 
 
 def _run_once(name: str, mode: Optional[str], seed: int, rep: int):
-    """One (possibly instrumented) run; returns (SimResult, Measurement|None)."""
+    """One (possibly instrumented) run; returns the engine's SimResult."""
     app = make_app(name)
     cluster = make_cluster(name)
-    noise = NoiseModel(NoiseConfig(), seed=stream_seed(seed, name, mode or "ref", rep))
+    noise = NoiseModel(NoiseConfig(), seed=stream_seed(seed, name, mode or _REF, rep))
     cost = CostModel(cluster, noise=noise)
     measurement = Measurement(mode) if mode is not None else None
     engine = Engine(app, cluster, cost, measurement=measurement)
     return engine.run()
+
+
+def _run_task(name: str, mode: str, seed: int, rep: int):
+    """One campaign task, self-contained for process-pool workers.
+
+    Returns ``(runtime, {phase: duration})`` for reference runs
+    (``mode == "ref"``) and ``(runtime, {phase: duration}, profile)`` for
+    instrumented runs, where ``profile`` is the normalized analysis
+    result.  Every output is a pure function of the arguments (the run's
+    noise and counter seeds derive from them), which is what makes the
+    parallel campaign bit-identical to the serial one.
+    """
+    spec = EXPERIMENTS[name]
+    if mode == _REF:
+        res = _run_once(name, None, seed, rep)
+        return res.runtime, {p: res.phase(p) for p in spec.phases}
+    res = _run_once(name, mode, seed, rep)
+    tt = timestamp_trace(
+        res.trace, mode, counter_seed=stream_seed(seed, name, "ctr", rep)
+    )
+    profile = analyze_trace(tt).normalized()
+    return res.runtime, {p: res.phase(p) for p in spec.phases}, profile
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Campaign parallelism: explicit argument, else ``REPRO_WORKERS``, else 1."""
+    if workers is None:
+        workers = int(os.environ.get("REPRO_WORKERS", "1"))
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
 
 
 def preflight_lint(name: str) -> None:
@@ -114,8 +163,19 @@ def run_experiment(
     use_cache: bool = True,
     verbose: bool = False,
     preflight: bool = True,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
-    """Run (or load from cache) the complete workflow for ``name``."""
+    """Run (or load from cache) the complete workflow for ``name``.
+
+    ``workers`` sets the campaign fan-out (process pool); ``None`` reads
+    ``REPRO_WORKERS`` and defaults to serial.  Results are reassembled in
+    canonical (reference first, then mode, repetition) order and each run
+    is seeded independently, so the outcome is bit-identical for any
+    worker count.  With ``use_cache`` enabled, finished runs checkpoint
+    individually, letting an interrupted campaign resume where it
+    stopped; the per-run checkpoints are dropped once the aggregate
+    result is stored.
+    """
     spec = EXPERIMENTS[name]
     cache = _cache_path(name, seed)
     if use_cache and cache.exists():
@@ -127,15 +187,51 @@ def run_experiment(
     if preflight:
         preflight_lint(name)
 
+    tasks: List[Tuple[str, int]] = [(_REF, rep) for rep in range(spec.reps_ref)]
+    for mode in MODES:
+        tasks.extend((mode, rep) for rep in range(_reps_for(mode, spec)))
+
+    runs_dir = _runs_dir(name, seed)
+    payloads = {}
+    if use_cache:
+        for task in tasks:
+            payload = _load_run(runs_dir, task)
+            if payload is not None:
+                payloads[task] = payload
+
+    pending = [t for t in tasks if t not in payloads]
+    n_workers = min(resolve_workers(workers), max(1, len(pending)))
+    if pending and n_workers > 1:
+        # Fork inherits the experiment registry (including entries added
+        # at runtime, e.g. by tests or the benchmark harness) and the
+        # parent writes all checkpoints, so workers stay side-effect-free.
+        ctx = get_context("fork")
+        with ProcessPoolExecutor(max_workers=n_workers, mp_context=ctx) as pool:
+            futures = {t: pool.submit(_run_task, name, t[0], seed, t[1])
+                       for t in pending}
+            for task in pending:
+                payloads[task] = futures[task].result()
+                if use_cache:
+                    _store_run(runs_dir, task, payloads[task])
+                if verbose:
+                    print(f"[{name}] {task[0]} rep {task[1]}: "
+                          f"{payloads[task][0]:.3f}s")
+    else:
+        for task in pending:
+            payloads[task] = _run_task(name, task[0], seed, task[1])
+            if use_cache:
+                _store_run(runs_dir, task, payloads[task])
+            if verbose:
+                print(f"[{name}] {task[0]} rep {task[1]}: "
+                      f"{payloads[task][0]:.3f}s")
+
     ref_runtimes: List[float] = []
     ref_phases: Dict[str, List[float]] = {p: [] for p in spec.phases}
     for rep in range(spec.reps_ref):
-        res = _run_once(name, None, seed, rep)
-        ref_runtimes.append(res.runtime)
+        runtime, phase_times = payloads[(_REF, rep)]
+        ref_runtimes.append(runtime)
         for p in spec.phases:
-            ref_phases[p].append(res.phase(p))
-        if verbose:
-            print(f"[{name}] ref rep {rep}: {res.runtime:.3f}s")
+            ref_phases[p].append(phase_times[p])
 
     runtimes: Dict[str, List[float]] = {}
     phases: Dict[str, Dict[str, List[float]]] = {}
@@ -145,17 +241,11 @@ def run_experiment(
         phases[mode] = {p: [] for p in spec.phases}
         profiles[mode] = []
         for rep in range(_reps_for(mode, spec)):
-            res = _run_once(name, mode, seed, rep)
-            runtimes[mode].append(res.runtime)
+            runtime, phase_times, profile = payloads[(mode, rep)]
+            runtimes[mode].append(runtime)
             for p in spec.phases:
-                phases[mode][p].append(res.phase(p))
-            tt = timestamp_trace(
-                res.trace, mode, counter_seed=stream_seed(seed, name, "ctr", rep)
-            )
-            profiles[mode].append(analyze_trace(tt).normalized())
-            if verbose:
-                print(f"[{name}] {mode} rep {rep}: {res.runtime:.3f}s, "
-                      f"{res.trace.n_events} events")
+                phases[mode][p].append(phase_times[p])
+            profiles[mode].append(profile)
 
     result = ExperimentResult(
         name=name,
@@ -170,6 +260,7 @@ def run_experiment(
         result.mean_profiles[mode] = CubeProfile.mean(profiles[mode])
     if use_cache:
         _store(result, cache)
+        shutil.rmtree(runs_dir, ignore_errors=True)
     return result
 
 
@@ -182,31 +273,43 @@ def _cache_path(name: str, seed: int) -> Path:
     return _CACHE_DIR / f"v{CACHE_VERSION}-{name}-s{seed}"
 
 
+def _runs_dir(name: str, seed: int) -> Path:
+    """Per-run checkpoints of an unfinished campaign (resume support)."""
+    return _CACHE_DIR / f"v{CACHE_VERSION}-{name}-s{seed}.runs"
+
+
 def clear_cache() -> None:
     """Delete all cached experiment results."""
     shutil.rmtree(_CACHE_DIR, ignore_errors=True)
 
 
 def _store(result: ExperimentResult, path: Path) -> None:
-    tmp = path.with_suffix(".tmp")
-    shutil.rmtree(tmp, ignore_errors=True)
-    tmp.mkdir(parents=True)
-    doc = {
-        "name": result.name,
-        "seed": result.seed,
-        "ref_runtimes": result.ref_runtimes,
-        "ref_phases": result.ref_phases,
-        "runtimes": result.runtimes,
-        "phases": result.phases,
-        "reps": {m: len(result.profiles[m]) for m in result.profiles},
-    }
-    (tmp / "summary.json").write_text(json.dumps(doc))
-    for mode, profs in result.profiles.items():
-        for i, prof in enumerate(profs):
-            write_profile(prof, tmp / f"profile-{mode}-{i}.json.gz")
-        write_profile(result.mean_profiles[mode], tmp / f"profile-{mode}-mean.json.gz")
-    shutil.rmtree(path, ignore_errors=True)
-    tmp.rename(path)
+    # Stage into a unique temp dir (mkdtemp) so concurrent campaigns of
+    # the same experiment never scribble into each other's staging area;
+    # the final rename publishes atomically, and losing a publish race
+    # just discards this copy of the identical result.
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = Path(tempfile.mkdtemp(dir=path.parent, prefix=path.name + ".tmp-"))
+    try:
+        doc = {
+            "name": result.name,
+            "seed": result.seed,
+            "ref_runtimes": result.ref_runtimes,
+            "ref_phases": result.ref_phases,
+            "runtimes": result.runtimes,
+            "phases": result.phases,
+            "reps": {m: len(result.profiles[m]) for m in result.profiles},
+        }
+        (tmp / "summary.json").write_text(json.dumps(doc))
+        for mode, profs in result.profiles.items():
+            for i, prof in enumerate(profs):
+                write_profile(prof, tmp / f"profile-{mode}-{i}.json.gz")
+            write_profile(result.mean_profiles[mode], tmp / f"profile-{mode}-mean.json.gz")
+        shutil.rmtree(path, ignore_errors=True)
+        tmp.rename(path)
+    except Exception:
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise
 
 
 def _load(path: Path, name: str, seed: int) -> ExperimentResult:
@@ -228,3 +331,34 @@ def _load(path: Path, name: str, seed: int) -> ExperimentResult:
         profiles=profiles,
         mean_profiles=mean_profiles,
     )
+
+
+def _run_tag(task: Tuple[str, int]) -> str:
+    return f"{task[0]}-r{task[1]}"
+
+
+def _store_run(runs_dir: Path, task: Tuple[str, int], payload) -> None:
+    """Checkpoint one finished run (summary JSON written last as marker)."""
+    runs_dir.mkdir(parents=True, exist_ok=True)
+    tag = _run_tag(task)
+    if len(payload) == 3:
+        runtime, phase_times, profile = payload
+        write_profile(profile, runs_dir / f"{tag}-profile.json.gz")
+    else:
+        runtime, phase_times = payload
+    (runs_dir / f"{tag}.json").write_text(
+        json.dumps({"runtime": runtime, "phases": phase_times})
+    )
+
+
+def _load_run(runs_dir: Path, task: Tuple[str, int]):
+    """Load one checkpointed run, or ``None`` if absent/unreadable."""
+    tag = _run_tag(task)
+    try:
+        doc = json.loads((runs_dir / f"{tag}.json").read_text())
+        if task[0] == _REF:
+            return doc["runtime"], doc["phases"]
+        profile = read_profile(runs_dir / f"{tag}-profile.json.gz")
+        return doc["runtime"], doc["phases"], profile
+    except Exception:
+        return None

@@ -167,6 +167,36 @@ class CounterNoise:
             value += float(rng.exponential(self._offset))
         return value
 
+    def perturb_many(self, rank: int, thread: int, instructions) -> np.ndarray:
+        """Readings for a whole sequence of counts on one location.
+
+        Bit-compatible with calling :meth:`perturb` once per element in
+        order: the lognormal and offset draws stay *interleaved* per event
+        (they share one bitstream, so batching the draws by kind would
+        change every value after the first).  The loop merely strips the
+        per-call wrapper overhead of the scalar path.
+        """
+        rng = self._rngs.get("ctr-noise", rank=rank, thread=thread)
+        sigma = self._sigma
+        offset = self._offset
+        mu = -0.5 * sigma * sigma
+        out = np.empty(len(instructions), dtype=np.float64)
+        normal = rng.normal
+        exponential = rng.exponential
+        if sigma > 0.0 and offset > 0.0:
+            for k, instr in enumerate(instructions):
+                out[k] = instr * float(np.exp(normal(mu, sigma))) \
+                    + float(exponential(offset))
+        elif sigma > 0.0:
+            for k, instr in enumerate(instructions):
+                out[k] = instr * float(np.exp(normal(mu, sigma)))
+        elif offset > 0.0:
+            for k, instr in enumerate(instructions):
+                out[k] = instr + float(exponential(offset))
+        else:
+            out[:] = np.asarray(instructions, dtype=np.float64)
+        return out
+
 
 class NoiseModel:
     """Facade bundling all injectors behind one seeded object."""

@@ -19,6 +19,7 @@ from repro.measure.config import (
     LTSTMT,
     LTHWCTR,
 )
+from repro.measure.columnar import ColumnarConversionError, TraceColumns
 from repro.measure.filtering import FilterRules
 from repro.measure.overhead import OverheadModel
 from repro.measure.measurement import Measurement
@@ -35,6 +36,8 @@ __all__ = [
     "LTBB",
     "LTSTMT",
     "LTHWCTR",
+    "ColumnarConversionError",
+    "TraceColumns",
     "FilterRules",
     "OverheadModel",
     "Measurement",

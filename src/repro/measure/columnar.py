@@ -1,0 +1,287 @@
+"""Structure-of-arrays (columnar) trace representation.
+
+A :class:`TraceColumns` holds the same information as the event lists of a
+:class:`~repro.measure.trace.RawTrace`, but as per-location NumPy arrays:
+one array per field (event kind, region, timestamp, work-delta components,
+auxiliary payload) instead of one Python object per event.  This is the
+layout the vectorized clock replay (:mod:`repro.clocks.columnar`) and the
+bulk archive I/O (:mod:`repro.measure.io`) operate on.
+
+The ``aux`` payload of :class:`~repro.sim.events.Ev` is kind-specific --
+a ``(match_id, rendezvous)`` pair for sends, a match id for receives, a
+``(group_id, size)`` pair for collective and barrier completions, an OpenMP
+construct id for fork/join/team events, and absent otherwise.  Columnar
+storage decomposes it into two integer columns ``aux_a``/``aux_b`` with
+``-1`` marking "no payload"; :meth:`TraceColumns.to_raw` reconstructs the
+exact original Python values from the kind table below.
+
+=============  =========  =========
+event kind     aux_a      aux_b
+=============  =========  =========
+MPI_SEND       match id   rendezvous (0/1)
+MPI_RECV       match id   --
+COLL_END       coll id    group size
+FORK/JOIN      omp id     --
+TEAM_BEGIN     omp id     --
+OBAR_LEAVE     omp id     team size
+(all others)   --         --
+=============  =========  =========
+
+Conversion is strict: traces whose ``aux`` payloads do not follow the
+engine's conventions (possible for hand-built test traces) raise
+:class:`ColumnarConversionError`, and callers fall back to the per-event
+representation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.events import (
+    COLL_END,
+    FORK,
+    JOIN,
+    MPI_RECV,
+    MPI_SEND,
+    OBAR_LEAVE,
+    TEAM_BEGIN,
+    Ev,
+    RegionRegistry,
+)
+from repro.sim.kernels import EMPTY_DELTA, WorkDelta
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.machine.topology import Pinning
+    from repro.measure.trace import RawTrace
+
+__all__ = ["ColumnarConversionError", "LocationColumns", "TraceColumns"]
+
+#: event kinds that participate in clock synchronisation (send/fork are
+#: producers, the rest consumers); everything else only accumulates work
+SYNC_KINDS = (MPI_SEND, MPI_RECV, COLL_END, FORK, TEAM_BEGIN, OBAR_LEAVE)
+
+_PAIR_AUX = (MPI_SEND, COLL_END, OBAR_LEAVE)
+_SCALAR_AUX = (MPI_RECV, FORK, JOIN, TEAM_BEGIN)
+
+_DELTA_FIELDS = ("omp_iters", "bb", "stmt", "instr", "burst_calls", "omp_calls")
+
+_INT_TYPES = (int, np.integer)
+
+
+class ColumnarConversionError(ValueError):
+    """A trace's events do not follow the engine's payload conventions."""
+
+
+class LocationColumns:
+    """The event columns of one location (all arrays share one length)."""
+
+    __slots__ = ("etype", "region", "t", "t_enter", "aux_a", "aux_b",
+                 "omp_iters", "bb", "stmt", "instr", "burst_calls", "omp_calls")
+
+    def __init__(self, **arrays):
+        for name in self.__slots__:
+            setattr(self, name, arrays[name])
+
+    def __len__(self) -> int:
+        return len(self.etype)
+
+
+def _location_to_columns(evs: List[Ev]) -> LocationColumns:
+    n = len(evs)
+    etype = np.empty(n, dtype=np.int64)
+    region = np.empty(n, dtype=np.int64)
+    t = np.empty(n, dtype=np.float64)
+    t_enter = np.empty(n, dtype=np.float64)
+    aux_a = np.full(n, -1, dtype=np.int64)
+    aux_b = np.full(n, -1, dtype=np.int64)
+    deltas = {f: np.zeros(n, dtype=np.float64) for f in _DELTA_FIELDS}
+    try:
+        for i, ev in enumerate(evs):
+            et = ev.etype
+            etype[i] = et
+            region[i] = ev.region
+            t[i] = ev.t
+            t_enter[i] = ev.t_enter
+            aux = ev.aux
+            if et in _PAIR_AUX:
+                a, b = aux
+                if not isinstance(a, _INT_TYPES) or not isinstance(b, _INT_TYPES):
+                    raise ColumnarConversionError(
+                        f"non-integer aux pair {aux!r} on event kind {et}"
+                    )
+                aux_a[i] = a
+                aux_b[i] = b
+            elif et in _SCALAR_AUX:
+                if not isinstance(aux, _INT_TYPES):
+                    raise ColumnarConversionError(
+                        f"non-integer aux {aux!r} on event kind {et}"
+                    )
+                aux_a[i] = aux
+            elif aux is not None:
+                raise ColumnarConversionError(
+                    f"unexpected aux payload {aux!r} on event kind {et}"
+                )
+            d = ev.delta
+            if not d.is_empty:
+                for f in _DELTA_FIELDS:
+                    v = getattr(d, f)
+                    if v:
+                        deltas[f][i] = v
+    except ColumnarConversionError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise ColumnarConversionError(
+            f"event payload not columnar-convertible: {exc}"
+        ) from exc
+    return LocationColumns(etype=etype, region=region, t=t, t_enter=t_enter,
+                           aux_a=aux_a, aux_b=aux_b, **deltas)
+
+
+def _reconstruct_aux(et: int, a: int, b: int):
+    if et in _PAIR_AUX:
+        return (int(a), int(b))
+    if et in _SCALAR_AUX:
+        return int(a)
+    return None
+
+
+class TraceColumns:
+    """Columnar view of a whole trace (the SoA analogue of ``RawTrace``).
+
+    Attributes mirror :class:`~repro.measure.trace.RawTrace`; ``locs[l]``
+    is the :class:`LocationColumns` of location ``l``.  The object is a
+    *snapshot*: mutating the source trace's event lists afterwards is not
+    reflected here.
+    """
+
+    def __init__(
+        self,
+        mode: str,
+        regions: RegionRegistry,
+        locations: List[Tuple[int, int]],
+        locs: List[LocationColumns],
+        runtime: float = 0.0,
+        pinning: Optional["Pinning"] = None,
+    ):
+        if len(locations) != len(locs):
+            raise ValueError(
+                f"{len(locations)} locations but {len(locs)} column sets"
+            )
+        self.mode = mode
+        self.regions = regions
+        self.locations = locations
+        self.locs = locs
+        self.runtime = runtime
+        self.pinning = pinning
+        self._sync_order = None
+        self._t_lists = None
+        self._replay_plan = None  # compiled by repro.clocks.columnar
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def from_raw(cls, trace: "RawTrace") -> "TraceColumns":
+        """Convert a per-event trace once (O(events), single pass)."""
+        return cls(
+            mode=trace.mode,
+            regions=trace.regions,
+            locations=list(trace.locations),
+            locs=[_location_to_columns(evs) for evs in trace.events],
+            runtime=trace.runtime,
+            pinning=trace.pinning,
+        )
+
+    def to_raw(self) -> "RawTrace":
+        """Materialize an equivalent per-event :class:`RawTrace`."""
+        from repro.measure.trace import RawTrace
+
+        events: List[List[Ev]] = []
+        for lc in self.locs:
+            evs = []
+            etype = lc.etype.tolist()
+            region = lc.region.tolist()
+            t = lc.t.tolist()
+            t_enter = lc.t_enter.tolist()
+            aux_a = lc.aux_a.tolist()
+            aux_b = lc.aux_b.tolist()
+            dlists = [getattr(lc, f).tolist() for f in _DELTA_FIELDS]
+            for i in range(len(lc)):
+                if (dlists[0][i] or dlists[1][i] or dlists[2][i]
+                        or dlists[3][i] or dlists[4][i] or dlists[5][i]):
+                    delta = WorkDelta(*(d[i] for d in dlists))
+                else:
+                    delta = EMPTY_DELTA
+                evs.append(Ev(
+                    etype[i], region[i], t[i], delta,
+                    aux=_reconstruct_aux(etype[i], aux_a[i], aux_b[i]),
+                    t_enter=t_enter[i],
+                ))
+            events.append(evs)
+        return RawTrace(
+            mode=self.mode,
+            regions=self.regions,
+            locations=list(self.locations),
+            events=events,
+            runtime=self.runtime,
+            pinning=self.pinning,
+        )
+
+    # -- queries ---------------------------------------------------------
+    @property
+    def n_locations(self) -> int:
+        return len(self.locations)
+
+    @property
+    def n_events(self) -> int:
+        return sum(len(lc) for lc in self.locs)
+
+    def t_lists(self) -> List[List[float]]:
+        """Per-location physical timestamps as plain lists (memoized)."""
+        if self._t_lists is None:
+            self._t_lists = [lc.t.tolist() for lc in self.locs]
+        return self._t_lists
+
+    def sync_order(self):
+        """Synchronisation events in global merged order (memoized).
+
+        Returns six parallel lists ``(loc, idx, etype, aux_a, aux_b, t)``
+        of all :data:`SYNC_KINDS` events, sorted by ``(t, loc, idx)`` --
+        exactly the order in which :meth:`RawTrace.merged` visits them
+        (the heap merge orders by ``(t, loc)`` and preserves per-location
+        order).  Mode-independent, so one sort serves all clock replays.
+        """
+        if self._sync_order is None:
+            locs_parts, idx_parts, et_parts, a_parts, b_parts, t_parts = \
+                [], [], [], [], [], []
+            for loc, lc in enumerate(self.locs):
+                mask = np.isin(lc.etype, SYNC_KINDS)
+                idx = np.nonzero(mask)[0]
+                locs_parts.append(np.full(len(idx), loc, dtype=np.int64))
+                idx_parts.append(idx)
+                et_parts.append(lc.etype[idx])
+                a_parts.append(lc.aux_a[idx])
+                b_parts.append(lc.aux_b[idx])
+                t_parts.append(lc.t[idx])
+            loc_all = np.concatenate(locs_parts) if locs_parts else np.empty(0, np.int64)
+            idx_all = np.concatenate(idx_parts) if idx_parts else np.empty(0, np.int64)
+            et_all = np.concatenate(et_parts) if et_parts else np.empty(0, np.int64)
+            a_all = np.concatenate(a_parts) if a_parts else np.empty(0, np.int64)
+            b_all = np.concatenate(b_parts) if b_parts else np.empty(0, np.int64)
+            t_all = np.concatenate(t_parts) if t_parts else np.empty(0, np.float64)
+            order = np.lexsort((idx_all, loc_all, t_all))
+            self._sync_order = (
+                loc_all[order].tolist(),
+                idx_all[order].tolist(),
+                et_all[order].tolist(),
+                a_all[order].tolist(),
+                b_all[order].tolist(),
+                t_all[order].tolist(),
+            )
+        return self._sync_order
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraceColumns(mode={self.mode!r}, locations={self.n_locations}, "
+            f"events={self.n_events}, runtime={self.runtime:.4g}s)"
+        )

@@ -55,6 +55,7 @@ class RawTrace:
         self._loc_index: Dict[Tuple[int, int], int] = {
             lt: i for i, lt in enumerate(locations)
         }
+        self._columns = None
 
     # -- queries ---------------------------------------------------------
     @property
@@ -78,6 +79,21 @@ class RawTrace:
     def master_locations(self) -> List[int]:
         """Location ids of the master thread of every rank."""
         return [self._loc_index[(r, 0)] for r in sorted({r for (r, _t) in self.locations})]
+
+    def columns(self):
+        """Columnar (structure-of-arrays) view of this trace, built once.
+
+        Returns the memoized :class:`repro.measure.columnar.TraceColumns`
+        snapshot used by the vectorized clock replay and the bulk archive
+        writer.  Raises
+        :class:`repro.measure.columnar.ColumnarConversionError` for traces
+        whose event payloads do not follow the engine's conventions.
+        """
+        if self._columns is None:
+            from repro.measure.columnar import TraceColumns
+
+            self._columns = TraceColumns.from_raw(self)
+        return self._columns
 
     def merged(self) -> Iterator[Tuple[int, Ev]]:
         """All events in a global order consistent with happens-before.

@@ -1,0 +1,151 @@
+"""Parallel measurement campaigns: determinism, resume, cache safety.
+
+The workflow's contract is that ``workers=N`` is *bit-identical* to the
+serial campaign -- every run is independently seeded and the parent
+reassembles results in canonical order -- and that per-run checkpoints
+let an interrupted campaign resume without recomputation.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import configs as C
+from repro.experiments import workflow as W
+from repro.experiments.configs import ExperimentSpec
+from repro.experiments.workflow import resolve_workers, run_experiment
+from repro.measure import MODES
+
+
+@pytest.fixture
+def tiny_experiment(monkeypatch, tmp_path):
+    """Register a fast throwaway experiment and isolate the cache dir."""
+
+    def make():
+        from repro.miniapps.minife import MiniFE, MiniFEConfig
+
+        return MiniFE(MiniFEConfig.tiny(nx=64, n_ranks=4, cg_iters=3, init_segments=2))
+
+    spec = ExperimentSpec("Tiny-P", make, nodes=1, reps_ref=2, reps_noisy=2,
+                          phases=("init", "solve"))
+    monkeypatch.setitem(C.EXPERIMENTS, "Tiny-P", spec)
+    monkeypatch.setattr(W, "_CACHE_DIR", tmp_path / "cache")
+    return "Tiny-P"
+
+
+def _profile_cells(result):
+    """Exact per-location severity cells of every repetition profile."""
+    return {
+        mode: [p.as_mapping(per_location=True) for p in profs]
+        for mode, profs in result.profiles.items()
+    }
+
+
+class TestParallelDeterminism:
+    def test_workers4_bit_identical_to_serial(self, tiny_experiment):
+        serial = run_experiment(tiny_experiment, seed=0, use_cache=False,
+                                workers=1)
+        parallel = run_experiment(tiny_experiment, seed=0, use_cache=False,
+                                  workers=4)
+        # Float-exact equality throughout, not approx: the parallel
+        # campaign must reproduce the serial one bit for bit.
+        assert parallel.ref_runtimes == serial.ref_runtimes
+        assert parallel.ref_phases == serial.ref_phases
+        assert parallel.runtimes == serial.runtimes
+        assert parallel.phases == serial.phases
+        assert _profile_cells(parallel) == _profile_cells(serial)
+        for mode in MODES:
+            assert parallel.mean_profiles[mode].as_mapping(per_location=True) \
+                == serial.mean_profiles[mode].as_mapping(per_location=True)
+
+    def test_env_var_sets_default_workers(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers(None) == 3
+        assert resolve_workers(2) == 2  # explicit argument wins
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+
+
+class TestCampaignResume:
+    def test_per_run_checkpoints_are_reused(self, tiny_experiment):
+        # Checkpoint the full campaign, then delete the aggregate result
+        # but keep the per-run checkpoints: the rerun must load every run
+        # from disk and reproduce the same summary.
+        first = run_experiment(tiny_experiment, seed=0, use_cache=True)
+        cache = W._cache_path(tiny_experiment, 0)
+        runs_dir = W._runs_dir(tiny_experiment, 0)
+        assert cache.exists()
+        assert not runs_dir.exists()  # dropped once the aggregate landed
+
+        # Simulate an interrupted campaign: per-run checkpoints present,
+        # aggregate absent, with one run's timing forged so we can prove
+        # the checkpoint (not a recomputation) is what gets used.
+        for task in [("ref", 0), ("ref", 1)] + \
+                [(m, r) for m in MODES for r in range(len(first.runtimes[m]))]:
+            payload = W._run_task(tiny_experiment, task[0], 0, task[1])
+            W._store_run(runs_dir, task, payload)
+        marker = runs_dir / "ref-r0.json"
+        doc = json.loads(marker.read_text())
+        doc["runtime"] = 123.456
+        marker.write_text(json.dumps(doc))
+        import shutil
+
+        shutil.rmtree(cache)
+
+        resumed = run_experiment(tiny_experiment, seed=0, use_cache=True)
+        assert resumed.ref_runtimes[0] == 123.456
+        assert resumed.ref_runtimes[1] == first.ref_runtimes[1]
+        assert resumed.runtimes == first.runtimes
+        assert not runs_dir.exists()
+
+    def test_corrupt_checkpoint_recomputed(self, tiny_experiment):
+        runs_dir = W._runs_dir(tiny_experiment, 0)
+        runs_dir.mkdir(parents=True)
+        (runs_dir / "ref-r0.json").write_text("{not json")
+        res = run_experiment(tiny_experiment, seed=0, use_cache=True)
+        assert len(res.ref_runtimes) == 2  # fell back to recomputing
+
+    def test_checkpoint_round_trip_is_exact(self, tiny_experiment, tmp_path):
+        payload = W._run_task(tiny_experiment, "ltbb", 0, 0)
+        runs_dir = tmp_path / "runs"
+        W._store_run(runs_dir, ("ltbb", 0), payload)
+        loaded = W._load_run(runs_dir, ("ltbb", 0))
+        assert loaded[0] == payload[0]
+        assert loaded[1] == payload[1]
+        assert loaded[2].as_mapping(per_location=True) == \
+            payload[2].as_mapping(per_location=True)
+
+    def test_load_run_missing_returns_none(self, tmp_path):
+        assert W._load_run(tmp_path / "nowhere", ("ref", 0)) is None
+
+
+class TestStoreCollisionSafety:
+    def test_concurrent_stores_leave_valid_cache(self, tiny_experiment):
+        # Two campaigns of the same experiment racing to publish must not
+        # corrupt each other: whichever rename lands last wins, and the
+        # published directory is always complete.
+        result = run_experiment(tiny_experiment, seed=0, use_cache=False)
+        cache = W._cache_path(tiny_experiment, 0)
+        W._store(result, cache)
+        W._store(result, cache)  # second publish over an existing dir
+        loaded = W._load(cache, tiny_experiment, 0)
+        assert loaded.ref_runtimes == result.ref_runtimes
+        assert loaded.runtimes == result.runtimes
+        leftovers = [p for p in cache.parent.iterdir() if ".tmp-" in p.name]
+        assert leftovers == []
+
+    def test_failed_store_cleans_up_temp_dir(self, tiny_experiment, monkeypatch):
+        result = run_experiment(tiny_experiment, seed=0, use_cache=False)
+        cache = W._cache_path(tiny_experiment, 0)
+
+        def boom(*_a, **_k):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(W, "write_profile", boom)
+        with pytest.raises(OSError):
+            W._store(result, cache)
+        assert not cache.exists()
+        leftovers = [p for p in cache.parent.iterdir() if ".tmp-" in p.name]
+        assert leftovers == []
