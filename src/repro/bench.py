@@ -18,9 +18,10 @@ claims.
 from __future__ import annotations
 
 import json
-import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
+
+from repro import obs as _obs
 
 __all__ = ["run_benchmarks", "compare_to_baseline", "REGRESSION_KEYS"]
 
@@ -34,12 +35,20 @@ REGRESSION_KEYS: Tuple[Tuple[str, str], ...] = (
 )
 
 
-def _best_of(fn: Callable[[], object], repeats: int) -> float:
+def _timed(session: "_obs.ObsSession", label: str,
+           fn: Callable[[], object], repeats: int) -> float:
+    """Best-of-``repeats`` wall time, measured through obs spans.
+
+    Each repetition runs inside a ``bench.<label>`` span on ``session``
+    and the reported number is the minimum span duration, so
+    ``BENCH_repro.json`` and a Chrome export of the session contain
+    literally the same measurements.
+    """
     best = float("inf")
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - t0)
+    for rep in range(repeats):
+        with session.span(f"bench.{label}", rep=rep) as sp:
+            fn()
+        best = min(best, sp.duration)
     return best
 
 
@@ -74,7 +83,16 @@ def run_benchmarks(quick: bool = False, workers: int = 2,
     log = print if verbose else (lambda *_a, **_k: None)
     build = _make_trace(quick)
 
-    engine_s = _best_of(build, repeats)
+    # Timings go through obs spans: on the active session when
+    # observability is enabled (so a Chrome export shares the bench's
+    # timing source), else on a throwaway local session that is never
+    # activated -- the timed code itself then still runs with
+    # observability disabled, which is what the regression gate measures.
+    session = _obs.active()
+    if session is None:
+        session = _obs.ObsSession()
+
+    engine_s = _timed(session, "engine", build, repeats)
     trace = build()
     n_events = trace.n_events
     log(f"engine:          {engine_s * 1e3:8.2f} ms "
@@ -89,11 +107,14 @@ def run_benchmarks(quick: bool = False, workers: int = 2,
     }
 
     for mode, kwargs in (("ltbb", {}), ("lthwctr", {"counter_seed": 1})):
-        legacy_s = _best_of(
-            lambda: timestamp_trace(trace, mode, impl="legacy", **kwargs), repeats
+        legacy_s = _timed(
+            session, f"replay_{mode}_legacy",
+            lambda: timestamp_trace(trace, mode, impl="legacy", **kwargs),
+            repeats,
         )
-        columnar_s = _best_of(
-            lambda: timestamp_trace(trace, mode, **kwargs), repeats
+        columnar_s = _timed(
+            session, f"replay_{mode}_columnar",
+            lambda: timestamp_trace(trace, mode, **kwargs), repeats,
         )
         results[f"replay_{mode}"] = {
             "legacy_seconds": legacy_s,
@@ -106,7 +127,7 @@ def run_benchmarks(quick: bool = False, workers: int = 2,
             f"{legacy_s / columnar_s:.1f}x vs per-event walk)")
 
     tt = timestamp_trace(trace, "tsc")
-    analyzer_s = _best_of(lambda: analyze_trace(tt), repeats)
+    analyzer_s = _timed(session, "analyzer", lambda: analyze_trace(tt), repeats)
     results["analyzer"] = {
         "seconds": analyzer_s,
         "events_per_sec": n_events / analyzer_s,
@@ -114,7 +135,7 @@ def run_benchmarks(quick: bool = False, workers: int = 2,
     log(f"analyzer:        {analyzer_s * 1e3:8.2f} ms "
         f"({n_events / analyzer_s:,.0f} events/s)")
 
-    results["campaign"] = _bench_campaign(quick, workers, log)
+    results["campaign"] = _bench_campaign(quick, workers, log, session)
     return {
         "format": "repro-bench-1",
         "quick": quick,
@@ -122,7 +143,8 @@ def run_benchmarks(quick: bool = False, workers: int = 2,
     }
 
 
-def _bench_campaign(quick: bool, workers: int, log) -> Dict:
+def _bench_campaign(quick: bool, workers: int, log,
+                    session: "_obs.ObsSession") -> Dict:
     """Wall time of a miniature campaign, serial vs. ``workers`` processes.
 
     Registers a throwaway experiment for the duration of the measurement;
@@ -143,11 +165,13 @@ def _bench_campaign(quick: bool, workers: int, log) -> Dict:
                           phases=("init", "solve"))
     C.EXPERIMENTS[name] = spec
     try:
-        serial_s = _best_of(
+        serial_s = _timed(
+            session, "campaign_serial",
             lambda: run_experiment(name, seed=0, use_cache=False,
                                    preflight=False, workers=1), 1
         )
-        parallel_s = _best_of(
+        parallel_s = _timed(
+            session, "campaign_parallel",
             lambda: run_experiment(name, seed=0, use_cache=False,
                                    preflight=False, workers=workers), 1
         )

@@ -9,6 +9,8 @@
   trace archives (see ``docs/verify.md``).
 * ``repro-bench``    -- time the toolchain's hot paths and write
   ``BENCH_repro.json`` (see ``docs/performance.md``).
+* ``repro-obs``      -- summarize/export observability archives and diff
+  provenance manifests (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -18,7 +20,7 @@ import sys
 from typing import List, Optional
 
 __all__ = ["main_run", "main_analyze", "main_score", "main_report", "main_lint",
-           "main_bench"]
+           "main_bench", "main_obs"]
 
 
 def main_run(argv: Optional[List[str]] = None) -> int:
@@ -44,8 +46,20 @@ def main_run(argv: Optional[List[str]] = None) -> int:
     for phase, dur in sorted(result.phase_times.items()):
         print(f"  phase {phase}: {dur:.4f}s")
     out = args.output or f"{args.experiment}-{args.mode}-s{args.seed}.trace.json.gz"
-    write_trace(result.trace, out)
-    print(f"trace written to {out}")
+    from repro import obs
+
+    manifest = obs.build_manifest(
+        "trace",
+        {
+            "experiment": args.experiment,
+            "mode": args.mode,
+            "seed": args.seed,
+            "version": obs.package_version(),
+        },
+        environment=obs.default_environment(),
+    )
+    write_trace(result.trace, out, manifest=manifest)
+    print(f"trace written to {out} (manifest {manifest['hash'][:12]})")
     return 0
 
 
@@ -132,6 +146,14 @@ def main_report(argv: Optional[List[str]] = None) -> int:
         _data, text = all_items[item](seed=args.seed)
         print(text)
         print()
+
+    from repro import obs
+
+    session = obs.active()
+    if session is not None:
+        # One counter block per experiment campaign the run touched,
+        # plus the global span/manifest summary (docs/observability.md).
+        print(session.summary_text())
     return 0
 
 
@@ -301,6 +323,98 @@ def main_bench(argv: Optional[List[str]] = None) -> int:
         print(f"no regressions vs {args.baseline} "
               f"(threshold {args.threshold:g}x)")
     return 0
+
+
+def _load_cli_manifest(path: str, parser: argparse.ArgumentParser) -> dict:
+    """Provenance manifest of any supported artifact, for ``repro-obs diff``.
+
+    Dispatches on the artifact: ``.npz``/gzipped trace archives carry the
+    manifest in their header, observability archives carry the manifests
+    they collected (the first is compared), and plain JSON files are
+    treated as raw manifest documents.
+    """
+    import json as _json
+    from pathlib import Path
+
+    from repro import obs
+
+    try:
+        if path.endswith(".npz") or path.endswith(".gz"):
+            from repro.measure import read_manifest
+
+            manifest = read_manifest(path)
+            if manifest is None:
+                parser.error(f"{path}: trace archive has no embedded manifest")
+            return manifest
+        doc = _json.loads(Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        parser.error(f"cannot read {path!r}: {exc}")
+    fmt = doc.get("format")
+    if fmt == obs.MANIFEST_FORMAT:
+        return doc
+    if fmt == obs.ARCHIVE_FORMAT:
+        manifests = doc.get("manifests", [])
+        if not manifests:
+            parser.error(f"{path}: observability archive collected no manifests")
+        return manifests[0]
+    parser.error(f"{path}: neither a manifest, an obs archive nor a trace "
+                 f"archive (format={fmt!r})")
+
+
+def main_obs(argv: Optional[List[str]] = None) -> int:
+    """Inspect observability archives and provenance manifests.
+
+    ``repro-obs summary ARCHIVE`` prints per-experiment counters, span
+    wall times and collected manifests of an archive written via
+    ``REPRO_OBS=1`` / ``ObsSession.save``; ``repro-obs export ARCHIVE
+    --chrome`` converts it to Chrome trace-event JSON (load in
+    ui.perfetto.dev or chrome://tracing); ``repro-obs diff A B`` compares
+    the provenance manifests of two artifacts and exits 1 when their
+    configuration hashes differ.
+    """
+    import json as _json
+    from pathlib import Path
+
+    from repro import obs
+
+    parser = argparse.ArgumentParser(prog="repro-obs", description=main_obs.__doc__)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+    p_sum = sub.add_parser("summary", help="per-experiment counters + span table")
+    p_sum.add_argument("archive")
+    p_exp = sub.add_parser("export", help="convert an archive for other tools")
+    p_exp.add_argument("archive")
+    p_exp.add_argument("--chrome", action="store_true",
+                       help="write Chrome trace-event JSON (Perfetto)")
+    p_exp.add_argument("-o", "--output", default=None,
+                       help="output path (default: ARCHIVE.chrome.json)")
+    p_diff = sub.add_parser("diff", help="compare two provenance manifests")
+    p_diff.add_argument("a")
+    p_diff.add_argument("b")
+    args = parser.parse_args(argv)
+
+    if args.cmd == "summary":
+        print(obs.summary_text(obs.load_archive(args.archive)))
+        return 0
+    if args.cmd == "export":
+        doc = obs.load_archive(args.archive)
+        if args.chrome:
+            out = args.output or args.archive + ".chrome.json"
+            Path(out).write_text(_json.dumps(obs.to_chrome(doc)) + "\n")
+            print(f"chrome trace written to {out} (open in ui.perfetto.dev)")
+        else:
+            print(obs.span_table(doc))
+            print()
+            print(obs.metrics_table(doc))
+        return 0
+    # diff
+    ma = _load_cli_manifest(args.a, parser)
+    mb = _load_cli_manifest(args.b, parser)
+    for line in obs.diff_manifests(ma, mb):
+        print(line)
+    if ma.get("hash") == mb.get("hash"):
+        print(f"manifests match (hash {ma.get('hash', '')[:12]})")
+        return 0
+    return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

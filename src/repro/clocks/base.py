@@ -7,6 +7,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.machine.noise import CounterNoise, NoiseConfig
 from repro.measure.config import LTHWCTR, TSC, validate_mode
 from repro.measure.trace import RawTrace
@@ -85,18 +86,23 @@ def timestamp_trace(
         else:
             from repro.clocks.columnar import timestamp_columns
 
-            times = timestamp_columns(
-                cols, mode,
-                counter_seed=counter_seed,
-                counter_noise_config=counter_noise_config,
-            )
+            with obs.span("replay", mode=mode, impl="columnar"):
+                times = timestamp_columns(
+                    cols, mode,
+                    counter_seed=counter_seed,
+                    counter_noise_config=counter_noise_config,
+                )
+            obs.counter("clocks.replays", mode=mode, impl="columnar").inc()
             return TimestampedTrace(trace, times, mode)
-    if mode == TSC:
-        return TimestampedTrace(trace, physical_times(trace), TSC)
-    if mode == LTHWCTR:
-        cfg = counter_noise_config if counter_noise_config is not None else NoiseConfig()
-        noise = CounterNoise(RngStreams(counter_seed), cfg)
-        inc = HwCounterIncrement(trace, noise)
-        return TimestampedTrace(trace, LamportClock(inc).assign(trace), LTHWCTR)
-    inc = make_increment(mode)
-    return TimestampedTrace(trace, LamportClock(inc).assign(trace), mode)
+    with obs.span("replay", mode=mode, impl="legacy"):
+        if mode == TSC:
+            times = physical_times(trace)
+        elif mode == LTHWCTR:
+            cfg = (counter_noise_config if counter_noise_config is not None
+                   else NoiseConfig())
+            noise = CounterNoise(RngStreams(counter_seed), cfg)
+            times = LamportClock(HwCounterIncrement(trace, noise)).assign(trace)
+        else:
+            times = LamportClock(make_increment(mode)).assign(trace)
+    obs.counter("clocks.replays", mode=mode, impl="legacy").inc()
+    return TimestampedTrace(trace, times, mode)

@@ -34,6 +34,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.machine.noise import CounterNoise, NoiseConfig
 from repro.measure.columnar import TraceColumns
 from repro.measure.config import (
@@ -209,7 +210,9 @@ def _replay_plan(cols: TraceColumns):
     """The trace's compiled replay plan (built once, shared by all modes)."""
     plan = cols._replay_plan
     if plan is None:
-        plan = cols._replay_plan = _build_replay_plan(cols)
+        with obs.span("replay.plan_compile", events=cols.n_events):
+            plan = cols._replay_plan = _build_replay_plan(cols)
+        obs.counter("clocks.plan_compiles").inc()
     return plan
 
 
@@ -226,11 +229,20 @@ def lamport_assign_columnar(
     three opcodes.  This loop is the replay's only per-event Python cost.
     """
     records, tails = _replay_plan(cols)
+    with obs.span("replay.fill", events=cols.n_events):
+        out, repaired = _execute_plan(cols, records, tails, increments)
+    obs.counter("clocks.violations_repaired").add(repaired)
+    return out
+
+
+def _execute_plan(cols, records, tails, increments):
+    """The fill walk proper; returns (timestamps, repaired-receive count)."""
     inc_lists = [arr.tolist() for arr in increments]
     times: List[list] = [[0.0] * len(l) for l in inc_lists]
     clock = [0.0] * cols.n_locations
     val = [0.0] * len(records)  # published clock value per plan record
     val_get = val.__getitem__
+    repaired = 0  # receives whose clock a max-exchange pushed forward
 
     for loc, i, a, op, arg in records:
         c = clock[loc]
@@ -257,6 +269,7 @@ def lamport_assign_columnar(
         elif op == _OP_MAXSRC:
             p1 = val[arg] + 1.0
             if p1 > c:
+                repaired += 1
                 c = p1
                 times[loc][i] = c
             clock[loc] = c
@@ -283,7 +296,7 @@ def lamport_assign_columnar(
             tl[lo:] = list(accumulate(inc_lists[loc][lo:],
                                       initial=clock[loc]))[1:]
         out.append(np.asarray(tl, dtype=np.float64))
-    return out
+    return out, repaired
 
 
 def _legacy_group_keys(groups) -> list:

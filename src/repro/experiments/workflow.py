@@ -24,6 +24,7 @@ import json
 import os
 import shutil
 import tempfile
+import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from multiprocessing import get_context
@@ -32,6 +33,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs as _obs
 from repro.analysis import analyze_trace
 from repro.clocks import timestamp_trace
 from repro.cube import CubeProfile, read_profile, write_profile
@@ -43,7 +45,9 @@ from repro.sim import CostModel, Engine
 from repro.util.rng import stream_seed
 
 __all__ = [
+    "CampaignTaskError",
     "ExperimentResult",
+    "experiment_manifest",
     "preflight_lint",
     "run_experiment",
     "resolve_workers",
@@ -59,6 +63,28 @@ _CACHE_DIR = Path(__file__).resolve().parents[3] / ".results_cache"
 #: task key for uninstrumented reference runs (``mode`` is otherwise a
 #: measurement mode name)
 _REF = "ref"
+
+
+class CampaignTaskError(RuntimeError):
+    """A campaign run failed inside a pool worker.
+
+    Exceptions raised in a worker cross the process-pool boundary
+    stripped of their traceback, so the worker wraps them here carrying
+    the failing ``(name, mode, seed, rep)`` task tag and the original
+    formatted traceback.
+    """
+
+    def __init__(self, name: str, mode: str, seed: int, rep: int,
+                 original_tb: str):
+        super().__init__(
+            f"campaign task ({name!r}, mode={mode!r}, seed={seed}, "
+            f"rep={rep}) failed in worker; original traceback:\n{original_tb}"
+        )
+        self.task = (name, mode, seed, rep)
+        self.original_tb = original_tb
+
+    def __reduce__(self):
+        return (CampaignTaskError, (*self.task, self.original_tb))
 
 
 @dataclass
@@ -77,6 +103,9 @@ class ExperimentResult:
     profiles: Dict[str, List[CubeProfile]]
     #: mode -> arithmetic mean of the normalized repetition profiles
     mean_profiles: Dict[str, CubeProfile] = field(default_factory=dict)
+    #: provenance manifest (see :mod:`repro.obs.provenance`); persisted
+    #: with the cached result so loaded artifacts stay traceable
+    manifest: Optional[dict] = None
 
     def overhead(self, mode: str, phase: Optional[str] = None) -> float:
         """Mean overhead in percent vs. the mean reference (Table I/II)."""
@@ -129,6 +158,59 @@ def _run_task(name: str, mode: str, seed: int, rep: int):
     return res.runtime, {p: res.phase(p) for p in spec.phases}, profile
 
 
+def _pool_task(name: str, mode: str, seed: int, rep: int, with_obs: bool):
+    """One campaign task as executed inside a pool worker.
+
+    Wraps :func:`_run_task` twice over: any failure is re-raised as
+    :class:`CampaignTaskError` carrying the task tag and the *original*
+    traceback (which would otherwise be lost at the pool boundary), and
+    when observability is on the task runs under a fresh scoped session
+    whose snapshot rides back with the payload so the parent can merge
+    per-worker metrics into campaign totals.
+    """
+    try:
+        if with_obs:
+            parent = _obs.active()
+            session = _obs.ObsSession(
+                t_base=parent.spans.t_base if parent is not None else None
+            )
+            with _obs.scoped(session), session.labels(experiment=name):
+                payload = _run_task(name, mode, seed, rep)
+            return payload, {"pid": os.getpid(), **session.snapshot()}
+        return _run_task(name, mode, seed, rep), None
+    except Exception:
+        raise CampaignTaskError(
+            name, mode, seed, rep, traceback.format_exc()
+        ) from None
+
+
+def experiment_manifest(name: str, seed: int, workers: int = 1) -> dict:
+    """Provenance manifest of one campaign.
+
+    The hashed config covers everything that determines the result
+    (experiment spec, seed, clock modes, package/cache versions); the
+    worker count is environment-only because the parallel campaign is
+    bit-identical to the serial one.
+    """
+    spec = EXPERIMENTS[name]
+    config = {
+        "experiment": name,
+        "seed": seed,
+        "nodes": spec.nodes,
+        "reps_ref": spec.reps_ref,
+        "reps_noisy": spec.reps_noisy,
+        "phases": list(spec.phases),
+        "modes": list(MODES),
+        "noisy_modes": list(NOISY_MODES),
+        "cache_version": CACHE_VERSION,
+        "version": _obs.package_version(),
+    }
+    return _obs.build_manifest(
+        "experiment", config,
+        environment=_obs.default_environment(workers=workers),
+    )
+
+
 def resolve_workers(workers: Optional[int]) -> int:
     """Campaign parallelism: explicit argument, else ``REPRO_WORKERS``, else 1."""
     if workers is None:
@@ -164,6 +246,7 @@ def run_experiment(
     verbose: bool = False,
     preflight: bool = True,
     workers: Optional[int] = None,
+    obs: Optional["_obs.ObsSession"] = None,
 ) -> ExperimentResult:
     """Run (or load from cache) the complete workflow for ``name``.
 
@@ -175,56 +258,116 @@ def run_experiment(
     individually, letting an interrupted campaign resume where it
     stopped; the per-run checkpoints are dropped once the aggregate
     result is stored.
+
+    ``obs`` makes an :class:`repro.obs.ObsSession` active for the
+    campaign (default: whatever session ``REPRO_OBS``/:func:`repro.obs.
+    enable` activated, if any).  Pool workers observe their tasks under
+    fresh sessions whose snapshots are merged back here, so parallel
+    metric totals equal the serial ones.
     """
+    session = obs if obs is not None else _obs.active()
+    with _obs.scoped(session):
+        return _run_campaign(
+            name, seed, use_cache, verbose, preflight, workers, session
+        )
+
+
+def _run_campaign(
+    name: str,
+    seed: int,
+    use_cache: bool,
+    verbose: bool,
+    preflight: bool,
+    workers: Optional[int],
+    session: Optional["_obs.ObsSession"],
+) -> ExperimentResult:
     spec = EXPERIMENTS[name]
-    cache = _cache_path(name, seed)
-    if use_cache and cache.exists():
-        try:
-            return _load(cache, name, seed)
-        except Exception:
-            shutil.rmtree(cache, ignore_errors=True)
+    with _obs.span("experiment", experiment=name, seed=seed), \
+            _obs.labels(experiment=name):
+        cache = _cache_path(name, seed)
+        if use_cache and cache.exists():
+            try:
+                result = _load(cache, name, seed)
+            except Exception:
+                shutil.rmtree(cache, ignore_errors=True)
+            else:
+                _obs.counter("workflow.cache_hits").inc()
+                if session is not None and result.manifest is not None:
+                    session.add_manifest(result.manifest)
+                return result
+        _obs.counter("workflow.cache_misses").inc()
 
-    if preflight:
-        preflight_lint(name)
+        if preflight:
+            preflight_lint(name)
 
-    tasks: List[Tuple[str, int]] = [(_REF, rep) for rep in range(spec.reps_ref)]
-    for mode in MODES:
-        tasks.extend((mode, rep) for rep in range(_reps_for(mode, spec)))
+        tasks: List[Tuple[str, int]] = [
+            (_REF, rep) for rep in range(spec.reps_ref)
+        ]
+        for mode in MODES:
+            tasks.extend((mode, rep) for rep in range(_reps_for(mode, spec)))
 
-    runs_dir = _runs_dir(name, seed)
-    payloads = {}
-    if use_cache:
-        for task in tasks:
-            payload = _load_run(runs_dir, task)
-            if payload is not None:
-                payloads[task] = payload
+        runs_dir = _runs_dir(name, seed)
+        payloads = {}
+        if use_cache:
+            for task in tasks:
+                payload = _load_run(runs_dir, task)
+                if payload is not None:
+                    payloads[task] = payload
+        _obs.counter("workflow.checkpoint_hits").add(len(payloads))
 
-    pending = [t for t in tasks if t not in payloads]
-    n_workers = min(resolve_workers(workers), max(1, len(pending)))
-    if pending and n_workers > 1:
-        # Fork inherits the experiment registry (including entries added
-        # at runtime, e.g. by tests or the benchmark harness) and the
-        # parent writes all checkpoints, so workers stay side-effect-free.
-        ctx = get_context("fork")
-        with ProcessPoolExecutor(max_workers=n_workers, mp_context=ctx) as pool:
-            futures = {t: pool.submit(_run_task, name, t[0], seed, t[1])
-                       for t in pending}
+        pending = [t for t in tasks if t not in payloads]
+        _obs.counter("workflow.runs_executed").add(len(pending))
+        n_workers = min(resolve_workers(workers), max(1, len(pending)))
+        _obs.gauge("workflow.workers").set(n_workers)
+        if pending and n_workers > 1:
+            # Fork inherits the experiment registry (including entries
+            # added at runtime, e.g. by tests or the benchmark harness)
+            # and the parent writes all checkpoints, so workers stay
+            # side-effect-free.
+            ctx = get_context("fork")
+            with_obs = session is not None
+            with ProcessPoolExecutor(max_workers=n_workers,
+                                     mp_context=ctx) as pool:
+                futures = {
+                    t: pool.submit(_pool_task, name, t[0], seed, t[1],
+                                   with_obs)
+                    for t in pending
+                }
+                for task in pending:
+                    payload, wdoc = futures[task].result()
+                    payloads[task] = payload
+                    if wdoc is not None:
+                        session.merge_worker(wdoc)
+                        _obs.counter("workflow.worker_runs",
+                                     pid=wdoc["pid"]).inc()
+                    if use_cache:
+                        _store_run(runs_dir, task, payload)
+                    if verbose:
+                        print(f"[{name}] {task[0]} rep {task[1]}: "
+                              f"{payload[0]:.3f}s")
+        else:
             for task in pending:
-                payloads[task] = futures[task].result()
+                payloads[task] = _run_task(name, task[0], seed, task[1])
                 if use_cache:
                     _store_run(runs_dir, task, payloads[task])
                 if verbose:
                     print(f"[{name}] {task[0]} rep {task[1]}: "
                           f"{payloads[task][0]:.3f}s")
-    else:
-        for task in pending:
-            payloads[task] = _run_task(name, task[0], seed, task[1])
-            if use_cache:
-                _store_run(runs_dir, task, payloads[task])
-            if verbose:
-                print(f"[{name}] {task[0]} rep {task[1]}: "
-                      f"{payloads[task][0]:.3f}s")
 
+        return _assemble(name, seed, spec, payloads, use_cache, n_workers,
+                         session)
+
+
+def _assemble(
+    name: str,
+    seed: int,
+    spec,
+    payloads: dict,
+    use_cache: bool,
+    n_workers: int,
+    session: Optional["_obs.ObsSession"],
+) -> ExperimentResult:
+    """Reassemble payloads in canonical order into an ExperimentResult."""
     ref_runtimes: List[float] = []
     ref_phases: Dict[str, List[float]] = {p: [] for p in spec.phases}
     for rep in range(spec.reps_ref):
@@ -255,12 +398,15 @@ def run_experiment(
         runtimes=runtimes,
         phases=phases,
         profiles=profiles,
+        manifest=experiment_manifest(name, seed, workers=n_workers),
     )
     for mode in MODES:
         result.mean_profiles[mode] = CubeProfile.mean(profiles[mode])
+    if session is not None:
+        session.add_manifest(result.manifest)
     if use_cache:
-        _store(result, cache)
-        shutil.rmtree(runs_dir, ignore_errors=True)
+        _store(result, _cache_path(name, seed))
+        shutil.rmtree(_runs_dir(name, seed), ignore_errors=True)
     return result
 
 
@@ -299,6 +445,7 @@ def _store(result: ExperimentResult, path: Path) -> None:
             "runtimes": result.runtimes,
             "phases": result.phases,
             "reps": {m: len(result.profiles[m]) for m in result.profiles},
+            "manifest": result.manifest,
         }
         (tmp / "summary.json").write_text(json.dumps(doc))
         for mode, profs in result.profiles.items():
@@ -330,6 +477,7 @@ def _load(path: Path, name: str, seed: int) -> ExperimentResult:
         phases={m: dict(v) for m, v in doc["phases"].items()},
         profiles=profiles,
         mean_profiles=mean_profiles,
+        manifest=doc.get("manifest"),
     )
 
 

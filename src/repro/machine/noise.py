@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.util.rng import RngStreams
 from repro.util.validation import check_nonnegative
 
@@ -100,8 +101,11 @@ class CpuNoise:
     def __init__(self, rngs: RngStreams, config: NoiseConfig):
         self._rngs = rngs
         self._sigma = config.cpu_sigma
+        # bound once; the shared no-op singleton while observability is off
+        self._injections = obs.counter("noise.injections", kind="cpu")
 
     def factor(self, rank: int, thread: int) -> float:
+        self._injections.inc()
         rng = self._rngs.get("cpu-noise", rank=rank, thread=thread)
         return _lognormal_factor(rng, self._sigma)
 
@@ -113,6 +117,7 @@ class OsJitter:
         self._rngs = rngs
         self._rate = config.os_jitter_rate
         self._duration = config.os_jitter_duration
+        self._injections = obs.counter("noise.injections", kind="os")
 
     def detour_time(self, rank: int, thread: int, interval: float) -> float:
         """Total stolen time while running ``interval`` seconds of work."""
@@ -123,6 +128,7 @@ class OsJitter:
         n = rng.poisson(self._rate * interval)
         if n == 0:
             return 0.0
+        self._injections.add(int(n))
         return float(rng.exponential(self._duration, size=n).sum())
 
 
@@ -132,8 +138,10 @@ class MemoryNoise:
     def __init__(self, rngs: RngStreams, config: NoiseConfig):
         self._rngs = rngs
         self._sigma = config.memory_sigma
+        self._injections = obs.counter("noise.injections", kind="memory")
 
     def factor(self, numa_id: int) -> float:
+        self._injections.inc()
         rng = self._rngs.get("mem-noise", numa=numa_id)
         return _lognormal_factor(rng, self._sigma)
 
@@ -144,8 +152,10 @@ class NetworkNoise:
     def __init__(self, rngs: RngStreams, config: NoiseConfig):
         self._rngs = rngs
         self._sigma = config.network_sigma
+        self._injections = obs.counter("noise.injections", kind="network")
 
     def factor(self, key) -> float:
+        self._injections.inc()
         rng = self._rngs.get("net-noise", key=key)
         return _lognormal_factor(rng, self._sigma)
 
@@ -157,10 +167,12 @@ class CounterNoise:
         self._rngs = rngs
         self._sigma = config.counter_sigma
         self._offset = config.counter_offset_instructions
+        self._injections = obs.counter("noise.injections", kind="counter")
 
     def perturb(self, rank: int, thread: int, instructions: float) -> float:
         """Counter reading for a true count of ``instructions``."""
         check_nonnegative("instructions", instructions)
+        self._injections.inc()
         rng = self._rngs.get("ctr-noise", rank=rank, thread=thread)
         value = instructions * _lognormal_factor(rng, self._sigma)
         if self._offset > 0.0:
@@ -176,6 +188,7 @@ class CounterNoise:
         change every value after the first).  The loop merely strips the
         per-call wrapper overhead of the scalar path.
         """
+        self._injections.add(len(instructions))
         rng = self._rngs.get("ctr-noise", rank=rank, thread=thread)
         sigma = self._sigma
         offset = self._offset

@@ -24,7 +24,7 @@ from repro.measure.filtering import FilterRules
 from repro.measure.overhead import OverheadModel
 from repro.measure.measurement import Measurement
 from repro.measure.trace import RawTrace
-from repro.measure.io import write_trace, read_trace
+from repro.measure.io import write_trace, read_trace, read_manifest
 
 __all__ = [
     "MODES",
@@ -44,4 +44,5 @@ __all__ = [
     "RawTrace",
     "write_trace",
     "read_trace",
+    "read_manifest",
 ]

@@ -24,16 +24,17 @@ from __future__ import annotations
 import gzip
 import json
 from pathlib import Path
-from typing import List, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.measure.columnar import LocationColumns, TraceColumns
 from repro.measure.trace import RawTrace
 from repro.sim.events import Ev, RegionRegistry
 from repro.sim.kernels import EMPTY_DELTA, WorkDelta
 
-__all__ = ["write_trace", "read_trace"]
+__all__ = ["write_trace", "read_trace", "read_manifest"]
 
 _COLUMN_FIELDS = ("etype", "region", "t", "t_enter", "aux_a", "aux_b",
                   "omp_iters", "bb", "stmt", "instr", "burst_calls", "omp_calls")
@@ -53,16 +54,29 @@ def _delta_from_obj(obj) -> WorkDelta:
     return WorkDelta(**obj)
 
 
-def write_trace(trace: RawTrace, path: Union[str, Path]) -> None:
+def write_trace(trace: RawTrace, path: Union[str, Path],
+                manifest: Optional[dict] = None) -> None:
     """Write ``trace`` to ``path``.
 
     ``*.npz`` paths get the columnar bulk format, everything else the
-    gzipped JSON-lines format (see the module docstring).
+    gzipped JSON-lines format (see the module docstring).  ``manifest``
+    (a :func:`repro.obs.build_manifest` document) is embedded in the
+    archive header as run provenance; :func:`read_manifest` retrieves it
+    without parsing the event body.
     """
     path = Path(path)
-    if path.suffix == ".npz":
-        _write_trace_npz(trace, path)
-        return
+    fmt = "npz" if path.suffix == ".npz" else "jsonl"
+    with obs.span("io.write_trace", format=fmt):
+        if fmt == "npz":
+            _write_trace_npz(trace, path, manifest)
+        else:
+            _write_trace_jsonl(trace, path, manifest)
+    obs.counter("io.traces_written", format=fmt).inc()
+    obs.counter("io.bytes_written", format=fmt).add(path.stat().st_size)
+
+
+def _write_trace_jsonl(trace: RawTrace, path: Path,
+                       manifest: Optional[dict]) -> None:
     header = {
         "format": "repro-trace-1",
         "mode": trace.mode,
@@ -71,6 +85,8 @@ def write_trace(trace: RawTrace, path: Union[str, Path]) -> None:
         "regions": list(trace.regions.names),
         "paradigms": list(trace.regions.paradigms),
     }
+    if manifest is not None:
+        header["provenance"] = manifest
     with gzip.open(path, "wt", encoding="utf-8") as fh:
         fh.write(json.dumps(header) + "\n")
         for loc, evs in enumerate(trace.events):
@@ -88,10 +104,34 @@ def write_trace(trace: RawTrace, path: Union[str, Path]) -> None:
 
 
 def read_trace(path: Union[str, Path]) -> RawTrace:
-    """Read a trace written by :func:`write_trace` (either format)."""
+    """Read a trace written by :func:`write_trace` (either format).
+
+    An embedded provenance manifest is attached to the returned trace as
+    its ``provenance`` attribute (``None`` when the archive has none).
+    """
+    path = Path(path)
+    fmt = "npz" if path.suffix == ".npz" else "jsonl"
+    with obs.span("io.read_trace", format=fmt):
+        trace = (_read_trace_npz(path) if fmt == "npz"
+                 else _read_trace_jsonl(path))
+    obs.counter("io.traces_read", format=fmt).inc()
+    obs.counter("io.bytes_read", format=fmt).add(path.stat().st_size)
+    return trace
+
+
+def read_manifest(path: Union[str, Path]) -> Optional[dict]:
+    """Provenance manifest embedded in a trace archive, or ``None``."""
     path = Path(path)
     if path.suffix == ".npz":
-        return _read_trace_npz(path)
+        with np.load(path) as data:
+            header = json.loads(bytes(data["header"]).decode("utf-8"))
+    else:
+        with gzip.open(path, "rt", encoding="utf-8") as fh:
+            header = json.loads(fh.readline())
+    return header.get("provenance")
+
+
+def _read_trace_jsonl(path: Path) -> RawTrace:
     with gzip.open(path, "rt", encoding="utf-8") as fh:
         header = json.loads(fh.readline())
         if header.get("format") != "repro-trace-1":
@@ -108,7 +148,7 @@ def read_trace(path: Union[str, Path]) -> RawTrace:
             events[loc].append(
                 Ev(etype, region, t, _delta_from_obj(delta), aux=aux, t_enter=t_enter or 0.0)
             )
-    return RawTrace(
+    trace = RawTrace(
         mode=header["mode"],
         regions=regions,
         locations=locations,
@@ -116,13 +156,16 @@ def read_trace(path: Union[str, Path]) -> RawTrace:
         runtime=header["runtime"],
         pinning=None,
     )
+    trace.provenance = header.get("provenance")
+    return trace
 
 
 # ---------------------------------------------------------------------------
 # columnar (npz) format
 # ---------------------------------------------------------------------------
 
-def _write_trace_npz(trace: RawTrace, path: Path) -> None:
+def _write_trace_npz(trace: RawTrace, path: Path,
+                     manifest: Optional[dict] = None) -> None:
     """Bulk-dump the trace's columns (raises ``ColumnarConversionError``
     for traces whose payloads do not follow the engine's conventions --
     write those as JSON lines instead)."""
@@ -135,6 +178,8 @@ def _write_trace_npz(trace: RawTrace, path: Path) -> None:
         "regions": list(cols.regions.names),
         "paradigms": list(cols.regions.paradigms),
     }
+    if manifest is not None:
+        header["provenance"] = manifest
     offsets = np.cumsum([0] + [len(lc) for lc in cols.locs])
     arrays = {
         "header": np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
@@ -172,4 +217,6 @@ def _read_trace_npz(path: Path) -> RawTrace:
         runtime=header["runtime"],
         pinning=None,
     )
-    return cols.to_raw()
+    trace = cols.to_raw()
+    trace.provenance = header.get("provenance")
+    return trace

@@ -52,6 +52,9 @@ class RawTrace:
         self.events = events
         self.runtime = runtime
         self.pinning = pinning
+        #: provenance manifest read back from an archive (see
+        #: :mod:`repro.obs.provenance`), ``None`` for in-memory traces
+        self.provenance: Optional[dict] = None
         self._loc_index: Dict[Tuple[int, int], int] = {
             lt: i for i, lt in enumerate(locations)
         }

@@ -1,0 +1,97 @@
+"""repro.obs: metrics, structured tracing and provenance for the pipeline.
+
+The instrumentation layer of the reproduction itself: a zero-overhead-
+when-disabled metrics registry (:mod:`repro.obs.metrics`), span-based
+self-tracing with Chrome trace-event export (:mod:`repro.obs.spans`,
+:mod:`repro.obs.export`), and provenance manifests tying every artifact
+to its inputs (:mod:`repro.obs.provenance`).  See
+``docs/observability.md`` for the architecture and the Perfetto how-to.
+
+Typical use::
+
+    from repro import obs
+
+    session = obs.enable()                # or REPRO_OBS=1 in the env
+    with obs.span("replay", mode="ltbb"):
+        ...
+    obs.counter("sim.events_emitted").add(n)
+    session.save("obs_trace.json")        # repro-obs summary/export/diff
+"""
+
+from repro.obs.export import (
+    CHROME_REQUIRED_KEYS,
+    metrics_table,
+    span_table,
+    summary_text,
+    to_chrome,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+)
+from repro.obs.provenance import (
+    MANIFEST_FORMAT,
+    build_manifest,
+    default_environment,
+    diff_manifests,
+    manifest_hash,
+    package_version,
+)
+from repro.obs.session import (
+    ARCHIVE_FORMAT,
+    ObsSession,
+    active,
+    counter,
+    disable,
+    enable,
+    gauge,
+    histogram,
+    labels,
+    load_archive,
+    scoped,
+    span,
+)
+from repro.obs.spans import NULL_SPAN, Span, SpanRecorder
+
+__all__ = [
+    "ObsSession",
+    "ARCHIVE_FORMAT",
+    "active",
+    "enable",
+    "disable",
+    "scoped",
+    "labels",
+    "counter",
+    "gauge",
+    "histogram",
+    "span",
+    "load_archive",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "NULL_SPAN",
+    "DEFAULT_BUCKETS",
+    "Span",
+    "SpanRecorder",
+    "to_chrome",
+    "span_table",
+    "metrics_table",
+    "summary_text",
+    "CHROME_REQUIRED_KEYS",
+    "MANIFEST_FORMAT",
+    "build_manifest",
+    "manifest_hash",
+    "diff_manifests",
+    "default_environment",
+    "package_version",
+]

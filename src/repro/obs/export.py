@@ -1,0 +1,150 @@
+"""Exports and renderers for observability archives.
+
+All functions here operate on the plain-JSON *archive* documents produced
+by :meth:`repro.obs.session.ObsSession.snapshot` (``repro-obs-1``), so
+the ``repro-obs`` CLI can work on saved files without a live session.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Mapping, Tuple
+
+__all__ = [
+    "to_chrome",
+    "span_table",
+    "metrics_table",
+    "summary_text",
+    "CHROME_REQUIRED_KEYS",
+]
+
+#: keys every exported Chrome trace event carries (validated by the CI
+#: obs-smoke job and the suite)
+CHROME_REQUIRED_KEYS = ("name", "cat", "ph", "ts", "dur", "pid", "tid")
+
+
+def _fmt_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+
+
+def to_chrome(doc: Mapping) -> dict:
+    """Chrome trace-event JSON (Perfetto-loadable) from an obs archive.
+
+    Spans become complete (``ph: "X"``) events with microsecond
+    timestamps; nesting renders via Perfetto's flame layout (same
+    pid/tid, enclosing time ranges).  Counters are appended as one
+    terminal counter (``ph: "C"``) sample per metric so totals show up
+    as tracks alongside the spans.
+    """
+    spans = doc.get("spans", [])
+    events = []
+    t_end = 0.0
+    for s in spans:
+        events.append({
+            "name": s["name"],
+            "cat": "repro.obs",
+            "ph": "X",
+            "ts": s["t0"] * 1e6,
+            "dur": (s["t1"] - s["t0"]) * 1e6,
+            "pid": s["pid"],
+            "tid": s["pid"],
+            "args": s.get("args", {}),
+        })
+        t_end = max(t_end, s["t1"])
+    for row in doc.get("metrics", {}).get("counters", []):
+        events.append({
+            "name": row["name"] + _fmt_labels(row["labels"]),
+            "cat": "repro.obs.metrics",
+            "ph": "C",
+            "ts": t_end * 1e6,
+            "dur": 0.0,
+            "pid": 0,
+            "tid": 0,
+            "args": {"value": row["value"]},
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"format": doc.get("format", "repro-obs-1")},
+    }
+
+
+def _span_aggregate(spans: List[Mapping]) -> "OrderedDict[str, Tuple[int, float]]":
+    agg: "OrderedDict[str, Tuple[int, float]]" = OrderedDict()
+    for s in spans:
+        n, total = agg.get(s["name"], (0, 0.0))
+        agg[s["name"]] = (n + 1, total + (s["t1"] - s["t0"]))
+    return agg
+
+
+def span_table(doc: Mapping) -> str:
+    """Flat per-phase wall-clock table aggregated over span names."""
+    agg = _span_aggregate(doc.get("spans", []))
+    if not agg:
+        return "(no spans recorded)"
+    width = max(len(n) for n in agg)
+    lines = [f"{'phase':<{width}}  {'count':>6}  {'wall s':>10}  {'mean ms':>10}"]
+    for name, (n, total) in agg.items():
+        lines.append(
+            f"{name:<{width}}  {n:>6}  {total:>10.4f}  {total / n * 1e3:>10.3f}"
+        )
+    return "\n".join(lines)
+
+
+def metrics_table(doc: Mapping) -> str:
+    """Counter/gauge table (histograms render count/sum)."""
+    metrics = doc.get("metrics", {})
+    rows: List[Tuple[str, str]] = []
+    for row in metrics.get("counters", []):
+        rows.append((row["name"] + _fmt_labels(row["labels"]),
+                     f"{row['value']:g}"))
+    for row in metrics.get("gauges", []):
+        rows.append((row["name"] + _fmt_labels(row["labels"]),
+                     f"{row['value']:g} (gauge)"))
+    for row in metrics.get("histograms", []):
+        rows.append((row["name"] + _fmt_labels(row["labels"]),
+                     f"n={row['count']} sum={row['sum']:g} (histogram)"))
+    if not rows:
+        return "(no metrics recorded)"
+    width = max(len(k) for k, _ in rows)
+    return "\n".join(f"{k:<{width}}  {v}" for k, v in rows)
+
+
+def _experiment_blocks(doc: Mapping) -> "OrderedDict[str, List[Tuple[str, str]]]":
+    """Counters grouped by their ``experiment`` label (ungrouped last)."""
+    blocks: "OrderedDict[str, List[Tuple[str, str]]]" = OrderedDict()
+    for row in doc.get("metrics", {}).get("counters", []):
+        labels = dict(row["labels"])
+        exp = labels.pop("experiment", None) or "(global)"
+        blocks.setdefault(exp, []).append(
+            (row["name"] + _fmt_labels(labels), f"{row['value']:g}")
+        )
+    return blocks
+
+
+def summary_text(doc: Mapping) -> str:
+    """The ``repro-obs summary`` / ``repro-report`` rendering."""
+    out = ["== observability summary =="]
+    blocks = _experiment_blocks(doc)
+    globals_block = blocks.pop("(global)", None)
+    for exp, rows in blocks.items():
+        out.append(f"\n-- experiment {exp} --")
+        width = max(len(k) for k, _ in rows)
+        out.extend(f"  {k:<{width}}  {v}" for k, v in rows)
+    if globals_block:
+        out.append("\n-- global counters --")
+        width = max(len(k) for k, _ in globals_block)
+        out.extend(f"  {k:<{width}}  {v}" for k, v in globals_block)
+    out.append("\n-- wall time per phase --")
+    out.append(span_table(doc))
+    manifests = doc.get("manifests", [])
+    if manifests:
+        out.append("\n-- run manifests --")
+        for m in manifests:
+            cfg = m.get("config", {})
+            out.append(f"  {m.get('kind')}: "
+                       f"{cfg.get('experiment', '?')} seed={cfg.get('seed', '?')} "
+                       f"hash={m.get('hash', '')[:12]}")
+    return "\n".join(out)

@@ -1,0 +1,213 @@
+"""Zero-overhead-when-disabled metrics: counters, gauges, histograms.
+
+The registry hands out plain mutable metric objects keyed by ``(name,
+labels)``.  When observability is disabled (the default), the module-level
+helpers in :mod:`repro.obs` return the shared *null* singletons instead,
+whose operations are literal no-ops -- no branch on a flag inside the hot
+path, no allocation, no state.  Instrumented code therefore binds its
+metric objects once (e.g. in ``Engine.__init__``) and calls ``.inc()``
+unconditionally; the cost of a disabled counter is one no-op method call.
+
+Snapshots are plain JSON-able dicts so per-worker registries can cross a
+process-pool boundary and be merged back into the parent's registry
+(counters add, gauges last-write-wins, histograms add bucket-wise).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "DEFAULT_BUCKETS",
+]
+
+#: default histogram bucket upper bounds (bytes-ish / generic magnitudes)
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8,
+)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+    #: alias so call sites read naturally for bulk updates
+    add = inc
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = float(v)
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum/count (Prometheus-style)."""
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds: Tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = [0] * (len(self.bounds) + 1)  # last bucket = +inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, x: float) -> None:
+        i = 0
+        for b in self.bounds:
+            if x <= b:
+                break
+            i += 1
+        self.counts[i] += 1
+        self.sum += x
+        self.count += 1
+
+
+class _NullCounter:
+    """Shared do-nothing counter handed out while observability is off."""
+
+    __slots__ = ()
+    value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        pass
+
+    add = inc
+
+
+class _NullGauge:
+    __slots__ = ()
+    value = 0.0
+
+    def set(self, v: float) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    bounds: Tuple[float, ...] = ()
+    counts: List[int] = []
+    sum = 0.0
+    count = 0
+
+    def observe(self, x: float) -> None:
+        pass
+
+
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """All metrics of one observability session, keyed by (name, labels)."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
+
+    # -- creation / lookup -------------------------------------------------
+    def counter(self, name: str, **labels) -> Counter:
+        key = (name, _label_key(labels))
+        c = self._counters.get(key)
+        if c is None:
+            c = self._counters[key] = Counter()
+        return c
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = (name, _label_key(labels))
+        g = self._gauges.get(key)
+        if g is None:
+            g = self._gauges[key] = Gauge()
+        return g
+
+    def histogram(self, name: str, bounds: Tuple[float, ...] = DEFAULT_BUCKETS,
+                  **labels) -> Histogram:
+        key = (name, _label_key(labels))
+        h = self._histograms.get(key)
+        if h is None:
+            h = self._histograms[key] = Histogram(bounds)
+        return h
+
+    def value(self, name: str, **labels) -> Optional[float]:
+        """Current value of a counter or gauge, or ``None`` if absent."""
+        key = (name, _label_key(labels))
+        m = self._counters.get(key) or self._gauges.get(key)
+        return None if m is None else m.value
+
+    def totals(self, prefix: str = "") -> Dict[str, float]:
+        """Counter values summed over label sets, for names under ``prefix``."""
+        out: Dict[str, float] = {}
+        for (name, _lk), c in self._counters.items():
+            if name.startswith(prefix):
+                out[name] = out.get(name, 0.0) + c.value
+        return out
+
+    # -- (de)serialisation / merging ---------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-able dump of every metric (stable ordering)."""
+
+        def rows(d, extra):
+            return [
+                {"name": name, "labels": dict(lk), **extra(m)}
+                for (name, lk), m in sorted(d.items())
+            ]
+
+        return {
+            "counters": rows(self._counters, lambda c: {"value": c.value}),
+            "gauges": rows(self._gauges, lambda g: {"value": g.value}),
+            "histograms": rows(self._histograms, lambda h: {
+                "bounds": list(h.bounds),
+                "counts": list(h.counts),
+                "sum": h.sum,
+                "count": h.count,
+            }),
+        }
+
+    def merge(self, snapshot: Mapping) -> None:
+        """Fold a worker registry snapshot into this registry.
+
+        Counters and histogram cells add; gauges take the incoming value.
+        """
+        for row in snapshot.get("counters", ()):
+            self.counter(row["name"], **row["labels"]).inc(row["value"])
+        for row in snapshot.get("gauges", ()):
+            self.gauge(row["name"], **row["labels"]).set(row["value"])
+        for row in snapshot.get("histograms", ()):
+            h = self.histogram(row["name"], bounds=tuple(row["bounds"]),
+                               **row["labels"])
+            if tuple(row["bounds"]) != h.bounds:
+                raise ValueError(
+                    f"histogram {row['name']!r}: bucket bounds mismatch on merge"
+                )
+            for i, n in enumerate(row["counts"]):
+                h.counts[i] += n
+            h.sum += row["sum"]
+            h.count += row["count"]

@@ -1,0 +1,102 @@
+"""Provenance manifests: trace any artifact back to its inputs.
+
+A manifest is a small JSON document with two parts:
+
+* ``config`` -- everything that *determines* the artifact (experiment
+  name, seeds, spec geometry, clock modes, package/cache versions).  The
+  manifest ``hash`` is the SHA-256 of the canonical JSON encoding of
+  ``{"kind": ..., "config": ...}``, so the same configuration always
+  hashes identically, across machines and across runs.
+* ``environment`` -- circumstances that do *not* change the result
+  (worker count of a bit-identical parallel campaign, interpreter and
+  NumPy versions).  Deliberately excluded from the hash.
+
+Manifests are attached to :class:`~repro.experiments.workflow.
+ExperimentResult` (and its disk cache), embedded in trace archives by
+:func:`repro.measure.io.write_trace`, and collected on the active
+observability session; ``repro-obs diff`` compares two of them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+from typing import List, Mapping, Optional
+
+__all__ = [
+    "MANIFEST_FORMAT",
+    "build_manifest",
+    "manifest_hash",
+    "diff_manifests",
+    "default_environment",
+    "package_version",
+]
+
+MANIFEST_FORMAT = "repro-manifest-1"
+
+
+def canonical_json(obj) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def manifest_hash(kind: str, config: Mapping) -> str:
+    doc = canonical_json({"kind": kind, "config": config})
+    return hashlib.sha256(doc.encode("utf-8")).hexdigest()
+
+
+def package_version() -> str:
+    from repro import __version__  # lazy: avoid a package-import cycle
+
+    return __version__
+
+
+def default_environment(**extra) -> dict:
+    """Hash-exempt environment block (python/numpy versions + extras)."""
+    import numpy as np
+
+    env = {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+    env.update(extra)
+    return env
+
+
+def build_manifest(kind: str, config: Mapping,
+                   environment: Optional[Mapping] = None) -> dict:
+    """Assemble a manifest; ``config`` must be JSON-serialisable."""
+    config = json.loads(canonical_json(config))  # normalise (tuples->lists)
+    return {
+        "format": MANIFEST_FORMAT,
+        "kind": kind,
+        "config": config,
+        "hash": manifest_hash(kind, config),
+        "environment": dict(environment or {}),
+    }
+
+
+def diff_manifests(a: Mapping, b: Mapping) -> List[str]:
+    """Human-readable differences between two manifests.
+
+    An empty list means the manifests describe the same configuration
+    (environment-only differences are reported but prefixed with ``env:``
+    and do not affect the hash comparison callers typically gate on).
+    """
+    lines: List[str] = []
+    if a.get("kind") != b.get("kind"):
+        lines.append(f"kind: {a.get('kind')!r} != {b.get('kind')!r}")
+    ca, cb = a.get("config", {}), b.get("config", {})
+    for key in sorted(set(ca) | set(cb)):
+        va, vb = ca.get(key, "<absent>"), cb.get(key, "<absent>")
+        if va != vb:
+            lines.append(f"config.{key}: {va!r} != {vb!r}")
+    if a.get("hash") != b.get("hash") and not lines:
+        lines.append(f"hash: {a.get('hash')} != {b.get('hash')}")
+    ea, eb = a.get("environment", {}), b.get("environment", {})
+    for key in sorted(set(ea) | set(eb)):
+        va, vb = ea.get(key, "<absent>"), eb.get(key, "<absent>")
+        if va != vb:
+            lines.append(f"env: {key}: {va!r} != {vb!r}")
+    return lines

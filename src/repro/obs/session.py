@@ -1,0 +1,222 @@
+"""The observability session: metrics + spans + manifests, one per process.
+
+A session bundles a :class:`~repro.obs.metrics.MetricsRegistry`, a
+:class:`~repro.obs.spans.SpanRecorder` and the provenance manifests of
+the runs it observed.  Exactly one session is *active* per process at a
+time; the module-level helpers (:func:`counter`, :func:`span`, ...)
+dispatch to it and degrade to shared no-op singletons when none is
+active, which is what makes disabled observability free.
+
+Activation paths:
+
+* ``REPRO_OBS=1`` in the environment -- a session is created lazily on
+  first use and its archive is written to ``REPRO_OBS_OUT`` (default
+  ``obs_trace.json``) at interpreter exit.
+* :func:`enable` / :func:`disable` -- explicit programmatic control.
+* :func:`scoped` -- temporarily swap the active session (used by the
+  workflow's ``obs=`` argument and by pool workers, which observe each
+  task under a fresh session and ship its snapshot back to the parent).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+)
+from repro.obs.spans import NULL_SPAN, SpanRecorder
+
+__all__ = [
+    "ObsSession",
+    "ARCHIVE_FORMAT",
+    "active",
+    "enable",
+    "disable",
+    "scoped",
+    "labels",
+    "counter",
+    "gauge",
+    "histogram",
+    "span",
+    "load_archive",
+]
+
+ARCHIVE_FORMAT = "repro-obs-1"
+
+#: truthy spellings accepted for ``REPRO_OBS``
+_TRUE = {"1", "true", "yes", "on"}
+
+
+class ObsSession:
+    """One process's observability state (see module docstring)."""
+
+    def __init__(self, t_base: Optional[float] = None) -> None:
+        self.metrics = MetricsRegistry()
+        self.spans = SpanRecorder(t_base=t_base)
+        self.manifests: List[dict] = []
+        self._label_ctx: Dict[str, str] = {}
+
+    # -- instrumentation entry points --------------------------------------
+    def counter(self, name: str, **labels_kw):
+        return self.metrics.counter(name, **{**self._label_ctx, **labels_kw})
+
+    def gauge(self, name: str, **labels_kw):
+        return self.metrics.gauge(name, **{**self._label_ctx, **labels_kw})
+
+    def histogram(self, name: str, bounds=DEFAULT_BUCKETS, **labels_kw):
+        return self.metrics.histogram(
+            name, bounds=bounds, **{**self._label_ctx, **labels_kw}
+        )
+
+    def span(self, name: str, **args):
+        return self.spans.span(name, **args)
+
+    @contextmanager
+    def labels(self, **labels_kw):
+        """Apply default labels to metrics created inside the block."""
+        prev = self._label_ctx
+        self._label_ctx = {**prev, **{k: str(v) for k, v in labels_kw.items()}}
+        try:
+            yield
+        finally:
+            self._label_ctx = prev
+
+    def add_manifest(self, manifest: dict) -> None:
+        self.manifests.append(manifest)
+
+    # -- archive / merging --------------------------------------------------
+    def snapshot(self) -> dict:
+        return {
+            "format": ARCHIVE_FORMAT,
+            "metrics": self.metrics.snapshot(),
+            "spans": self.spans.snapshot(),
+            "manifests": list(self.manifests),
+        }
+
+    def merge_worker(self, doc: dict) -> None:
+        """Fold one worker task's snapshot back into this session."""
+        self.metrics.merge(doc.get("metrics", {}))
+        self.spans.merge(doc.get("spans", []))
+        for m in doc.get("manifests", ()):
+            self.manifests.append(m)
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(json.dumps(self.snapshot(), indent=1) + "\n")
+
+    def summary_text(self) -> str:
+        from repro.obs.export import summary_text
+
+        return summary_text(self.snapshot())
+
+
+def load_archive(path: Union[str, Path]) -> dict:
+    doc = json.loads(Path(path).read_text())
+    if doc.get("format") != ARCHIVE_FORMAT:
+        raise ValueError(f"{path}: not a {ARCHIVE_FORMAT} archive")
+    return doc
+
+
+# ---------------------------------------------------------------------------
+# the active session
+# ---------------------------------------------------------------------------
+
+_ACTIVE: Optional[ObsSession] = None
+_ENV_CHECKED = False
+
+
+def _maybe_enable_from_env() -> None:
+    global _ACTIVE, _ENV_CHECKED
+    _ENV_CHECKED = True
+    if os.environ.get("REPRO_OBS", "").strip().lower() not in _TRUE:
+        return
+    _ACTIVE = ObsSession()
+    import atexit
+
+    atexit.register(_dump_env_session, _ACTIVE)
+
+
+def _dump_env_session(session: ObsSession) -> None:
+    if _ACTIVE is not session:  # superseded by enable()/disable()
+        return
+    out = os.environ.get("REPRO_OBS_OUT", "obs_trace.json")
+    try:
+        session.save(out)
+        print(f"[repro.obs] archive written to {out}", file=sys.stderr)
+    except OSError as exc:  # pragma: no cover - exit-path best effort
+        print(f"[repro.obs] cannot write {out}: {exc}", file=sys.stderr)
+
+
+def active() -> Optional[ObsSession]:
+    """The process's active session, or ``None`` when observability is off."""
+    if _ACTIVE is None and not _ENV_CHECKED:
+        _maybe_enable_from_env()
+    return _ACTIVE
+
+
+def enable(session: Optional[ObsSession] = None) -> ObsSession:
+    """Activate (and return) ``session``, creating one if needed."""
+    global _ACTIVE, _ENV_CHECKED
+    _ENV_CHECKED = True
+    _ACTIVE = session if session is not None else ObsSession()
+    return _ACTIVE
+
+
+def disable() -> None:
+    """Deactivate observability for this process."""
+    global _ACTIVE, _ENV_CHECKED
+    _ENV_CHECKED = True
+    _ACTIVE = None
+
+
+@contextmanager
+def scoped(session: Optional[ObsSession]):
+    """Make ``session`` (or ``None`` = disabled) active inside the block."""
+    global _ACTIVE, _ENV_CHECKED
+    prev_active, prev_checked = _ACTIVE, _ENV_CHECKED
+    _ACTIVE, _ENV_CHECKED = session, True
+    try:
+        yield session
+    finally:
+        _ACTIVE, _ENV_CHECKED = prev_active, prev_checked
+
+
+@contextmanager
+def labels(**labels_kw):
+    """Label context on the active session; no-op when disabled."""
+    s = active()
+    if s is None:
+        yield
+    else:
+        with s.labels(**labels_kw):
+            yield
+
+
+def counter(name: str, **labels_kw):
+    s = active()
+    return NULL_COUNTER if s is None else s.counter(name, **labels_kw)
+
+
+def gauge(name: str, **labels_kw):
+    s = active()
+    return NULL_GAUGE if s is None else s.gauge(name, **labels_kw)
+
+
+def histogram(name: str, bounds=DEFAULT_BUCKETS, **labels_kw):
+    s = active()
+    return NULL_HISTOGRAM if s is None else s.histogram(name, bounds=bounds,
+                                                        **labels_kw)
+
+
+def span(name: str, **args):
+    s = active()
+    return NULL_SPAN if s is None else s.span(name, **args)

@@ -1,0 +1,126 @@
+"""Span-based self-tracing: nested wall-clock phases per process.
+
+A *span* is one timed phase (``with obs.span("replay", mode="ltbb"):``).
+Spans nest via a per-recorder stack, carry free-form ``args``, and record
+the process id, so spans collected in pool workers merge into the parent
+recorder and still render as separate Perfetto tracks.  Timestamps are
+``time.perf_counter()`` seconds relative to the recorder's ``t_base``;
+forked workers inherit the parent's base (``CLOCK_MONOTONIC`` is
+system-wide), which keeps all process timelines aligned in the export.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import List, Optional
+
+__all__ = ["Span", "SpanRecorder", "NULL_SPAN"]
+
+
+class Span:
+    """One timed phase; ``duration`` is valid after the ``with`` block."""
+
+    __slots__ = ("name", "args", "t0", "t1", "pid", "depth", "parent")
+
+    def __init__(self, name: str, args: dict, t0: float, pid: int,
+                 depth: int, parent: int) -> None:
+        self.name = name
+        self.args = args
+        self.t0 = t0
+        self.t1 = t0
+        self.pid = pid
+        self.depth = depth
+        #: index of the enclosing span in the recorder, -1 at top level
+        self.parent = parent
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+    def to_doc(self) -> dict:
+        return {
+            "name": self.name,
+            "args": self.args,
+            "t0": self.t0,
+            "t1": self.t1,
+            "pid": self.pid,
+            "depth": self.depth,
+            "parent": self.parent,
+        }
+
+
+class _NullSpan:
+    """Reusable no-op context manager for the disabled path."""
+
+    __slots__ = ()
+    duration = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _ActiveSpan:
+    """Context manager that opens/closes one span on a recorder."""
+
+    __slots__ = ("_rec", "_span")
+
+    def __init__(self, rec: "SpanRecorder", span: Span) -> None:
+        self._rec = rec
+        self._span = span
+
+    @property
+    def duration(self) -> float:
+        return self._span.duration
+
+    def __enter__(self) -> Span:
+        rec = self._rec
+        rec._stack.append(len(rec.records))
+        rec.records.append(self._span)
+        self._span.t0 = self._span.t1 = time.perf_counter() - rec.t_base
+        return self._span
+
+    def __exit__(self, *exc) -> bool:
+        self._span.t1 = time.perf_counter() - self._rec.t_base
+        self._rec._stack.pop()
+        return False
+
+
+class SpanRecorder:
+    """Collects finished spans of one session (and merged worker spans)."""
+
+    def __init__(self, t_base: Optional[float] = None) -> None:
+        self.t_base = time.perf_counter() if t_base is None else t_base
+        self.records: List[Span] = []
+        self._stack: List[int] = []
+
+    def span(self, name: str, **args) -> _ActiveSpan:
+        parent = self._stack[-1] if self._stack else -1
+        depth = len(self._stack)
+        return _ActiveSpan(
+            self, Span(name, args, 0.0, os.getpid(), depth, parent)
+        )
+
+    # -- (de)serialisation / merging ---------------------------------------
+    def snapshot(self) -> List[dict]:
+        return [s.to_doc() for s in self.records]
+
+    def merge(self, docs: List[dict]) -> None:
+        """Append spans snapshotted in another process.
+
+        Parent links are re-based onto this recorder; cross-process nesting
+        is preserved because a worker snapshot is self-contained.
+        """
+        base = len(self.records)
+        for d in docs:
+            parent = d["parent"]
+            s = Span(d["name"], dict(d["args"]), d["t0"], d["pid"],
+                     d["depth"], parent + base if parent >= 0 else -1)
+            s.t1 = d["t1"]
+            self.records.append(s)

@@ -31,6 +31,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
+from repro import obs
 from repro.machine.network import CollectiveCostModel, NetworkModel
 from repro.machine.topology import Cluster
 from repro.sim import actions as A
@@ -244,6 +245,17 @@ class Engine:
         self._socket_occupancy: Dict[int, int] = {}
         self._ranks_on_numa: Dict[int, set] = {}
         self._ranks_on_socket: Dict[int, set] = {}
+        # Observability: metric objects are bound once here; while
+        # observability is disabled (the default) these are the shared
+        # null singletons whose operations are no-ops, so the hot loop
+        # pays one no-op method call and allocates nothing.
+        self._c_steps = obs.counter("sim.scheduler_steps")
+        self._c_stale = obs.counter("sim.stale_wakeups")
+        self._c_matched = obs.counter("sim.messages_matched")
+        self._c_coll = obs.counter("sim.collectives_completed")
+        self._c_blocks = obs.counter("sim.rank_blocks")
+        self._h_msg_bytes = obs.histogram("sim.message_bytes")
+
         rank_sockets: Dict[int, set] = {}
         for (r, th) in self.pinning.locations():
             core = self.pinning.core_of(r, th)
@@ -346,6 +358,14 @@ class Engine:
     # ------------------------------------------------------------------
     def run(self) -> SimResult:
         """Execute the program to completion and return the results."""
+        with obs.span(
+            "engine.run",
+            program=self.program.name,
+            mode=self.measurement.mode if self.measurement is not None else "ref",
+        ):
+            return self._run()
+
+    def _run(self) -> SimResult:
         for r in self.pinning.ranks:
             ctx = ProgramContext(
                 rank=r, n_ranks=self.pinning.n_ranks, n_threads=self.pinning.threads_of(r)
@@ -358,11 +378,15 @@ class Engine:
 
         n_done = 0
         n_ranks = len(self._ranks)
+        c_steps = self._c_steps
+        c_stale = self._c_stale
         while self._heap:
             t, _seq, r, epoch = heapq.heappop(self._heap)
             state = self._ranks[r]
             if state.done or state.blocked or epoch != state.epoch:
+                c_stale.inc()
                 continue
+            c_steps.inc()
             if self._step(state):
                 n_done += 1
         if n_done != n_ranks:
@@ -375,6 +399,8 @@ class Engine:
             if t_leave is not None:
                 phases[name] = t_leave - t_enter
         trace = self.measurement.finish(runtime) if self.measurement is not None else None
+        obs.counter("sim.events_emitted").add(self._n_events)
+        obs.counter("sim.runs").inc()
         return SimResult(
             runtime=runtime,
             phase_times=phases,
@@ -634,6 +660,7 @@ class Engine:
         if blocking:
             entry["sender"] = state
             entry["pending_leave"] = (rid, t0)
+            self._c_blocks.inc()
             state.blocked = True
             state.block_site = (
                 f"Send(dest={action.dest}, tag={action.tag}, "
@@ -662,6 +689,7 @@ class Engine:
         else:
             entry["parked"] = True
             ch["recvs"].append(entry)
+            self._c_blocks.inc()
             state.blocked = True
             state.block_site = (
                 f"Recv(source={action.source}, tag={action.tag}) "
@@ -693,6 +721,8 @@ class Engine:
 
     def _match(self, send_entry: dict, recv_entry: dict) -> float:
         """Resolve one matched (send, recv) pair; returns completion time."""
+        self._c_matched.inc()
+        self._h_msg_bytes.observe(send_entry["nbytes"])
         receiver: _RankState = recv_entry["receiver"]
         recv_req: Optional[_Request] = recv_entry["request"]
         r_t = recv_entry["recv_t"]
@@ -752,6 +782,7 @@ class Engine:
                 if r.complete_t is None:
                     r.waiter = state
                     pending.append(f"{r.kind} request #{r.rid}")
+            self._c_blocks.inc()
             state.blocked = True
             state.block_site = (
                 f"{self.regions.name(state.wait_region)} on "
@@ -809,6 +840,7 @@ class Engine:
             )
         inst["enters"][state.rank] = state.t
         inst["rid"][state.rank] = rid
+        self._c_blocks.inc()
         state.blocked = True
         missing = self.pinning.n_ranks - len(inst["enters"])
         state.block_site = (
@@ -826,6 +858,7 @@ class Engine:
         return 0.0
 
     def _complete_collective(self, seq: int, inst: dict) -> None:
+        self._c_coll.inc()
         ranks = self.pinning.ranks
         action = inst["action"]
         rep = max(1.0, float(getattr(action, "represents", 1.0)))
