@@ -47,7 +47,15 @@ from repro.measure.config import (
     X_BB_PER_OMP_CALL,
     Y_STMT_PER_OMP_CALL,
 )
-from repro.sim.events import COLL_END, FORK, MPI_RECV, MPI_SEND, OBAR_LEAVE, TEAM_BEGIN
+from repro.sim.events import (
+    COLL_END,
+    FORK,
+    MPI_RECV,
+    MPI_SEND,
+    OBAR_LEAVE,
+    RESTART,
+    TEAM_BEGIN,
+)
 from repro.util.rng import RngStreams
 
 __all__ = ["columnar_increments", "lamport_assign_columnar", "timestamp_columns"]
@@ -142,7 +150,7 @@ def _build_replay_plan(cols: TraceColumns):
         a = last[loc] + 1
         last[loc] = i
 
-        if et == COLL_END or et == OBAR_LEAVE:
+        if et == COLL_END or et == OBAR_LEAVE or et == RESTART:
             key = (et, aux)
             grp = groups.get(key)
             if grp is None:
@@ -301,7 +309,10 @@ def _execute_plan(cols, records, tails, increments):
 
 def _legacy_group_keys(groups) -> list:
     """Format leftover group keys the way the per-event replay does."""
-    return [("c" if et == COLL_END else "b", gid) for (et, gid) in list(groups)[:3]]
+    return [
+        ("c" if et == COLL_END else "b" if et == OBAR_LEAVE else "r", gid)
+        for (et, gid) in list(groups)[:3]
+    ]
 
 
 def timestamp_columns(

@@ -9,6 +9,10 @@ model's amount), merge partner clocks at synchronisation points, record
   maximum -- the counter exchange rides on the collective itself.
 * ``FORK`` -> ``TEAM_BEGIN``: workers adopt ``master + 1``.
 * ``OBAR_LEAVE``: the whole team takes the team maximum.
+* ``RESTART``: all ranks take the job-wide maximum -- the restart
+  protocol of :mod:`repro.sim.recovery` is a coordinated rollback, so
+  the logical clocks re-synchronise across the discontinuity exactly
+  like at a collective.
 
 The replay walks events in a topological order of the happens-before DAG
 (physical-time merge order, valid because simulated physical timestamps
@@ -31,6 +35,7 @@ from repro.sim.events import (
     MPI_RECV,
     MPI_SEND,
     OBAR_LEAVE,
+    RESTART,
     TEAM_BEGIN,
     Ev,
 )
@@ -94,9 +99,9 @@ class LamportClock:
                 c = max(c, partner + 1.0)
                 counter[loc] = c
                 times[loc][i] = c
-            elif et == COLL_END or et == OBAR_LEAVE:
+            elif et == COLL_END or et == OBAR_LEAVE or et == RESTART:
                 gid, size = ev.aux
-                key = ("c" if et == COLL_END else "b", gid)
+                key = ("c" if et == COLL_END else "b" if et == OBAR_LEAVE else "r", gid)
                 members = groups.setdefault(key, [])
                 members.append((loc, i, c))
                 counter[loc] = c  # provisional until the group completes

@@ -1,8 +1,14 @@
-"""Profile (de)serialisation: gzipped JSON."""
+"""Profile (de)serialisation: gzipped JSON.
+
+Writes are atomic (tmp + fsync + rename via
+:func:`repro.measure.io.atomic_write_bytes`): a campaign killed mid-write
+never leaves a truncated profile behind for a resume to trip over.
+"""
 
 from __future__ import annotations
 
 import gzip
+import io
 import json
 from pathlib import Path
 from typing import Union
@@ -28,8 +34,12 @@ def write_profile(profile: CubeProfile, path: Union[str, Path]) -> None:
             for m, cells in ((m, profile.cells(m)) for m in profile.metrics)
         },
     }
-    with gzip.open(Path(path), "wt", encoding="utf-8") as fh:
-        json.dump(doc, fh)
+    from repro.measure.io import atomic_write_bytes
+
+    buf = io.BytesIO()
+    with gzip.GzipFile(fileobj=buf, mode="wb", mtime=0) as gz:
+        gz.write(json.dumps(doc).encode("utf-8"))
+    atomic_write_bytes(path, buf.getvalue())
 
 
 def read_profile(path: Union[str, Path]) -> CubeProfile:

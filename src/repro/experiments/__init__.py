@@ -11,6 +11,11 @@ figure without re-simulating.
 
 from repro.experiments.configs import EXPERIMENTS, experiment_names, make_app, make_cluster
 from repro.experiments.workflow import ExperimentResult, run_experiment, clear_cache
+from repro.experiments.faultsweep import (
+    FaultSweepResult,
+    run_fault_sweep,
+    trace_fingerprint,
+)
 from repro.experiments import reports
 from repro.experiments.fitting import fit_omp_effort_constants
 
@@ -22,6 +27,9 @@ __all__ = [
     "ExperimentResult",
     "run_experiment",
     "clear_cache",
+    "FaultSweepResult",
+    "run_fault_sweep",
+    "trace_fingerprint",
     "reports",
     "fit_omp_effort_constants",
 ]

@@ -16,16 +16,46 @@ campaign **bit-identical** to the serial execution (``workers=1``, the
 default; the ``REPRO_WORKERS`` environment variable overrides it).
 Completed runs are also checkpointed individually, so an interrupted
 campaign resumes instead of recomputing.
+
+A campaign supervisor makes long campaigns self-healing (paper campaigns
+are hours of simulated measurement; losing them to one flaky worker or a
+truncated file is not acceptable):
+
+* **bounded retry** -- a task failing with :class:`CampaignTaskError` is
+  re-attempted up to ``max_task_attempts`` times with exponential backoff
+  plus deterministic jitter (derived from the task seed, so schedules are
+  reproducible); retries surface as the ``workflow.retries`` counter.
+* **watchdog** -- ``task_timeout`` bounds how long the supervisor waits
+  on any pool task; a stuck worker is abandoned and the task resubmitted
+  (``workflow.task_timeouts``).
+* **checksummed checkpoints** -- per-run checkpoint files carry a CRC-32
+  over their payload; a corrupt or truncated file is *quarantined*
+  (renamed ``*.corrupt-N``) and the run recomputed
+  (``workflow.checkpoint_corrupt``), never silently trusted.  The
+  aggregate result cache quarantines the same way
+  (``workflow.cache_corrupt``).
+* **atomic persistence** -- every checkpoint/result write goes through
+  tmp + fsync + rename (:mod:`repro.measure.io` helpers), so a kill at
+  any instant leaves either the old file or the new file, never a
+  partial one.
+* **graceful interrupt** -- ``KeyboardInterrupt`` drains already-finished
+  pool results into checkpoints before cancelling the rest
+  (``workflow.interrupted``), making ``Ctrl-C`` + rerun a lossless
+  resume.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import random
 import shutil
 import tempfile
+import time
 import traceback
+import zlib
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
 from dataclasses import dataclass, field
 from multiprocessing import get_context
 from pathlib import Path
@@ -41,6 +71,7 @@ from repro.experiments.configs import EXPERIMENTS, make_app, make_cluster
 from repro.machine.noise import NoiseConfig, NoiseModel
 from repro.measure import MODES, Measurement
 from repro.measure.config import NOISY_MODES
+from repro.measure.io import atomic_write_text
 from repro.sim import CostModel, Engine
 from repro.util.rng import stream_seed
 
@@ -56,7 +87,7 @@ __all__ = [
 ]
 
 #: bump to invalidate cached results after calibration/code changes
-CACHE_VERSION = 4
+CACHE_VERSION = 5
 
 _CACHE_DIR = Path(__file__).resolve().parents[3] / ".results_cache"
 
@@ -212,11 +243,27 @@ def experiment_manifest(name: str, seed: int, workers: int = 1) -> dict:
 
 
 def resolve_workers(workers: Optional[int]) -> int:
-    """Campaign parallelism: explicit argument, else ``REPRO_WORKERS``, else 1."""
+    """Campaign parallelism: explicit argument, else ``REPRO_WORKERS``, else 1.
+
+    Raises :class:`ValueError` naming the source of the bad value -- a
+    misspelled ``REPRO_WORKERS=auto`` in a batch script should fail the
+    campaign loudly at startup, not crash a worker pool later.
+    """
+    source = "workers argument"
     if workers is None:
-        workers = int(os.environ.get("REPRO_WORKERS", "1"))
+        raw = os.environ.get("REPRO_WORKERS", "1")
+        source = f"REPRO_WORKERS environment variable ({raw!r})"
+        try:
+            workers = int(raw)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"invalid worker count from {source}: expected a positive "
+                f"integer"
+            ) from None
     if workers < 1:
-        raise ValueError(f"workers must be >= 1, got {workers}")
+        raise ValueError(
+            f"invalid worker count from {source}: must be >= 1, got {workers}"
+        )
     return workers
 
 
@@ -239,6 +286,16 @@ def preflight_lint(name: str) -> None:
         )
 
 
+def _retry_delay(seed: int, name: str, mode: str, rep: int, attempt: int,
+                 base: float) -> float:
+    """Backoff before retry ``attempt`` (1-based): exponential with
+    deterministic jitter derived from the task seed."""
+    jitter = random.Random(
+        stream_seed(seed, name, mode, rep, "retry", attempt)
+    ).random()
+    return base * (2.0 ** (attempt - 1)) * (1.0 + jitter)
+
+
 def run_experiment(
     name: str,
     seed: int = 0,
@@ -247,6 +304,9 @@ def run_experiment(
     preflight: bool = True,
     workers: Optional[int] = None,
     obs: Optional["_obs.ObsSession"] = None,
+    task_timeout: Optional[float] = None,
+    max_task_attempts: int = 3,
+    retry_backoff: float = 0.25,
 ) -> ExperimentResult:
     """Run (or load from cache) the complete workflow for ``name``.
 
@@ -259,16 +319,30 @@ def run_experiment(
     stopped; the per-run checkpoints are dropped once the aggregate
     result is stored.
 
+    Campaign supervision (see the module docstring): a task failing with
+    :class:`CampaignTaskError` is retried up to ``max_task_attempts``
+    times with exponential backoff starting at ``retry_backoff`` seconds;
+    ``task_timeout`` (seconds, parallel campaigns only) bounds how long
+    the supervisor waits on a pool task before abandoning the worker and
+    resubmitting; a timeout consumes one attempt.  Corrupt checkpoint or
+    cache files are quarantined and recomputed, and ``KeyboardInterrupt``
+    persists all finished runs before propagating.
+
     ``obs`` makes an :class:`repro.obs.ObsSession` active for the
     campaign (default: whatever session ``REPRO_OBS``/:func:`repro.obs.
     enable` activated, if any).  Pool workers observe their tasks under
     fresh sessions whose snapshots are merged back here, so parallel
     metric totals equal the serial ones.
     """
+    if max_task_attempts < 1:
+        raise ValueError(
+            f"max_task_attempts must be >= 1, got {max_task_attempts}"
+        )
     session = obs if obs is not None else _obs.active()
     with _obs.scoped(session):
         return _run_campaign(
-            name, seed, use_cache, verbose, preflight, workers, session
+            name, seed, use_cache, verbose, preflight, workers, session,
+            task_timeout, max_task_attempts, retry_backoff,
         )
 
 
@@ -280,6 +354,9 @@ def _run_campaign(
     preflight: bool,
     workers: Optional[int],
     session: Optional["_obs.ObsSession"],
+    task_timeout: Optional[float],
+    max_task_attempts: int,
+    retry_backoff: float,
 ) -> ExperimentResult:
     spec = EXPERIMENTS[name]
     with _obs.span("experiment", experiment=name, seed=seed), \
@@ -289,7 +366,8 @@ def _run_campaign(
             try:
                 result = _load(cache, name, seed)
             except Exception:
-                shutil.rmtree(cache, ignore_errors=True)
+                _obs.counter("workflow.cache_corrupt").inc()
+                _quarantine(cache)
             else:
                 _obs.counter("workflow.cache_hits").inc()
                 if session is not None and result.manifest is not None:
@@ -320,42 +398,122 @@ def _run_campaign(
         n_workers = min(resolve_workers(workers), max(1, len(pending)))
         _obs.gauge("workflow.workers").set(n_workers)
         if pending and n_workers > 1:
-            # Fork inherits the experiment registry (including entries
-            # added at runtime, e.g. by tests or the benchmark harness)
-            # and the parent writes all checkpoints, so workers stay
-            # side-effect-free.
-            ctx = get_context("fork")
-            with_obs = session is not None
-            with ProcessPoolExecutor(max_workers=n_workers,
-                                     mp_context=ctx) as pool:
-                futures = {
-                    t: pool.submit(_pool_task, name, t[0], seed, t[1],
-                                   with_obs)
-                    for t in pending
-                }
-                for task in pending:
-                    payload, wdoc = futures[task].result()
-                    payloads[task] = payload
-                    if wdoc is not None:
-                        session.merge_worker(wdoc)
-                        _obs.counter("workflow.worker_runs",
-                                     pid=wdoc["pid"]).inc()
-                    if use_cache:
-                        _store_run(runs_dir, task, payload)
-                    if verbose:
-                        print(f"[{name}] {task[0]} rep {task[1]}: "
-                              f"{payload[0]:.3f}s")
+            _run_parallel(name, seed, pending, payloads, runs_dir,
+                          use_cache, verbose, n_workers, session,
+                          task_timeout, max_task_attempts, retry_backoff)
         else:
-            for task in pending:
-                payloads[task] = _run_task(name, task[0], seed, task[1])
-                if use_cache:
-                    _store_run(runs_dir, task, payloads[task])
-                if verbose:
-                    print(f"[{name}] {task[0]} rep {task[1]}: "
-                          f"{payloads[task][0]:.3f}s")
+            _run_serial(name, seed, pending, payloads, runs_dir, use_cache,
+                        verbose, max_task_attempts, retry_backoff)
 
         return _assemble(name, seed, spec, payloads, use_cache, n_workers,
                          session)
+
+
+def _run_serial(name, seed, pending, payloads, runs_dir, use_cache,
+                verbose, max_task_attempts, retry_backoff) -> None:
+    """Serial campaign path with bounded retry."""
+    for task in pending:
+        for attempt in range(1, max_task_attempts + 1):
+            try:
+                payload, _ = _pool_task(name, task[0], seed, task[1], False)
+            except CampaignTaskError:
+                if attempt >= max_task_attempts:
+                    raise
+                _obs.counter("workflow.retries").inc()
+                time.sleep(_retry_delay(seed, name, task[0], task[1],
+                                        attempt, retry_backoff))
+            else:
+                break
+        payloads[task] = payload
+        if use_cache:
+            _store_run(runs_dir, task, payload)
+        if verbose:
+            print(f"[{name}] {task[0]} rep {task[1]}: {payload[0]:.3f}s")
+
+
+def _run_parallel(name, seed, pending, payloads, runs_dir, use_cache,
+                  verbose, n_workers, session, task_timeout,
+                  max_task_attempts, retry_backoff) -> None:
+    """Parallel campaign path: process pool under the supervisor.
+
+    Fork inherits the experiment registry (including entries added at
+    runtime, e.g. by tests or the benchmark harness) and the parent
+    writes all checkpoints, so workers stay side-effect-free.  Each task
+    gets a per-wait watchdog (``task_timeout``) and bounded retries;
+    ``KeyboardInterrupt`` checkpoints every already-finished task before
+    cancelling the rest, so a rerun resumes losslessly.
+    """
+    ctx = get_context("fork")
+    with_obs = session is not None
+    attempts = {t: 1 for t in pending}
+    pool = ProcessPoolExecutor(max_workers=n_workers, mp_context=ctx)
+    futures: Dict[Tuple[str, int], object] = {}
+    try:
+        futures = {
+            t: pool.submit(_pool_task, name, t[0], seed, t[1], with_obs)
+            for t in pending
+        }
+
+        def harvest(task, payload, wdoc) -> None:
+            payloads[task] = payload
+            if wdoc is not None:
+                session.merge_worker(wdoc)
+                _obs.counter("workflow.worker_runs", pid=wdoc["pid"]).inc()
+            if use_cache:
+                _store_run(runs_dir, task, payload)
+            if verbose:
+                print(f"[{name}] {task[0]} rep {task[1]}: "
+                      f"{payload[0]:.3f}s")
+
+        for task in pending:
+            while task not in payloads:
+                try:
+                    payload, wdoc = futures[task].result(
+                        timeout=task_timeout)
+                except _FuturesTimeout:
+                    # Watchdog: the worker is stuck (or the task is
+                    # pathologically slow).  Abandon the old future and
+                    # resubmit; the stale result, if it ever arrives, is
+                    # simply never read.
+                    attempts[task] += 1
+                    _obs.counter("workflow.task_timeouts").inc()
+                    if attempts[task] > max_task_attempts:
+                        futures[task].cancel()
+                        raise CampaignTaskError(
+                            name, task[0], seed, task[1],
+                            f"task exceeded the {task_timeout}s watchdog "
+                            f"timeout on all {max_task_attempts} attempts",
+                        )
+                    futures[task].cancel()
+                    futures[task] = pool.submit(
+                        _pool_task, name, task[0], seed, task[1], with_obs)
+                except CampaignTaskError:
+                    attempts[task] += 1
+                    if attempts[task] > max_task_attempts:
+                        raise
+                    _obs.counter("workflow.retries").inc()
+                    time.sleep(_retry_delay(seed, name, task[0], task[1],
+                                            attempts[task] - 1,
+                                            retry_backoff))
+                    futures[task] = pool.submit(
+                        _pool_task, name, task[0], seed, task[1], with_obs)
+                else:
+                    harvest(task, payload, wdoc)
+    except KeyboardInterrupt:
+        # Drain whatever already finished into checkpoints before
+        # cancelling the rest -- the interrupted campaign resumes without
+        # recomputing any completed run.
+        _obs.counter("workflow.interrupted").inc()
+        for task, fut in futures.items():
+            if task in payloads or not fut.done() or fut.cancelled():
+                continue
+            if fut.exception() is None:
+                payload, wdoc = fut.result()
+                harvest(task, payload, wdoc)
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    else:
+        pool.shutdown(wait=True)
 
 
 def _assemble(
@@ -481,32 +639,93 @@ def _load(path: Path, name: str, seed: int) -> ExperimentResult:
     )
 
 
+def _quarantine(path: Path) -> Optional[Path]:
+    """Move a corrupt cache/checkpoint file (or directory) aside.
+
+    Renamed to ``<name>.corrupt-N`` next to the original so the bad bytes
+    stay inspectable while the supervisor recomputes; returns the new
+    path (``None`` when ``path`` vanished or the rename failed, in which
+    case it is deleted as a last resort so the corruption cannot be
+    re-read).
+    """
+    for n in range(1000):
+        dest = path.with_name(f"{path.name}.corrupt-{n}")
+        if dest.exists():
+            continue
+        try:
+            path.rename(dest)
+        except FileNotFoundError:
+            return None
+        except OSError:
+            break
+        return dest
+    if path.is_dir():
+        shutil.rmtree(path, ignore_errors=True)
+    else:
+        path.unlink(missing_ok=True)
+    return None
+
+
 def _run_tag(task: Tuple[str, int]) -> str:
     return f"{task[0]}-r{task[1]}"
 
 
 def _store_run(runs_dir: Path, task: Tuple[str, int], payload) -> None:
-    """Checkpoint one finished run (summary JSON written last as marker)."""
+    """Checkpoint one finished run, atomically and checksummed.
+
+    The summary JSON wraps its document with a CRC-32 over the canonical
+    payload encoding, plus the CRC-32 of the profile archive's bytes for
+    instrumented runs, so :func:`_load_run` detects truncation or bit rot
+    in either file.  The summary is written last: its presence marks the
+    checkpoint complete.
+    """
     runs_dir.mkdir(parents=True, exist_ok=True)
     tag = _run_tag(task)
     if len(payload) == 3:
         runtime, phase_times, profile = payload
         write_profile(profile, runs_dir / f"{tag}-profile.json.gz")
+        profile_crc = zlib.crc32((runs_dir / f"{tag}-profile.json.gz").read_bytes())
     else:
         runtime, phase_times = payload
-    (runs_dir / f"{tag}.json").write_text(
-        json.dumps({"runtime": runtime, "phases": phase_times})
+        profile_crc = None
+    doc = {"runtime": runtime, "phases": phase_times}
+    body = json.dumps(doc, sort_keys=True)
+    atomic_write_text(
+        runs_dir / f"{tag}.json",
+        json.dumps({"crc32": zlib.crc32(body.encode("utf-8")),
+                    "profile_crc32": profile_crc,
+                    "doc": doc}),
     )
 
 
 def _load_run(runs_dir: Path, task: Tuple[str, int]):
-    """Load one checkpointed run, or ``None`` if absent/unreadable."""
+    """Load one checkpointed run, or ``None`` if absent or corrupt.
+
+    Any unreadable or checksum-failing file is quarantined (see
+    :func:`_quarantine`) and counted on ``workflow.checkpoint_corrupt``;
+    the supervisor then recomputes the run, so corruption degrades to a
+    cache miss rather than poisoning the campaign result.
+    """
     tag = _run_tag(task)
+    summary = runs_dir / f"{tag}.json"
+    profile_path = runs_dir / f"{tag}-profile.json.gz"
+    if not summary.exists():
+        return None
     try:
-        doc = json.loads((runs_dir / f"{tag}.json").read_text())
+        wrapper = json.loads(summary.read_text())
+        doc = wrapper["doc"]
+        body = json.dumps(doc, sort_keys=True)
+        if wrapper["crc32"] != zlib.crc32(body.encode("utf-8")):
+            raise ValueError(f"{summary}: summary checksum mismatch")
         if task[0] == _REF:
             return doc["runtime"], doc["phases"]
-        profile = read_profile(runs_dir / f"{tag}-profile.json.gz")
+        if wrapper["profile_crc32"] != zlib.crc32(profile_path.read_bytes()):
+            raise ValueError(f"{profile_path}: profile checksum mismatch")
+        profile = read_profile(profile_path)
         return doc["runtime"], doc["phases"], profile
     except Exception:
+        _obs.counter("workflow.checkpoint_corrupt").inc()
+        _quarantine(summary)
+        if task[0] != _REF and profile_path.exists():
+            _quarantine(profile_path)
         return None

@@ -28,6 +28,17 @@ from repro.machine.noise import (
     CounterNoise,
     ZeroNoise,
 )
+from repro.machine.faults import (
+    FaultConfig,
+    FaultModel,
+    ZeroFaults,
+    CrashPoint,
+    RankCrash,
+    MessageLoss,
+    MessageDuplication,
+    LinkDegradation,
+    StragglerCore,
+)
 
 __all__ = [
     "Core",
@@ -50,4 +61,13 @@ __all__ = [
     "NetworkNoise",
     "CounterNoise",
     "ZeroNoise",
+    "FaultConfig",
+    "FaultModel",
+    "ZeroFaults",
+    "CrashPoint",
+    "RankCrash",
+    "MessageLoss",
+    "MessageDuplication",
+    "LinkDegradation",
+    "StragglerCore",
 ]

@@ -24,6 +24,8 @@ COLL_END       coll id    group size
 FORK/JOIN      omp id     --
 TEAM_BEGIN     omp id     --
 OBAR_LEAVE     omp id     team size
+FAULT          match id   --
+RESTART        restart id n_ranks
 (all others)   --         --
 =============  =========  =========
 
@@ -41,11 +43,13 @@ import numpy as np
 
 from repro.sim.events import (
     COLL_END,
+    FAULT,
     FORK,
     JOIN,
     MPI_RECV,
     MPI_SEND,
     OBAR_LEAVE,
+    RESTART,
     TEAM_BEGIN,
     Ev,
     RegionRegistry,
@@ -60,10 +64,10 @@ __all__ = ["ColumnarConversionError", "LocationColumns", "TraceColumns"]
 
 #: event kinds that participate in clock synchronisation (send/fork are
 #: producers, the rest consumers); everything else only accumulates work
-SYNC_KINDS = (MPI_SEND, MPI_RECV, COLL_END, FORK, TEAM_BEGIN, OBAR_LEAVE)
+SYNC_KINDS = (MPI_SEND, MPI_RECV, COLL_END, FORK, TEAM_BEGIN, OBAR_LEAVE, RESTART)
 
-_PAIR_AUX = (MPI_SEND, COLL_END, OBAR_LEAVE)
-_SCALAR_AUX = (MPI_RECV, FORK, JOIN, TEAM_BEGIN)
+_PAIR_AUX = (MPI_SEND, COLL_END, OBAR_LEAVE, RESTART)
+_SCALAR_AUX = (MPI_RECV, FORK, JOIN, TEAM_BEGIN, FAULT)
 
 _DELTA_FIELDS = ("omp_iters", "bb", "stmt", "instr", "burst_calls", "omp_calls")
 

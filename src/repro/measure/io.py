@@ -17,12 +17,23 @@ Two formats, dispatched on the file suffix:
 Both round-trip exactly (float timestamps bit-preserved) and are covered
 by the suite.  Used by the CLI tools (``repro-run`` writes,
 ``repro-analyze`` reads).
+
+All archive writes are *atomic*: the bytes go to a temporary file in the
+destination directory, are fsynced, and are moved into place with
+:func:`os.replace`.  A reader (or a campaign resuming after a kill) never
+observes a truncated archive -- either the old file, the new file, or no
+file.  The helpers :func:`atomic_write_bytes` / :func:`atomic_write_text`
+expose the same discipline for other writers (the campaign runner's
+checkpoint and cache files use them).
 """
 
 from __future__ import annotations
 
 import gzip
+import io
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import List, Optional, Tuple, Union
 
@@ -34,7 +45,44 @@ from repro.measure.trace import RawTrace
 from repro.sim.events import Ev, RegionRegistry
 from repro.sim.kernels import EMPTY_DELTA, WorkDelta
 
-__all__ = ["write_trace", "read_trace", "read_manifest"]
+__all__ = [
+    "write_trace",
+    "read_trace",
+    "read_manifest",
+    "atomic_write_bytes",
+    "atomic_write_text",
+]
+
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (tmp file + fsync + rename).
+
+    The temporary file lives in the destination directory so the final
+    :func:`os.replace` stays within one filesystem and is atomic.  On any
+    failure the temporary file is removed and ``path`` is left untouched.
+    """
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(prefix=path.name + ".", suffix=".tmp",
+                               dir=path.parent)
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path: Union[str, Path], text: str,
+                      encoding: str = "utf-8") -> None:
+    """Atomic counterpart of ``Path.write_text`` (see
+    :func:`atomic_write_bytes`)."""
+    atomic_write_bytes(path, text.encode(encoding))
 
 _COLUMN_FIELDS = ("etype", "region", "t", "t_enter", "aux_a", "aux_b",
                   "omp_iters", "bb", "stmt", "instr", "burst_calls", "omp_calls")
@@ -87,20 +135,23 @@ def _write_trace_jsonl(trace: RawTrace, path: Path,
     }
     if manifest is not None:
         header["provenance"] = manifest
-    with gzip.open(path, "wt", encoding="utf-8") as fh:
-        fh.write(json.dumps(header) + "\n")
-        for loc, evs in enumerate(trace.events):
-            for ev in evs:
-                rec = [
-                    loc,
-                    ev.etype,
-                    ev.region,
-                    ev.t,
-                    _delta_to_obj(ev.delta),
-                    list(ev.aux) if isinstance(ev.aux, tuple) else ev.aux,
-                    ev.t_enter or None,
-                ]
-                fh.write(json.dumps(rec) + "\n")
+    buf = io.BytesIO()
+    with gzip.GzipFile(fileobj=buf, mode="wb", mtime=0) as gz:
+        with io.TextIOWrapper(gz, encoding="utf-8") as fh:
+            fh.write(json.dumps(header) + "\n")
+            for loc, evs in enumerate(trace.events):
+                for ev in evs:
+                    rec = [
+                        loc,
+                        ev.etype,
+                        ev.region,
+                        ev.t,
+                        _delta_to_obj(ev.delta),
+                        list(ev.aux) if isinstance(ev.aux, tuple) else ev.aux,
+                        ev.t_enter or None,
+                    ]
+                    fh.write(json.dumps(rec) + "\n")
+    atomic_write_bytes(path, buf.getvalue())
 
 
 def read_trace(path: Union[str, Path]) -> RawTrace:
@@ -189,8 +240,9 @@ def _write_trace_npz(trace: RawTrace, path: Path,
         parts = [getattr(lc, field) for lc in cols.locs]
         arrays[field] = (np.concatenate(parts) if parts
                          else np.empty(0, dtype=np.float64))
-    with open(path, "wb") as fh:
-        np.savez_compressed(fh, **arrays)
+    buf = io.BytesIO()
+    np.savez_compressed(buf, **arrays)
+    atomic_write_bytes(path, buf.getvalue())
 
 
 def _read_trace_npz(path: Path) -> RawTrace:

@@ -66,6 +66,42 @@ class Measurement:
 
             self._sanitizer = OnlineSanitizer(region_names=engine.regions.name)
 
+    def rebind(self, engine) -> None:
+        """Attach a restart-attempt engine, keeping recorded events.
+
+        Used by :mod:`repro.sim.recovery`: after a simulated crash the
+        next attempt runs on a *fresh* engine (clean scheduler state) but
+        must append to the trace prefix this measurement already holds.
+        The online sanitizer is per-run state and cannot span attempts.
+        """
+        if self._engine is None:
+            raise RuntimeError("rebind() before begin()")
+        if self._finished:
+            raise RuntimeError("rebind() after finish()")
+        if self._sanitize:
+            raise RuntimeError(
+                "online sanitize cannot span restart attempts; "
+                "run the offline sanitizer on the finished trace instead"
+            )
+        self._engine = engine
+
+    def mark(self) -> List[int]:
+        """Snapshot of per-location event counts (a checkpoint mark)."""
+        return [len(evs) for evs in self._events]
+
+    def rewind(self, mark: Optional[List[int]]) -> None:
+        """Drop every event recorded after ``mark`` (``None`` = drop all)."""
+        if self._finished:
+            raise RuntimeError("rewind() after finish()")
+        if mark is None:
+            mark = [0] * len(self._events)
+        if len(mark) != len(self._events):
+            raise ValueError(
+                f"mark covers {len(mark)} locations, trace has {len(self._events)}"
+            )
+        for evs, n in zip(self._events, mark):
+            del evs[n:]
+
     def record(self, loc: int, ev: Ev) -> None:
         if self._sanitizer is not None:
             self._sanitizer.observe(loc, ev)

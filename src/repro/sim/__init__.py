@@ -32,10 +32,18 @@ from repro.sim.actions import (
     Bcast,
     Reduce,
     Barrier,
+    Checkpoint,
 )
 from repro.sim.costmodel import CostModel, ComputeContext
 from repro.sim.program import Program, ProgramContext
-from repro.sim.engine import Engine, SimResult
+from repro.sim.engine import Engine, SimResult, SimCrashError, RestartPlan
+from repro.sim.recovery import (
+    RecoveryConfig,
+    RecoveryOutcome,
+    RestartRecord,
+    ExcessiveRestartsError,
+    run_with_recovery,
+)
 
 __all__ = [
     "KernelSpec",
@@ -58,10 +66,18 @@ __all__ = [
     "Bcast",
     "Reduce",
     "Barrier",
+    "Checkpoint",
     "CostModel",
     "ComputeContext",
     "Program",
     "ProgramContext",
     "Engine",
     "SimResult",
+    "SimCrashError",
+    "RestartPlan",
+    "RecoveryConfig",
+    "RecoveryOutcome",
+    "RestartRecord",
+    "ExcessiveRestartsError",
+    "run_with_recovery",
 ]

@@ -36,6 +36,7 @@ __all__ = [
     "Bcast",
     "Reduce",
     "Barrier",
+    "Checkpoint",
 ]
 
 
@@ -248,6 +249,24 @@ class Barrier(Action):
     represents: float = 1.0
 
 
+@dataclass(frozen=True)
+class Checkpoint(Action):
+    """Coordinated application-level checkpoint (restart boundary).
+
+    Semantically a barrier followed by a collective write of ``nbytes``
+    of checkpoint state per rank.  The engine records the completed epoch
+    as a valid restart point: after a :class:`~repro.machine.faults.
+    RankCrash`, the recovery protocol (:mod:`repro.sim.recovery`) replays
+    the job from the most recent completed checkpoint.  Programs should
+    place checkpoints at quiescent points -- no point-to-point message
+    may be in flight across the checkpoint (the linter's MPI009 warns
+    about messages crossing a checkpoint boundary).
+    """
+
+    nbytes: float = 0.0
+    represents: float = 1.0
+
+
 #: Map collective action classes to the cost-model operation name and the
 #: MPI region name recorded in the trace.
 COLLECTIVE_INFO = {
@@ -257,4 +276,5 @@ COLLECTIVE_INFO = {
     Bcast: ("bcast", "MPI_Bcast"),
     Reduce: ("reduce", "MPI_Reduce"),
     Barrier: ("barrier", "MPI_Barrier"),
+    Checkpoint: ("barrier", "MPI_Checkpoint"),
 }

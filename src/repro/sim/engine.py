@@ -21,6 +21,22 @@ back from the measurement object into virtual time:
 * ``mpi_sync_cost`` seconds per MPI operation for logical modes, modelling
   the extra counter-synchronisation messages the paper's implementation
   sends inside the MPI wrappers.
+
+Faults and recovery
+-------------------
+An optional :class:`~repro.machine.faults.FaultModel` injects seeded
+faults: message loss/duplication and link degradation perturb transfer
+times (and emit ``FAULT`` marker events on the affected receiver), a
+straggler core scales compute durations, and a drawn rank crash raises
+:class:`SimCrashError` out of :meth:`Engine.run`.  The checkpoint/restart
+protocol lives in :mod:`repro.sim.recovery`: it re-runs the engine with a
+:class:`RestartPlan`, under which the engine *ghost-replays* the already
+traced execution prefix -- same costs, same draws, no event emission --
+up to the restart checkpoint, jumps every rank to the resume time, emits
+one ``RESTART`` event per rank and goes live.  Ghost replay keeps region
+interning, match ids and collective ids bit-identical to the prefix the
+trace already contains, which is what makes recovered traces pass the
+sanitizer.
 """
 
 from __future__ import annotations
@@ -32,6 +48,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from repro import obs
+from repro.machine.faults import CrashPoint, FaultModel
 from repro.machine.network import CollectiveCostModel, NetworkModel
 from repro.machine.topology import Cluster
 from repro.sim import actions as A
@@ -40,9 +57,11 @@ from repro.sim.events import (
     BURST,
     COLL_END,
     ENTER,
+    FAULT,
     LEAVE,
     MPI_RECV,
     MPI_SEND,
+    RESTART,
     Ev,
     Paradigm,
     RegionRegistry,
@@ -51,7 +70,7 @@ from repro.sim.kernels import EMPTY_DELTA, KernelSpec, WorkDelta
 from repro.sim.openmp import execute_parallel_for
 from repro.sim.program import Program, ProgramContext
 
-__all__ = ["Engine", "SimResult", "EngineConfig"]
+__all__ = ["Engine", "SimResult", "EngineConfig", "SimCrashError", "RestartPlan"]
 
 
 @dataclass
@@ -60,7 +79,47 @@ class EngineConfig:
 
     mpi_call_overhead: float = 0.8e-6  # entering + internal work of an MPI call
     eager_copy_bandwidth: float = 8.0e9  # bytes/s memcpy into the eager buffer
+    checkpoint_write_bandwidth: float = 2.0e9  # bytes/s per rank to stable storage
     omp: OmpCostModel = field(default_factory=OmpCostModel)
+
+
+class SimCrashError(RuntimeError):
+    """A drawn fail-stop crash terminated the run.
+
+    Carries what the recovery protocol (:mod:`repro.sim.recovery`) needs:
+    the fired :class:`~repro.machine.faults.CrashPoint`, the number of
+    application checkpoints completed before the crash (the restart
+    epoch) and the virtual time at which the failure was detected.
+    """
+
+    def __init__(self, point: CrashPoint, epoch: int, t_crash: float):
+        unit = "action" if point.trigger == "progress" else "t"
+        super().__init__(
+            f"rank {point.rank} fail-stop at {unit}={point.at:g} "
+            f"(t_detect={t_crash:.6g}s, {epoch} checkpoint(s) completed)"
+        )
+        self.point = point
+        self.epoch = epoch
+        self.t_crash = t_crash
+
+
+@dataclass(frozen=True)
+class RestartPlan:
+    """Instructions for re-running the engine after fail-stop crashes.
+
+    ``restarts`` lists the checkpoint epochs still visible in the kept
+    trace prefix together with their resume times, in strictly
+    increasing epoch order; the engine ghost-replays (no emission, same
+    costs and draws) up to each epoch, jumps every rank to the resume
+    time, and goes *live* after applying the last entry, emitting one
+    ``RESTART`` event per rank with ``aux = (restart_id, n_ranks)``.
+    ``suppressed`` holds the :attr:`~repro.machine.faults.CrashPoint.key`
+    of every crash that already fired so it cannot fire again.
+    """
+
+    restarts: Tuple[Tuple[int, float], ...]
+    suppressed: frozenset = frozenset()
+    restart_id: int = 0
 
 
 @dataclass
@@ -85,7 +144,7 @@ class SimResult:
 class _Request:
     """A non-blocking communication request."""
 
-    __slots__ = ("rid", "kind", "complete_t", "match_id", "send_t", "waiter")
+    __slots__ = ("rid", "kind", "complete_t", "match_id", "send_t", "waiter", "fault_rid")
 
     def __init__(self, rid: int, kind: str):
         self.rid = rid
@@ -94,6 +153,7 @@ class _Request:
         self.match_id: Optional[int] = None
         self.send_t: float = 0.0
         self.waiter: Optional[_RankState] = None
+        self.fault_rid: int = -1  # fault region id to emit at wait completion
 
 
 class _RankState:
@@ -116,6 +176,7 @@ class _RankState:
         "wait_region",
         "epoch",
         "block_site",
+        "n_actions",
     )
 
     def __init__(self, rank: int, gen: Generator, n_threads: int):
@@ -136,6 +197,7 @@ class _RankState:
         self.epoch = 0  # bumped on every resume to invalidate stale heap entries
         #: (action description, call-path snapshot) of the current block site
         self.block_site: Optional[Tuple[str, Tuple[str, ...]]] = None
+        self.n_actions = 0  # dispatched actions (progress-triggered crashes)
 
     def flush_delta(self) -> WorkDelta:
         d = self.pending_delta
@@ -174,6 +236,15 @@ class Engine:
         When true, the measurement checks trace invariants online as
         events are emitted (see :mod:`repro.verify.online`); requires a
         measurement object.
+    faults:
+        Optional :class:`~repro.machine.faults.FaultModel`; drawn rank
+        crashes raise :class:`SimCrashError` out of :meth:`run`.
+    restart:
+        Optional :class:`RestartPlan` (set by :mod:`repro.sim.recovery`);
+        the engine ghost-replays the traced prefix and resumes emission
+        at the last restart point.  Requires a measurement that supports
+        ``rebind`` (events before the plan's restarts were already
+        recorded in a previous attempt).
     """
 
     def __init__(
@@ -185,6 +256,8 @@ class Engine:
         config: Optional[EngineConfig] = None,
         network: Optional[NetworkModel] = None,
         sanitize: bool = False,
+        faults=None,
+        restart: Optional[RestartPlan] = None,
     ):
         self.program = program
         self.cluster = cluster
@@ -205,13 +278,43 @@ class Engine:
             base += self.pinning.threads_of(r)
         self.n_locations = base
 
+        # Fault injection and checkpoint/restart state.
+        self._faults = faults
+        self._restart = restart
+        self._restart_idx = 0
+        #: Emission gate: False while ghost-replaying an already traced
+        #: prefix during recovery (costs and draws still happen so the
+        #: replay is bit-identical to the attempt that produced the prefix).
+        self._live = restart is None or not restart.restarts
+        self._ckpt_count = 0
+        #: completed checkpoint epoch -> (virtual time after it, measurement mark)
+        self.checkpoint_marks: Dict[int, Tuple[float, Any]] = {}
+        self._chan_occurrence: Dict[Tuple[int, int, int], int] = {}
+        self._crashes: Dict[int, CrashPoint] = {}
+        if faults is not None:
+            sched = faults.crash_schedule(self.pinning.n_ranks)
+            suppressed = restart.suppressed if restart is not None else frozenset()
+            self._crashes = {r: cp for r, cp in sched.items() if cp.key not in suppressed}
+        if faults is not None or restart is not None:
+            # Interned eagerly so region ids do not depend on when (or
+            # whether) the first fault fires: a recovery ghost replay must
+            # reproduce the exact interning order of the traced prefix.
+            self._rid_fault_loss = self.regions.intern("fault_msg_loss", Paradigm.MEASUREMENT)
+            self._rid_fault_dup = self.regions.intern("fault_msg_dup", Paradigm.MEASUREMENT)
+            self._rid_restart = self.regions.intern("sim_restart", Paradigm.MEASUREMENT)
+        else:
+            self._rid_fault_loss = self._rid_fault_dup = self._rid_restart = -1
+
         # Measurement feedback, cached for the hot path.
         if sanitize and measurement is None:
             raise ValueError("sanitize=True requires a measurement object")
         if measurement is not None:
             if sanitize:
                 measurement.enable_sanitize()
-            measurement.begin(self)
+            if restart is not None:
+                measurement.rebind(self)
+            else:
+                measurement.begin(self)
             self.ev_cost = measurement.event_cost()
             self._mpi_sync_cost = measurement.mpi_sync_cost()
             self._footprint = measurement.footprint_per_socket()
@@ -255,6 +358,9 @@ class Engine:
         self._c_coll = obs.counter("sim.collectives_completed")
         self._c_blocks = obs.counter("sim.rank_blocks")
         self._h_msg_bytes = obs.histogram("sim.message_bytes")
+        self._c_crashes = obs.counter("faults.crashes")
+        self._c_restarts = obs.counter("faults.restarts")
+        self._c_ckpts = obs.counter("faults.checkpoints")
 
         rank_sockets: Dict[int, set] = {}
         for (r, th) in self.pinning.locations():
@@ -276,7 +382,9 @@ class Engine:
         return self._next_omp - 1
 
     def emit(self, loc: int, ev: Ev) -> None:
-        """Record an event (no-op in reference runs)."""
+        """Record an event (no-op in reference runs and during ghost replay)."""
+        if not self._live:
+            return
         self._n_events += 1
         if self.measurement is not None:
             self.measurement.record(loc, ev)
@@ -375,6 +483,8 @@ class Engine:
             self._rank_time[r] = 0.0
             self._coll_seq[r] = 0
             self._push(state)
+        # Epoch 0: a crash before the first checkpoint restarts from t=0.
+        self._apply_restarts(0)
 
         n_done = 0
         n_ranks = len(self._ranks)
@@ -442,6 +552,19 @@ class Engine:
 
     def _step(self, state: _RankState) -> bool:
         """Advance one action; returns True when the rank finished."""
+        if self._crashes:
+            cp = self._crashes.get(state.rank)
+            if cp is not None and (
+                state.n_actions >= cp.at
+                if cp.trigger == "progress"
+                else state.t >= cp.at
+            ):
+                # Fail-stop: consume the crash point (it fires once across
+                # all recovery attempts) and abort the whole run.
+                del self._crashes[state.rank]
+                self._c_crashes.inc()
+                t_crash = max(self._rank_time.values()) if self._rank_time else state.t
+                raise SimCrashError(cp, self._ckpt_count, t_crash)
         try:
             action = state.gen.send(state.pending_result)
         except StopIteration:
@@ -449,6 +572,7 @@ class Engine:
             self._rank_time[state.rank] = state.t
             return True
         state.pending_result = None
+        state.n_actions += 1
         epoch_before = state.epoch
         self._dispatch(state, action)
         self._rank_time[state.rank] = max(self._rank_time[state.rank], state.t)
@@ -527,7 +651,7 @@ class Engine:
         extra = self.count_cost(delta)
         ctx = self.compute_context(state.rank, 0, action.kernel)
         dur = self.cost.kernel_time(action.kernel, action.units, ctx, extra_flop_time=extra)
-        state.t += dur
+        state.t += dur * self.compute_scale(state.rank, 0)
         state.add_delta(delta)
 
     def _do_burst(self, state: _RankState, action: A.CallBurst) -> None:
@@ -535,6 +659,7 @@ class Engine:
         extra = self.count_cost(delta)
         ctx = self.compute_context(state.rank, 0, action.kernel)
         dur = self.cost.kernel_time(action.kernel, action.units, ctx, extra_flop_time=extra)
+        dur *= self.compute_scale(state.rank, 0)
         t0 = state.t
         if self.measurement is not None and not self._filtered(action.region):
             per_call = self.measurement.event_cost()
@@ -588,9 +713,17 @@ class Engine:
     def _transfer_time(self, src: int, dst: int, nbytes: float, match_id: int) -> float:
         same_node = self.pinning.same_node(src, dst)
         t = self.network.transfer_time(nbytes, same_node)
+        if self._faults is not None:
+            t *= self._faults.link.factor(src, dst)
         if self.cost.noise is not None:
             t *= self.cost.noise.network.factor(("p2p", match_id))
         return t
+
+    def compute_scale(self, rank: int, thread: int) -> float:
+        """Compute-time multiplier from fault injection (straggler cores)."""
+        if self._faults is None:
+            return 1.0
+        return self._faults.straggler.factor(rank, thread)
 
     def _do_send(self, state: _RankState, action, blocking: bool) -> None:
         region = "MPI_Send" if blocking else "MPI_Isend"
@@ -618,6 +751,7 @@ class Engine:
             "request": None,
             "src": state.rank,
             "dst": action.dest,
+            "tag": action.tag,
             "rid": rid,
         }
         req = None
@@ -726,8 +860,23 @@ class Engine:
         receiver: _RankState = recv_entry["receiver"]
         recv_req: Optional[_Request] = recv_entry["request"]
         r_t = recv_entry["recv_t"]
+        fault_rid = -1
+        fault_extra = 0.0
+        if self._faults is not None:
+            # Faults draw on the k-th matched message of the channel -- a
+            # program-order coordinate, so the same physical message is
+            # faulted under every noise realization and every ghost replay.
+            chan = (send_entry["src"], send_entry["dst"], send_entry["tag"])
+            k = self._chan_occurrence.get(chan, 0)
+            self._chan_occurrence[chan] = k + 1
+            if self._faults.loss.lost(*chan, k):
+                fault_extra = self._faults.config.message_loss_timeout
+                fault_rid = self._rid_fault_loss
+            elif self._faults.duplication.duplicated(*chan, k):
+                fault_extra = self._faults.config.message_duplication_overhead
+                fault_rid = self._rid_fault_dup
         if send_entry["eager"]:
-            done = max(r_t, send_entry["arrival"]) + self.config.mpi_call_overhead
+            done = max(r_t, send_entry["arrival"]) + self.config.mpi_call_overhead + fault_extra
         else:
             start = max(r_t, send_entry["send_t"])
             done = (
@@ -736,6 +885,7 @@ class Engine:
                     send_entry["src"], send_entry["dst"], send_entry["nbytes"], send_entry["match_id"]
                 )
                 + self.config.mpi_call_overhead
+                + fault_extra
             )
             # Unblock a blocked rendezvous sender / complete its request.
             sender: Optional[_RankState] = send_entry["sender"]
@@ -752,6 +902,11 @@ class Engine:
             # Emit the receive record + LEAVE; resume the receiver only if
             # it was parked (it may be the currently executing rank).
             if self.measurement is not None:
+                if fault_rid >= 0:
+                    self.emit_master(
+                        receiver,
+                        Ev(FAULT, fault_rid, done, EMPTY_DELTA, aux=send_entry["match_id"]),
+                    )
                 self.emit_master(
                     receiver,
                     Ev(MPI_RECV, recv_entry["rid"], done, EMPTY_DELTA, aux=send_entry["match_id"]),
@@ -763,6 +918,7 @@ class Engine:
             recv_req.complete_t = done
             recv_req.match_id = send_entry["match_id"]
             recv_req.send_t = send_entry["send_t"]
+            recv_req.fault_rid = fault_rid
             self._check_waiter(recv_req)
         return done
 
@@ -801,6 +957,10 @@ class Engine:
                 if r.kind != "recv":
                     continue
                 t_rec = max(t_rec, r.complete_t)
+                if r.fault_rid >= 0:
+                    self.emit_master(
+                        state, Ev(FAULT, r.fault_rid, t_rec, EMPTY_DELTA, aux=r.match_id)
+                    )
                 self.emit_master(
                     state, Ev(MPI_RECV, state.wait_region, t_rec, EMPTY_DELTA, aux=r.match_id)
                 )
@@ -852,6 +1012,8 @@ class Engine:
             self._complete_collective(seq, inst)
 
     def _coll_nbytes(self, action) -> float:
+        if type(action) is A.Checkpoint:
+            return 0.0  # barrier cost only; the checkpoint write is priced separately
         for attr in ("nbytes", "nbytes_per_pair", "nbytes_per_rank"):
             if hasattr(action, attr):
                 return getattr(action, attr)
@@ -865,6 +1027,8 @@ class Engine:
         cost = self.collectives.cost(
             inst["op"], self.pinning, ranks, self._coll_nbytes(action)
         ) * rep
+        if type(action) is A.Checkpoint:
+            cost += (action.nbytes / self.config.checkpoint_write_bandwidth) * rep
         if self.cost.noise is not None:
             cost *= self.cost.noise.network.factor(("coll", seq))
         completion = max(inst["enters"].values()) + cost
@@ -890,3 +1054,47 @@ class Engine:
                 st.t += self.ev_cost * rep
             self._resume(st, st.t)
         del self._coll[seq]
+        if type(action) is A.Checkpoint:
+            self._ckpt_count += 1
+            if self._live:
+                self._c_ckpts.inc()
+                t_after = max(self._ranks[r].t for r in ranks)
+                mark = self.measurement.mark() if self.measurement is not None else None
+                self.checkpoint_marks[self._ckpt_count] = (t_after, mark)
+            self._apply_restarts(self._ckpt_count)
+
+    def _apply_restarts(self, epoch: int) -> None:
+        """Apply the restart plan's jump for ``epoch``, if it has one.
+
+        Each jump moves every rank to the recorded resume time and clears
+        in-flight work deltas, replicating what the previous attempt did
+        at its own go-live.  After the plan's *last* jump the engine goes
+        live: emission resumes and one ``RESTART`` event per rank marks
+        the discontinuity in the trace.
+        """
+        plan = self._restart
+        if plan is None or self._restart_idx >= len(plan.restarts):
+            return
+        next_epoch, t_resume = plan.restarts[self._restart_idx]
+        if epoch != next_epoch:
+            return
+        self._restart_idx += 1
+        # Ranks resume one event-write past the RESTART marker: strictly
+        # later than t_resume, so in merged order the whole restart group
+        # completes before any post-restart event (keeps logical clocks
+        # monotone across the discontinuity).
+        for st in self._ranks.values():
+            if st.done:
+                continue
+            st.pending_delta = EMPTY_DELTA
+            self._resume(st, t_resume + self.ev_cost)
+        if self._restart_idx >= len(plan.restarts):
+            self._live = True
+            self._c_restarts.inc()
+            if self.measurement is not None:
+                aux = (plan.restart_id, self.pinning.n_ranks)
+                for r in self.pinning.ranks:
+                    self.emit(
+                        self.loc_id(r, 0),
+                        Ev(RESTART, self._rid_restart, t_resume, EMPTY_DELTA, aux=aux),
+                    )

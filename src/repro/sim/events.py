@@ -21,6 +21,15 @@ TEAM_BEGIN     First event of a worker in a team; ``aux = omp_id``.
 OBAR_ENTER /   Implicit (or explicit) OpenMP barrier; the leave record
 OBAR_LEAVE     carries ``aux = (omp_id, team_size)`` and synchronizes the
                logical clocks of the whole team.
+FAULT          An injected fault became visible on this location (message
+               retransmit after loss, duplicate delivery); ``aux`` is the
+               match id of the affected message, the region names the
+               fault kind (``fault_msg_loss`` / ``fault_msg_dup``).
+RESTART        Recovery resumed all ranks from the last application-level
+               checkpoint; ``aux = (restart_id, n_ranks)``.  Emitted on
+               every rank's master location at the common resume time and
+               synchronizing the logical clocks of the whole job (the
+               restart protocol is a global barrier).
 =============  ==========================================================
 
 Work deltas: every event may carry the :class:`~repro.sim.kernels.WorkDelta`
@@ -46,6 +55,8 @@ __all__ = [
     "TEAM_BEGIN",
     "OBAR_ENTER",
     "OBAR_LEAVE",
+    "FAULT",
+    "RESTART",
     "EVENT_NAMES",
     "Ev",
     "Paradigm",
@@ -63,6 +74,8 @@ JOIN = 7
 TEAM_BEGIN = 8
 OBAR_ENTER = 9
 OBAR_LEAVE = 10
+FAULT = 11
+RESTART = 12
 
 EVENT_NAMES = {
     ENTER: "ENTER",
@@ -76,6 +89,8 @@ EVENT_NAMES = {
     TEAM_BEGIN: "TEAM_BEGIN",
     OBAR_ENTER: "OBAR_ENTER",
     OBAR_LEAVE: "OBAR_LEAVE",
+    FAULT: "FAULT",
+    RESTART: "RESTART",
 }
 
 

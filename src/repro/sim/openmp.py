@@ -95,6 +95,7 @@ def execute_parallel_for(engine: "Engine", rank: "_RankState", pf: ParallelFor) 
         count_cost = engine.count_cost(chunk_counts)
         ctx = engine.compute_context(rank.rank, i, pf.kernel, team_threads=n_threads)
         dur = engine.cost.kernel_time(pf.kernel, float(units[i]), ctx, extra_flop_time=count_cost)
+        dur *= engine.compute_scale(rank.rank, i)
         n_events = _WORKER_EVENTS if i > 0 else _WORKER_EVENTS - 1  # master: no TEAM_BEGIN
         finishes[i] = starts[i] + dur + n_events * ev_cost * rep
 

@@ -1,0 +1,180 @@
+"""Simulated coordinated checkpoint/restart recovery.
+
+:func:`run_with_recovery` drives the engine through fail-stop crashes
+(:class:`~repro.sim.engine.SimCrashError`): each crash rolls the job back
+to the most recent completed :class:`~repro.sim.actions.Checkpoint` and
+re-runs the engine with a :class:`~repro.sim.engine.RestartPlan`.
+
+The trace produced by a recovered run is the *kept prefix* of every
+previous attempt plus the final live segment.  To make the recovered
+trace indistinguishable from one recorded by a single continuous
+measurement, each attempt **ghost-replays** the prefix: the new engine
+re-executes the program from the start with event emission disabled but
+with identical costs and identical fault draws, so region interning,
+match ids, collective ids and scheduling order are bit-identical to the
+attempts that recorded the prefix.  This requires
+
+* a **fresh cost model per attempt** with the same seed -- noise streams
+  are positional, and the ghost consumes them in the recorded order --
+  hence the ``cost_factory`` parameter, and
+* position-independent fault draws -- which is how
+  :class:`~repro.machine.faults.FaultModel` is built (one shared
+  instance serves all attempts).
+
+Termination is guaranteed: every fired crash point is added to the
+plan's ``suppressed`` set and never fires again, the fault model draws
+at most one crash per rank, and ``max_restarts`` bounds the loop
+regardless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro import obs
+from repro.machine.faults import FaultModel
+from repro.machine.network import NetworkModel
+from repro.machine.topology import Cluster
+from repro.sim.engine import Engine, EngineConfig, RestartPlan, SimCrashError, SimResult
+from repro.sim.program import Program
+from repro.util.validation import check_nonnegative
+
+__all__ = [
+    "RecoveryConfig",
+    "RestartRecord",
+    "RecoveryOutcome",
+    "ExcessiveRestartsError",
+    "run_with_recovery",
+]
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """Knobs of the simulated restart protocol."""
+
+    #: give up after this many restarts (a run with more is pathological)
+    max_restarts: int = 8
+    #: wall time (seconds, virtual) to detect the failure, re-spawn the
+    #: job and read the checkpoint back from stable storage
+    restart_delay: float = 5e-3
+
+    def __post_init__(self):
+        if self.max_restarts < 0:
+            raise ValueError(f"max_restarts must be >= 0, got {self.max_restarts}")
+        check_nonnegative("restart_delay", self.restart_delay)
+
+
+@dataclass(frozen=True)
+class RestartRecord:
+    """One crash and the restart that recovered from it."""
+
+    attempt: int  # 1-based attempt that crashed
+    rank: int  # rank that failed
+    trigger: str  # "progress" | "time"
+    at: Union[int, float]  # drawn crash point (action index or sim time)
+    epoch: int  # checkpoints completed when the crash hit
+    t_crash: float  # virtual time of failure detection
+    t_restart: float  # virtual time all ranks resumed at
+
+
+class ExcessiveRestartsError(RuntimeError):
+    """The run crashed more than ``max_restarts`` times."""
+
+    def __init__(self, limit: int, restarts: Tuple[RestartRecord, ...]):
+        ranks = [rec.rank for rec in restarts]
+        super().__init__(
+            f"gave up after {len(restarts)} restarts (limit {limit}); "
+            f"crashed ranks: {ranks}"
+        )
+        self.restarts = restarts
+
+
+@dataclass
+class RecoveryOutcome:
+    """Result of a (possibly recovered) run."""
+
+    result: SimResult
+    restarts: Tuple[RestartRecord, ...] = field(default_factory=tuple)
+
+    @property
+    def n_restarts(self) -> int:
+        return len(self.restarts)
+
+
+def run_with_recovery(
+    program: Program,
+    cluster: Cluster,
+    cost_factory: Callable[[], object],
+    faults: FaultModel,
+    measurement=None,
+    config: Optional[EngineConfig] = None,
+    network: Optional[NetworkModel] = None,
+    recovery: Optional[RecoveryConfig] = None,
+) -> RecoveryOutcome:
+    """Run ``program`` to completion, restarting after fail-stop crashes.
+
+    ``cost_factory`` must build a *fresh* cost model (same seed) on every
+    call; ``measurement`` (optional) accumulates one trace across all
+    attempts via mark/rewind/rebind.  Raises
+    :class:`ExcessiveRestartsError` past ``recovery.max_restarts``.
+    """
+    recovery = recovery or RecoveryConfig()
+    #: epoch -> (virtual time after the checkpoint, measurement mark);
+    #: epoch 0 is the job start (crash before any checkpoint -> from scratch)
+    marks: Dict[int, Tuple[float, object]] = {0: (0.0, None)}
+    suppressed: set = set()
+    applied: List[Tuple[int, float]] = []
+    restarts: List[RestartRecord] = []
+    plan: Optional[RestartPlan] = None
+    attempt = 0
+    c_attempts = obs.counter("recovery.attempts")
+
+    with obs.span("recovery.run", program=program.name):
+        while True:
+            attempt += 1
+            c_attempts.inc()
+            engine = Engine(
+                program,
+                cluster,
+                cost_factory(),
+                measurement=measurement,
+                config=config,
+                network=network,
+                faults=faults,
+                restart=plan,
+            )
+            try:
+                result = engine.run()
+            except SimCrashError as crash:
+                marks.update(engine.checkpoint_marks)
+                if len(restarts) >= recovery.max_restarts:
+                    raise ExcessiveRestartsError(
+                        recovery.max_restarts, tuple(restarts)
+                    ) from crash
+                epoch = crash.epoch
+                t_ckpt, mark = marks[epoch]
+                t_restart = max(crash.t_crash, t_ckpt) + recovery.restart_delay
+                # Jumps at epochs >= the rollback target belong to trace
+                # segments the rewind discards; replace them.
+                applied = [(ep, tr) for (ep, tr) in applied if ep < epoch]
+                applied.append((epoch, t_restart))
+                suppressed.add(crash.point.key)
+                if measurement is not None:
+                    measurement.rewind(mark)
+                restarts.append(RestartRecord(
+                    attempt=attempt,
+                    rank=crash.point.rank,
+                    trigger=crash.point.trigger,
+                    at=crash.point.at,
+                    epoch=epoch,
+                    t_crash=crash.t_crash,
+                    t_restart=t_restart,
+                ))
+                plan = RestartPlan(
+                    restarts=tuple(applied),
+                    suppressed=frozenset(suppressed),
+                    restart_id=len(restarts) - 1,
+                )
+                continue
+            return RecoveryOutcome(result=result, restarts=tuple(restarts))

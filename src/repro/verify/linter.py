@@ -9,9 +9,12 @@ simulation time is spent:
 * request hygiene -- every ``Isend``/``Irecv`` id completed exactly once
   (MPI003/MPI004),
 * positional collective consistency across ranks (MPI005/MPI006),
-* peer validity (MPI007), and
+* peer validity (MPI007),
 * potential deadlock via an abstract execution of the blocking semantics
-  plus wait-for-graph cycle detection (MPI008).
+  plus wait-for-graph cycle detection (MPI008), and
+* checkpoint quiescence -- no message may be sent before a
+  :class:`~repro.sim.actions.Checkpoint` and received after it (MPI009),
+  since such a message would be lost on a rollback to that checkpoint.
 
 Blocking ``Send`` above the eager threshold is treated as rendezvous (it
 blocks until the matching receive is posted), mirroring the engine's
@@ -98,6 +101,7 @@ def lint_program(
     diagnostics.extend(_check_p2p_matching(runs))
     diagnostics.extend(_check_requests(runs))
     diagnostics.extend(_check_collectives(runs))
+    diagnostics.extend(_check_checkpoint_epochs(runs))
     # the abstract execution needs complete sequences; a crashed or
     # truncated rank would show up as a bogus deadlock
     if all(run.completed for run in runs.values()):
@@ -233,6 +237,67 @@ def _check_requests(runs: Dict[int, RankDryRun]) -> List[Diagnostic]:
                 f"Wait/Waitall; first leaked: {first.describe()}",
                 rank=rank, call_path=path, action_index=first.index,
             ))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# checkpoint quiescence
+# ---------------------------------------------------------------------------
+
+
+def _check_checkpoint_epochs(runs: Dict[int, RankDryRun]) -> List[Diagnostic]:
+    """Warn about messages that straddle a checkpoint boundary (MPI009).
+
+    A rank's *checkpoint epoch* is the number of ``Checkpoint`` actions it
+    has issued; since checkpoints are collective, matched operations see
+    consistent epochs across ranks.  Sends count the epoch at initiation;
+    receives count the epoch at completion (the ``Wait``/``Waitall`` for
+    non-blocking receives), because that is when the data materializes in
+    application state.  FIFO pairing mirrors the engine's matching.
+    """
+    sends: Dict[Tuple[int, int, int], List[Tuple[int, int, ActionRecord]]] = {}
+    recvs: Dict[Tuple[int, int, int], List[Tuple[int, int, ActionRecord]]] = {}
+    any_checkpoint = False
+    for rank, run in runs.items():
+        epoch = 0
+        pending: Dict[int, Tuple[Tuple[int, int, int], ActionRecord]] = {}
+        for rec in run.records:
+            a = rec.action
+            cls = type(a)
+            if cls is A.Checkpoint:
+                epoch += 1
+                any_checkpoint = True
+            elif cls is A.Send or cls is A.Isend:
+                sends.setdefault((rank, a.dest, a.tag), []).append((epoch, rank, rec))
+            elif cls is A.Recv:
+                recvs.setdefault((a.source, rank, a.tag), []).append((epoch, rank, rec))
+            elif cls is A.Irecv:
+                pending[rec.result] = ((a.source, rank, a.tag), rec)
+            elif cls is A.Wait or cls is A.Waitall:
+                rids = (a.request,) if cls is A.Wait else a.requests
+                for rid in rids:
+                    hit = pending.pop(rid, None)
+                    if hit is not None:
+                        key, r_rec = hit
+                        recvs.setdefault(key, []).append((epoch, rank, r_rec))
+    if not any_checkpoint:
+        return []
+
+    out: List[Diagnostic] = []
+    for key in sorted(set(sends) & set(recvs)):
+        src, dst, tag = key
+        for (s_ep, s_rank, s_rec), (r_ep, _r_rank, _r_rec) in zip(
+            sends[key], recvs[key]
+        ):
+            if s_ep != r_ep:
+                out.append(Diagnostic(
+                    "MPI009",
+                    f"message on channel {src}->{dst} tag {tag} sent in "
+                    f"checkpoint epoch {s_ep} but received in epoch {r_ep}",
+                    rank=s_rank, call_path=s_rec.call_path,
+                    action_index=s_rec.index,
+                ))
+                break  # one finding per channel keeps the report readable
     return out
 
 

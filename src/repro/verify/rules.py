@@ -158,6 +158,13 @@ MPI008 = rule(
     "break the wait-for cycle, e.g. order sends before receives on one "
     "side or switch to non-blocking communication",
 )
+MPI009 = rule(
+    "MPI009", Severity.WARNING,
+    "point-to-point message crosses a checkpoint boundary",
+    "place Checkpoint actions at quiescent points: a message sent before "
+    "a checkpoint but received after it is lost on rollback, so recovery "
+    "would replay the job inconsistently",
+)
 
 # ---------------------------------------------------------------------------
 # program execution (static dry-run)
@@ -216,4 +223,18 @@ TRC007 = rule(
     "synchronisation group is incomplete or over-subscribed",
     "each collective/barrier instance must have exactly its group size of "
     "member events, and TEAM_BEGIN must follow its FORK",
+)
+TRC008 = rule(
+    "TRC008", Severity.ERROR,
+    "restart group is inconsistent across ranks",
+    "a RESTART instance must appear exactly once per rank, all at the one "
+    "common resume time; anything else means the recovery rollback "
+    "truncated the per-location event lists inconsistently",
+)
+TRC009 = rule(
+    "TRC009", Severity.WARNING,
+    "FAULT event references a message without a receive record",
+    "a fault marker's match id should belong to a message that completes "
+    "in the trace; a dangling reference usually means the rollback kept "
+    "the fault marker but discarded the message records",
 )

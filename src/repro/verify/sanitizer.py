@@ -11,6 +11,9 @@ paper's analysis relies on:
   collective / OpenMP-barrier instance with exactly its group size of
   member events, each ``TEAM_BEGIN`` preceded by its ``FORK`` (TRC007),
   plus equal physical completion times within a group (TRC004);
+  recovered traces additionally need consistent ``RESTART`` groups --
+  one record per rank at one common resume time (TRC008) -- and every
+  ``FAULT`` marker referencing a message that completes (TRC009);
 
 * **clock condition** (per timestamp mode): derived timestamps must be
   non-decreasing per location (TRC005), every send->recv edge must
@@ -34,11 +37,13 @@ from repro.measure.trace import RawTrace
 from repro.sim.events import (
     COLL_END,
     ENTER,
+    FAULT,
     FORK,
     LEAVE,
     MPI_RECV,
     MPI_SEND,
     OBAR_LEAVE,
+    RESTART,
     TEAM_BEGIN,
 )
 from repro.verify.diagnostics import Diagnostic, format_diagnostics, has_errors
@@ -121,6 +126,9 @@ def sanitize_raw(trace: RawTrace) -> List[Diagnostic]:
     groups: Dict[Tuple[str, int], List[Tuple[int, float]]] = {}
     group_size: Dict[Tuple[str, int], int] = {}
     forks: Set[int] = set()
+    restart_groups: Dict[int, List[Tuple[int, float]]] = {}
+    restart_size: Dict[int, int] = {}
+    fault_refs: List[Tuple[int, int]] = []  # (location, referenced match id)
 
     def region(rid: int) -> str:
         try:
@@ -192,6 +200,18 @@ def sanitize_raw(trace: RawTrace) -> List[Diagnostic]:
                         f"{group_size[key]} and {size}",
                         location=loc,
                     ))
+            elif et == RESTART:
+                gid, size = ev.aux
+                restart_groups.setdefault(gid, []).append((loc, ev.t))
+                if restart_size.setdefault(gid, size) != size:
+                    cap.add(Diagnostic(
+                        "TRC008",
+                        f"restart {gid}: conflicting group sizes "
+                        f"{restart_size[gid]} and {size}",
+                        location=loc,
+                    ))
+            elif et == FAULT:
+                fault_refs.append((loc, ev.aux))
             elif et == FORK:
                 forks.add(ev.aux)
             elif et == TEAM_BEGIN:
@@ -245,6 +265,36 @@ def sanitize_raw(trace: RawTrace) -> List[Diagnostic]:
                 f"{kind} instance {gid}: physical completion times spread "
                 f"over [{lo:.9g}, {hi:.9g}]",
                 location=members[0][0],
+            ))
+
+    for gid in sorted(restart_groups):
+        members = restart_groups[gid]
+        size = restart_size[gid]
+        if len(members) != size:
+            cap.add(Diagnostic(
+                "TRC008",
+                f"restart {gid} has {len(members)} record(s) but "
+                f"{size} rank(s)",
+                location=members[0][0],
+            ))
+            continue
+        ts = [t for (_loc, t) in members]
+        lo, hi = min(ts), max(ts)
+        if hi - lo > _REL_TOL * max(1.0, abs(hi)):
+            cap.add(Diagnostic(
+                "TRC008",
+                f"restart {gid}: resume times spread over "
+                f"[{lo:.9g}, {hi:.9g}] instead of one common time",
+                location=members[0][0],
+            ))
+
+    for loc, mid in fault_refs:
+        if mid not in recvs:
+            cap.add(Diagnostic(
+                "TRC009",
+                f"FAULT marker references message {mid} which has no "
+                "receive record",
+                location=loc,
             ))
     return cap.finish()
 
@@ -307,8 +357,10 @@ def check_timestamps(tt) -> List[Diagnostic]:
                         f"does not follow send timestamp {c_send:.9g}",
                         location=loc, mode=mode,
                     ))
-            elif et == COLL_END or et == OBAR_LEAVE:
-                key = ("coll" if et == COLL_END else "obar", ev.aux[0])
+            elif et == COLL_END or et == OBAR_LEAVE or et == RESTART:
+                kind = ("coll" if et == COLL_END
+                        else "obar" if et == OBAR_LEAVE else "restart")
+                key = (kind, ev.aux[0])
                 groups.setdefault(key, []).append((loc, float(tt.times[loc][i])))
 
     for key in sorted(groups):

@@ -87,9 +87,14 @@ class TestCampaignResume:
             payload = W._run_task(tiny_experiment, task[0], 0, task[1])
             W._store_run(runs_dir, task, payload)
         marker = runs_dir / "ref-r0.json"
-        doc = json.loads(marker.read_text())
-        doc["runtime"] = 123.456
-        marker.write_text(json.dumps(doc))
+        wrapper = json.loads(marker.read_text())
+        wrapper["doc"]["runtime"] = 123.456
+        # Keep the checkpoint valid under the new payload: re-sign it.
+        import zlib
+
+        body = json.dumps(wrapper["doc"], sort_keys=True)
+        wrapper["crc32"] = zlib.crc32(body.encode("utf-8"))
+        marker.write_text(json.dumps(wrapper))
         import shutil
 
         shutil.rmtree(cache)
