@@ -160,20 +160,48 @@ def main_report(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
+def _simulate_for_races(program, cluster=None):
+    """Run ``program`` once and return its RawTrace.
+
+    Used by ``repro-lint --races`` on program targets: the race detector
+    works on recorded traces, so programs are executed first (fixed
+    noise seed; vector-clock concurrency does not depend on the
+    realization anyway).  ``cluster`` defaults to the small test
+    cluster, which fits every fixture; experiment programs pass their
+    configured cluster.
+    """
+    from repro.machine.noise import NoiseConfig, NoiseModel
+    from repro.machine.presets import small_test_cluster
+    from repro.measure import Measurement
+    from repro.sim import CostModel, Engine
+
+    if cluster is None:
+        cluster = small_test_cluster()
+    cost = CostModel(cluster, noise=NoiseModel(NoiseConfig(), seed=0))
+    engine = Engine(program, cluster, cost, measurement=Measurement("lt1"))
+    return engine.run().trace
+
+
 def main_lint(argv: Optional[List[str]] = None) -> int:
-    """Static program linter + trace sanitizer.
+    """Static program linter, determinism prover and trace race detector.
 
     ``repro-lint NAME...`` dry-runs the named experiment programs (or
     lint fixtures via ``--fixture``) and reports MPI/OpenMP misuse;
-    ``repro-lint --trace ARCHIVE`` sanitizes a recorded trace archive
-    against the happened-before invariants for every clock mode.
-    Exit status: 0 clean, 1 errors found (or warnings under
-    ``--strict``), 2 usage error.
+    ``--determinism`` additionally runs the static determinism prover
+    (DET rules + per-clock-mode bit-identity certificate) and
+    ``--races`` the happened-before race detector (RACE rules) on a
+    one-shot simulation of each program; ``repro-lint --trace ARCHIVE``
+    sanitizes a recorded trace archive against the happened-before
+    invariants for every clock mode (plus ``--races`` on the archive).
+    Exit status: 0 clean, 1 findings of error severity (or warnings
+    under ``--strict``), 2 usage error.
     """
     import json as _json
 
     from repro.verify import (
         FIXTURES,
+        analyze_determinism,
+        find_races,
         fixture_names,
         lint_program,
         make_fixture,
@@ -196,52 +224,68 @@ def main_lint(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--selftest", action="store_true",
                         help="lint every built-in fixture and check that "
                              "exactly the expected rules fire")
+    parser.add_argument("--determinism", action="store_true",
+                        help="also run the static determinism prover on "
+                             "each program and print its certificate")
+    parser.add_argument("--races", action="store_true",
+                        help="also run the vector-clock race detector "
+                             "(programs are simulated once; traces are "
+                             "checked directly)")
     parser.add_argument("--mode", action="append", default=[],
                         help="restrict --trace timestamp checks to these "
                              "clock modes (repeatable; default: all)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format (default: text)")
     parser.add_argument("--json", action="store_true",
-                        help="machine-readable diagnostics on stdout")
+                        help="alias for --format json")
     parser.add_argument("--strict", action="store_true",
                         help="treat warnings as failures")
     args = parser.parse_args(argv)
 
+    if args.json:
+        args.format = "json"
     if not (args.names or args.trace or args.fixture or args.selftest):
         parser.error("nothing to lint: give experiment names, --trace, "
                      "--fixture or --selftest")
 
-    reports = []  # (label, report) pairs; report has .diagnostics/.format()
-    failed = False
-
     if args.selftest:
-        ok = True
+        selftest_ok = True
         for fx in FIXTURES.values():
             got = lint_program(fx.make()).rule_ids()
             if got != set(fx.expected_rules):
-                ok = False
+                selftest_ok = False
                 print(f"selftest {fx.name}: expected "
                       f"{sorted(fx.expected_rules)}, got {sorted(got)}")
         print(f"selftest: {len(FIXTURES)} fixtures "
-              f"{'ok' if ok else 'FAILED'}")
-        failed |= not ok
+              f"{'ok' if selftest_ok else 'FAILED'}")
+        if not selftest_ok:
+            return 1
 
+    # Collect program targets (label, Program) and trace targets.
+    programs = []
     names = list(args.names)
     if "all" in names:
         from repro.experiments.configs import experiment_names
 
         names = experiment_names()
+    clusters = {}  # label -> cluster for the --races simulation
     for name in names:
-        from repro.experiments.configs import experiment_names, make_app
+        from repro.experiments.configs import (
+            experiment_names,
+            make_app,
+            make_cluster,
+        )
 
         if name not in experiment_names():
             parser.error(f"unknown experiment {name!r}; "
                          f"known: {experiment_names()}")
-        reports.append((name, lint_program(make_app(name))))
+        programs.append((name, make_app(name)))
+        clusters[name] = make_cluster(name)
     for name in args.fixture:
         try:
-            program = make_fixture(name)
+            programs.append((f"fixture:{name}", make_fixture(name)))
         except KeyError as exc:
             parser.error(str(exc))
-        reports.append((f"fixture:{name}", lint_program(program)))
 
     from repro.measure.config import validate_mode
 
@@ -249,6 +293,73 @@ def main_lint(argv: Optional[List[str]] = None) -> int:
         modes = tuple(validate_mode(m) for m in args.mode) or None
     except ValueError as exc:
         parser.error(str(exc))
+
+    failed = False
+    results = []  # one dict per target, printed at the end
+
+    def _diag_json(d):
+        return {
+            "rule": d.rule_id,
+            "severity": d.severity,
+            "message": d.message,
+            "rank": d.rank,
+            "location": d.location,
+            "call_path": list(d.call_path),
+            "action_index": d.action_index,
+            "mode": d.mode,
+            "witness": list(d.witness),
+            "hint": d.hint,
+        }
+
+    for label, program in programs:
+        diagnostics = []
+        entry = {"target": label, "kind": "program"}
+        text = []
+
+        lint = lint_program(program)
+        diagnostics.extend(lint.diagnostics)
+        text.append(lint.format())
+
+        if args.determinism:
+            det = analyze_determinism(program)
+            diagnostics.extend(det.diagnostics)
+            text.append(det.report())
+            entry["determinism"] = {
+                "order_deterministic": det.order_deterministic,
+                "generator_deterministic": det.generator_deterministic,
+                "n_sites": len(det.sites),
+                "n_racy_sites": det.n_racy_sites,
+                "mode_verdicts": dict(det.mode_verdicts),
+                "certificate_sha256": det.certificate.get("hash"),
+            }
+
+        if args.races:
+            # The engine refuses programs the linter already rejects
+            # (deadlocks hang, leaked requests trip the online checks),
+            # so only simulate lint-clean programs.
+            if any(d.severity == "error" for d in lint.diagnostics):
+                text.append(f"{label}: race check skipped "
+                            "(lint errors prevent simulation)")
+                entry["races"] = {"skipped": "lint errors"}
+            else:
+                races = find_races(
+                    _simulate_for_races(program, clusters.get(label))
+                )
+                diagnostics.extend(races.diagnostics)
+                text.append(races.format())
+                entry["races"] = {
+                    "has_races": races.has_races,
+                    "wildcard_sites": dict(races.wildcard_sites),
+                    "suppressed": dict(races.suppressed),
+                }
+
+        worst = worst_severity(diagnostics)
+        bad = worst == "error" or (args.strict and worst == "warning")
+        failed |= bad
+        entry["ok"] = not bad
+        entry["diagnostics"] = [_diag_json(d) for d in diagnostics]
+        results.append((entry, "\n".join(text)))
+
     for path in args.trace:
         from repro.measure import read_trace
 
@@ -256,31 +367,38 @@ def main_lint(argv: Optional[List[str]] = None) -> int:
             trace = read_trace(path)
         except OSError as exc:
             parser.error(f"cannot read trace archive {path!r}: {exc}")
-        reports.append((path, sanitize_trace(trace, modes=modes)))
+        diagnostics = []
+        entry = {"target": path, "kind": "trace"}
+        text = []
 
-    for label, report in reports:
-        worst = worst_severity(report.diagnostics)
+        san = sanitize_trace(trace, modes=modes)
+        diagnostics.extend(san.diagnostics)
+        text.append(san.format())
+        if san.suppressed:
+            entry["suppressed"] = dict(san.suppressed)
+
+        if args.races:
+            races = find_races(trace)
+            diagnostics.extend(races.diagnostics)
+            text.append(races.format())
+            entry["races"] = {
+                "has_races": races.has_races,
+                "wildcard_sites": dict(races.wildcard_sites),
+                "suppressed": dict(races.suppressed),
+            }
+
+        worst = worst_severity(diagnostics)
         bad = worst == "error" or (args.strict and worst == "warning")
         failed |= bad
-        if args.json:
-            print(_json.dumps({
-                "target": label,
-                "ok": not bad,
-                "diagnostics": [
-                    {
-                        "rule": d.rule_id,
-                        "severity": d.severity,
-                        "message": d.message,
-                        "rank": d.rank,
-                        "location": d.location,
-                        "call_path": list(d.call_path),
-                        "mode": d.mode,
-                    }
-                    for d in report.diagnostics
-                ],
-            }))
+        entry["ok"] = not bad
+        entry["diagnostics"] = [_diag_json(d) for d in diagnostics]
+        results.append((entry, "\n".join(text)))
+
+    for entry, text in results:
+        if args.format == "json":
+            print(_json.dumps(entry))
         else:
-            print(report.format())
+            print(text)
     return 1 if failed else 0
 
 
@@ -427,9 +545,10 @@ def main_faults(argv: Optional[List[str]] = None) -> int:
     checkpoint/restart protocol under injected faults (crashes, message
     loss/duplication, degraded links, stragglers), once per noise seed,
     and reports whether each clock mode's recovered trace is
-    bit-identical across the noise repetitions.  Exit status: 0 when
-    every deterministic logical mode is bit-identical and all traces
-    sanitize cleanly, 1 otherwise.
+    bit-identical across the noise repetitions, cross-checked against
+    the static determinism certificate.  Exit status: 0 when every
+    deterministic logical mode is bit-identical, all traces sanitize
+    cleanly and the certificate agrees with observation, 1 otherwise.
     """
     from repro.experiments.faultsweep import default_fault_config, run_fault_sweep
     from repro.machine.faults import FaultConfig
@@ -471,7 +590,8 @@ def main_faults(argv: Optional[List[str]] = None) -> int:
         max_restarts=args.max_restarts,
     )
     print(result.report())
-    return 0 if result.deterministic_ok else 1
+    ok = result.deterministic_ok and result.certificate_ok is not False
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

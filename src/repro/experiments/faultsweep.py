@@ -24,7 +24,11 @@ Expected outcome, mirroring the paper's mode taxonomy
 ``run_fault_sweep`` also sanitizes every recovered trace
 (:func:`repro.verify.sanitize_raw`), demonstrating that the
 ghost-replayed restart protocol yields traces indistinguishable from a
-continuous measurement.
+continuous measurement -- and cross-checks the static **determinism
+certificate** (:func:`repro.verify.analyze_determinism`) against the
+observed fingerprints: a mode the prover certified ``bit-identical``
+must never diverge, and the noisy physical modes must.  A wrong verdict
+is a test failure, not a footnote.
 """
 
 from __future__ import annotations
@@ -57,7 +61,13 @@ from repro.sim import (
 )
 from repro.sim.recovery import RecoveryConfig
 from repro.util.rng import stream_seed
-from repro.verify import Severity, has_errors, sanitize_raw
+from repro.verify import (
+    BIT_IDENTICAL,
+    Severity,
+    analyze_determinism,
+    has_errors,
+    sanitize_raw,
+)
 
 __all__ = [
     "CheckpointedRing",
@@ -156,6 +166,10 @@ class FaultSweepResult:
     n_restarts: Dict[str, List[int]] = field(default_factory=dict)
     #: mode -> sanitizer error-diagnostic count summed over repetitions
     sanitizer_errors: Dict[str, int] = field(default_factory=dict)
+    #: static certificate verdict per mode (empty when certify=False)
+    certificate_verdicts: Dict[str, str] = field(default_factory=dict)
+    #: sha256 stamp of the certificate manifest ("" when certify=False)
+    certificate_hash: str = ""
 
     def identical(self, mode: str) -> bool:
         """Whether all repetitions of ``mode`` are bit-identical."""
@@ -171,19 +185,66 @@ class FaultSweepResult:
             if m not in NOISY_MODES
         ) and not any(self.sanitizer_errors.values())
 
+    def certificate_mismatches(self) -> List[str]:
+        """Disagreements between the static certificate and observation.
+
+        The check is directional (the certificate is a *soundness*
+        claim): a ``bit-identical`` verdict must never be contradicted
+        by an observed divergence, and the noisy physical modes must
+        actually diverge when more than one noise seed was swept.  A
+        ``noise-sensitive`` verdict on a logical mode accepts either
+        observed outcome -- finitely many seeds cannot refute "may
+        differ".
+        """
+        out: List[str] = []
+        for mode, fps in self.fingerprints.items():
+            verdict = self.certificate_verdicts.get(mode)
+            if verdict is None:
+                continue
+            identical = len(set(fps)) == 1
+            if verdict == BIT_IDENTICAL and not identical:
+                out.append(
+                    f"{mode}: certified {BIT_IDENTICAL} but "
+                    f"{len(set(fps))} distinct fingerprints observed"
+                )
+            if mode in NOISY_MODES and len(fps) >= 2 and identical:
+                out.append(
+                    f"{mode}: noisy physical mode unexpectedly "
+                    "bit-identical across noise seeds"
+                )
+        return out
+
+    @property
+    def certificate_ok(self) -> Optional[bool]:
+        """Certificate/observation agreement; ``None`` if not certified."""
+        if not self.certificate_verdicts:
+            return None
+        return not self.certificate_mismatches()
+
     def report(self) -> str:
         lines = [
             f"fault sweep: fault_seed={self.fault_seed}, "
             f"noise_seeds={list(self.noise_seeds)}"
         ]
         for mode, fps in self.fingerprints.items():
-            expected = "may differ (noisy)" if mode in NOISY_MODES \
+            verdict = self.certificate_verdicts.get(mode)
+            expected = (
+                f"certified {verdict}" if verdict is not None
+                else "may differ (noisy)" if mode in NOISY_MODES
                 else "must be identical"
+            )
             status = "identical" if self.identical(mode) else "differs"
             lines.append(
                 f"  {mode:8s} {status:10s} ({expected}; restarts "
                 f"{self.n_restarts[mode]}, sanitizer errors "
                 f"{self.sanitizer_errors[mode]})"
+            )
+        if self.certificate_verdicts:
+            for mismatch in self.certificate_mismatches():
+                lines.append(f"  certificate mismatch: {mismatch}")
+            lines.append(
+                f"  certificate sha256: {self.certificate_hash} "
+                f"({'agrees with observation' if self.certificate_ok else 'REFUTED'})"
             )
         lines.append(
             "PASS: deterministic logical timers are bit-identical across "
@@ -202,6 +263,7 @@ def run_fault_sweep(
     fault_config: Optional[FaultConfig] = None,
     program: Optional[Program] = None,
     sanitize: bool = True,
+    certify: bool = True,
     max_restarts: int = 8,
 ) -> FaultSweepResult:
     """Sweep noise seeds under one fixed fault realization.
@@ -214,12 +276,24 @@ def run_fault_sweep(
     The ``lthwctr`` counter seed is held fixed (derived from
     ``fault_seed`` only) so any divergence is attributable to machine
     noise, not counter noise.
+
+    With ``certify`` (the default), the static determinism prover runs
+    first and its per-mode verdicts are stored on the result; use
+    :attr:`FaultSweepResult.certificate_ok` /
+    :meth:`FaultSweepResult.certificate_mismatches` to check the
+    certificate against the observed fingerprints.
     """
     cluster = small_test_cluster()
     result = FaultSweepResult(
         fault_seed=fault_seed,
         noise_seeds=tuple(base_noise_seed + r for r in range(reps)),
     )
+    if certify:
+        cert = analyze_determinism(
+            program if program is not None else CheckpointedRing()
+        )
+        result.certificate_verdicts = dict(cert.mode_verdicts)
+        result.certificate_hash = cert.certificate.get("hash", "")
     with obs.span("faultsweep", fault_seed=fault_seed, reps=reps):
         for mode in modes:
             result.fingerprints[mode] = []

@@ -268,21 +268,36 @@ def resolve_workers(workers: Optional[int]) -> int:
 
 
 def preflight_lint(name: str) -> None:
-    """Statically lint the experiment's mini-app before burning CPU on it.
+    """Statically check the experiment's mini-app before burning CPU.
 
-    Raises :class:`repro.verify.VerificationError` when the linter finds
-    an error-severity diagnostic (warnings are tolerated); a buggy
-    program would otherwise deadlock or corrupt the archive hours into
-    the measurement campaign.
+    Runs the linter and the determinism prover.  Raises
+    :class:`repro.verify.VerificationError` when either finds an
+    error-severity diagnostic (warnings are tolerated): a buggy program
+    would deadlock or corrupt the archive hours into the measurement
+    campaign, and an order-racy one would silently void the
+    bit-identity claim every downstream analysis leans on.
     """
-    from repro.verify import VerificationError, lint_program
+    from repro.verify import (
+        VerificationError,
+        analyze_determinism,
+        has_errors,
+        lint_program,
+    )
 
-    report = lint_program(make_app(name))
+    program = make_app(name)
+    report = lint_program(program)
     if not report.ok:
         raise VerificationError(
             f"pre-flight lint of {name!r} found "
             f"{len(report.errors)} error(s)",
             report.diagnostics,
+        )
+    det = analyze_determinism(program)
+    if has_errors(det.diagnostics):
+        raise VerificationError(
+            f"pre-flight determinism check of {name!r} failed: logical "
+            "traces would not be bit-identical across noise",
+            det.diagnostics,
         )
 
 

@@ -116,7 +116,7 @@ class Measurement:
         self._finished = True
         if self._sanitizer is not None:
             self._sanitizer.final_check()
-        return RawTrace(
+        trace = RawTrace(
             mode=self.mode,
             regions=self._engine.regions,
             locations=self._locations,
@@ -124,6 +124,19 @@ class Measurement:
             runtime=runtime,
             pinning=self._engine.pinning,
         )
+        if self._sanitize:
+            # Sanitized runs also get the happened-before race check:
+            # wildcard message races and OpenMP shared-write races void
+            # the bit-identity the sanitizer exists to protect.
+            from repro.verify.online import TraceInvariantError
+            from repro.verify.races import find_races
+
+            report = find_races(trace)
+            if report.has_races:
+                raise TraceInvariantError([
+                    d for d in report.diagnostics if d.severity == "error"
+                ])
+        return trace
 
     # -- perturbation queries (hot path; engine caches most of these) ------
     def event_cost(self) -> float:

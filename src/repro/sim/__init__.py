@@ -15,6 +15,7 @@ statements, instructions) that the paper's clock-increment models consume.
 
 from repro.sim.kernels import KernelSpec, WorkDelta, EMPTY_DELTA
 from repro.sim.actions import (
+    ANY_SOURCE,
     Enter,
     Leave,
     Compute,
@@ -46,6 +47,7 @@ from repro.sim.recovery import (
 )
 
 __all__ = [
+    "ANY_SOURCE",
     "KernelSpec",
     "WorkDelta",
     "EMPTY_DELTA",

@@ -18,6 +18,7 @@ import numpy as np
 from repro.sim.kernels import KernelSpec
 
 __all__ = [
+    "ANY_SOURCE",
     "Action",
     "Enter",
     "Leave",
@@ -38,6 +39,14 @@ __all__ = [
     "Barrier",
     "Checkpoint",
 ]
+
+
+#: Wildcard source for :class:`Recv`/:class:`Irecv` (``MPI_ANY_SOURCE``).
+#: A wildcard receive matches whichever pending send arrives first, so the
+#: matched order depends on *physical* message timing -- the one construct
+#: in this vocabulary that makes logical traces noise-sensitive.  The
+#: determinism prover (:mod:`repro.verify.determinism`) flags every use.
+ANY_SOURCE = -1
 
 
 class Action:
@@ -127,6 +136,13 @@ class ParallelFor(Action):
     total_units: float
     shares: Optional[Tuple[float, ...]] = None
     represents: float = 1.0
+    #: Names of shared variables every iteration *writes without
+    #: synchronisation* (the classic missing-``reduction``-clause bug).
+    #: The engine records one zero-width ``omp_shared_write_<name>``
+    #: region pair per thread inside the chunk so the happened-before
+    #: race detector (:mod:`repro.verify.races`) can prove the writes
+    #: concurrent; correct programs leave this empty.
+    shared_writes: Tuple[str, ...] = ()
 
     def thread_units(self, n_threads: int) -> np.ndarray:
         """Units assigned to each of ``n_threads`` threads."""
@@ -158,7 +174,17 @@ class Send(Action):
 
 @dataclass(frozen=True)
 class Recv(Action):
-    """Blocking receive; matches sends in posting order per (src, tag)."""
+    """Blocking receive; matches sends in posting order per (src, tag).
+
+    ``source`` may be :data:`ANY_SOURCE`: the receive then matches the
+    pending send (any source, same tag) with the earliest physical
+    arrival -- deliberately timing-dependent, as in real MPI.
+
+    The ``yield`` evaluates to the matched source rank (the
+    ``status.MPI_SOURCE`` analog), so programs *can* branch on a
+    wildcard's outcome -- exactly the noise-dependent control flow the
+    determinism prover exists to flag.
+    """
 
     source: int
     tag: int
@@ -175,7 +201,10 @@ class Isend(Action):
 
 @dataclass(frozen=True)
 class Irecv(Action):
-    """Non-blocking receive; yields a request id."""
+    """Non-blocking receive; yields a request id.
+
+    ``source`` may be :data:`ANY_SOURCE` (see :class:`Recv`).
+    """
 
     source: int
     tag: int
@@ -212,10 +241,19 @@ class Waitall(Action):
 
 @dataclass(frozen=True)
 class Allreduce(Action):
-    """MPI_Allreduce -- the source of the paper's Wait-at-NxN severities."""
+    """MPI_Allreduce -- the source of the paper's Wait-at-NxN severities.
+
+    ``commutative=False`` declares a reduction operator whose *result
+    value* depends on the combine order (floating-point sums under
+    ``MPI_Op`` trees, for example).  The event structure and every
+    timestamp stay noise-independent either way -- only the reduced
+    value is order-sensitive -- so the determinism prover reports it as
+    a value-determinism warning (DET004), not a trace-verdict change.
+    """
 
     nbytes: float = 8.0
     represents: float = 1.0
+    commutative: bool = True
 
 
 @dataclass(frozen=True)
@@ -242,6 +280,7 @@ class Reduce(Action):
     root: int = 0
     nbytes: float = 8.0
     represents: float = 1.0
+    commutative: bool = True  # see Allreduce
 
 
 @dataclass(frozen=True)

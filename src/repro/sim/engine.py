@@ -144,7 +144,8 @@ class SimResult:
 class _Request:
     """A non-blocking communication request."""
 
-    __slots__ = ("rid", "kind", "complete_t", "match_id", "send_t", "waiter", "fault_rid")
+    __slots__ = ("rid", "kind", "complete_t", "match_id", "send_t", "waiter",
+                 "fault_rid", "any_rid")
 
     def __init__(self, rid: int, kind: str):
         self.rid = rid
@@ -154,6 +155,10 @@ class _Request:
         self.send_t: float = 0.0
         self.waiter: Optional[_RankState] = None
         self.fault_rid: int = -1  # fault region id to emit at wait completion
+        #: region id of the wildcard Irecv call (-1 for a named source);
+        #: wildcard receive-complete records are emitted under it so the
+        #: race detector can see wildcard-ness in the trace
+        self.any_rid: int = -1
 
 
 class _RankState:
@@ -333,6 +338,12 @@ class Engine:
         self._heap: List[Tuple[float, int, int, int]] = []  # (t, seq, rank, epoch)
         self._seq = 0
         self._channels: Dict[Tuple[int, int, int], Dict[str, deque]] = {}
+        #: (dst, tag) -> parked ANY_SOURCE receives, in posting order
+        self._any_recvs: Dict[Tuple[int, int], deque] = {}
+        #: per-destination posted-receive counter; arbitrates between a
+        #: parked named receive and a parked wildcard receive the way MPI
+        #: does -- by posting order at the receiver
+        self._recv_seq: Dict[int, int] = {}
         self._coll: Dict[int, dict] = {}  # instance seq -> state
         self._coll_seq: Dict[int, int] = {}  # per-rank collective counter
         self._next_match = 0
@@ -692,6 +703,55 @@ class Engine:
             self._channels[key] = ch
         return ch
 
+    def _post_seq(self, dst: int) -> int:
+        seq = self._recv_seq.get(dst, 0)
+        self._recv_seq[dst] = seq + 1
+        return seq
+
+    def _pop_recv_for_send(self, src: int, dst: int, tag: int):
+        """Earliest-posted parked receive a new send (src->dst, tag) matches.
+
+        Compares the head of the named ``(src, dst, tag)`` receive queue
+        with the head of the wildcard ``(dst, tag)`` queue by posting
+        order, mirroring MPI's posted-receive-queue semantics.
+        """
+        ch = self._channels.get((src, dst, tag))
+        named_q = ch["recvs"] if ch is not None else None
+        any_q = self._any_recvs.get((dst, tag))
+        named = named_q[0] if named_q else None
+        wild = any_q[0] if any_q else None
+        if named is None and wild is None:
+            return None
+        if wild is None or (named is not None
+                            and named["post_seq"] < wild["post_seq"]):
+            return named_q.popleft()
+        return any_q.popleft()
+
+    def _pop_send_for_any(self, dst: int, tag: int):
+        """Queued send a new wildcard receive at ``dst`` matches, if any.
+
+        Among the head sends of every ``(*, dst, tag)`` channel, picks the
+        one *physically available* first (eager arrival / rendezvous post
+        time, ties broken by source rank).  This is the deliberately
+        noise-dependent choice that makes wildcard receives order-racy:
+        a different noise realization can reorder arrivals and flip the
+        match -- exactly what the determinism certificate flags.
+        """
+        best_key = None
+        best_rank: Optional[Tuple[float, int]] = None
+        for (src, d, tg), ch in self._channels.items():
+            if d != dst or tg != tag or not ch["sends"]:
+                continue
+            head = ch["sends"][0]
+            avail = head["arrival"] if head["eager"] else head["send_t"]
+            cand = (avail, src)
+            if best_rank is None or cand < best_rank:
+                best_rank = cand
+                best_key = (src, d, tg)
+        if best_key is None:
+            return None
+        return self._channels[best_key]["sends"].popleft()
+
     def _mpi_enter(self, state: _RankState, region: str) -> int:
         """Emit the ENTER of an MPI call; returns the region id."""
         rid = self.regions.intern(region, Paradigm.MPI)
@@ -769,8 +829,9 @@ class Engine:
             )
             if req is not None:
                 req.complete_t = local_done
-            if ch["recvs"]:
-                self._match(entry, ch["recvs"].popleft())
+            recv_entry = self._pop_recv_for_send(state.rank, action.dest, action.tag)
+            if recv_entry is not None:
+                self._match(entry, recv_entry)
             else:
                 ch["sends"].append(entry)
             self._mpi_leave(state, rid, local_done, t0)
@@ -779,8 +840,8 @@ class Engine:
             return
 
         # Rendezvous.
-        if ch["recvs"]:
-            recv_entry = ch["recvs"].popleft()
+        recv_entry = self._pop_recv_for_send(state.rank, action.dest, action.tag)
+        if recv_entry is not None:
             done = self._match(entry, recv_entry)
             if blocking:
                 self._mpi_leave(state, rid, done, t0)
@@ -806,9 +867,9 @@ class Engine:
             state.pending_result = req.rid
 
     def _do_recv(self, state: _RankState, action: A.Recv) -> None:
-        rid = self._mpi_enter(state, "MPI_Recv")
+        wildcard = action.source == A.ANY_SOURCE
+        rid = self._mpi_enter(state, "MPI_Recv_any" if wildcard else "MPI_Recv")
         t0 = state.t
-        ch = self._channel(action.source, state.rank, action.tag)
         entry = {
             "recv_t": t0,
             "receiver": state,
@@ -816,26 +877,39 @@ class Engine:
             "rid": rid,
             "blocking": True,
             "parked": False,
+            "post_seq": self._post_seq(state.rank),
         }
-        if ch["sends"]:
-            send_entry = ch["sends"].popleft()
+        if wildcard:
+            send_entry = self._pop_send_for_any(state.rank, action.tag)
+        else:
+            ch = self._channel(action.source, state.rank, action.tag)
+            send_entry = ch["sends"].popleft() if ch["sends"] else None
+        if send_entry is not None:
             self._match(send_entry, entry)
         else:
             entry["parked"] = True
-            ch["recvs"].append(entry)
+            if wildcard:
+                self._any_recvs.setdefault(
+                    (state.rank, action.tag), deque()
+                ).append(entry)
+            else:
+                ch["recvs"].append(entry)
             self._c_blocks.inc()
             state.blocked = True
+            src = "ANY_SOURCE" if wildcard else str(action.source)
             state.block_site = (
-                f"Recv(source={action.source}, tag={action.tag}) "
+                f"Recv(source={src}, tag={action.tag}) "
                 "[no matching send]",
                 tuple(state.stack),
             )
 
     def _do_irecv(self, state: _RankState, action: A.Irecv) -> None:
-        rid = self._mpi_enter(state, "MPI_Irecv")
+        wildcard = action.source == A.ANY_SOURCE
+        rid = self._mpi_enter(state, "MPI_Irecv_any" if wildcard else "MPI_Irecv")
         t0 = state.t
         req = state.new_request("recv")
-        ch = self._channel(action.source, state.rank, action.tag)
+        if wildcard:
+            req.any_rid = rid
         entry = {
             "recv_t": t0,
             "receiver": state,
@@ -843,13 +917,23 @@ class Engine:
             "rid": rid,
             "blocking": False,
             "parked": False,
+            "post_seq": self._post_seq(state.rank),
         }
-        if ch["sends"]:
-            send_entry = ch["sends"].popleft()
+        if wildcard:
+            send_entry = self._pop_send_for_any(state.rank, action.tag)
+        else:
+            ch = self._channel(action.source, state.rank, action.tag)
+            send_entry = ch["sends"].popleft() if ch["sends"] else None
+        if send_entry is not None:
             self._match(send_entry, entry)
         else:
             entry["parked"] = True
-            ch["recvs"].append(entry)
+            if wildcard:
+                self._any_recvs.setdefault(
+                    (state.rank, action.tag), deque()
+                ).append(entry)
+            else:
+                ch["recvs"].append(entry)
         self._mpi_leave(state, rid, state.t + self.config.mpi_call_overhead + self._mpi_sync_cost, t0)
         state.pending_result = req.rid
 
@@ -900,7 +984,10 @@ class Engine:
 
         if recv_entry["blocking"]:
             # Emit the receive record + LEAVE; resume the receiver only if
-            # it was parked (it may be the currently executing rank).
+            # it was parked (it may be the currently executing rank).  A
+            # blocking receive yields the matched source rank back to the
+            # program (the ``status.MPI_SOURCE`` analog) -- the only way a
+            # wildcard receive's outcome can steer control flow.
             if self.measurement is not None:
                 if fault_rid >= 0:
                     self.emit_master(
@@ -913,7 +1000,9 @@ class Engine:
                 )
             self._mpi_leave(receiver, recv_entry["rid"], done + self.ev_cost, r_t)
             if recv_entry["parked"]:
-                self._resume(receiver, receiver.t)
+                self._resume(receiver, receiver.t, result=send_entry["src"])
+            else:
+                receiver.pending_result = send_entry["src"]
         else:
             recv_req.complete_t = done
             recv_req.match_id = send_entry["match_id"]
@@ -961,8 +1050,9 @@ class Engine:
                     self.emit_master(
                         state, Ev(FAULT, r.fault_rid, t_rec, EMPTY_DELTA, aux=r.match_id)
                     )
+                rec_rid = r.any_rid if r.any_rid >= 0 else state.wait_region
                 self.emit_master(
-                    state, Ev(MPI_RECV, state.wait_region, t_rec, EMPTY_DELTA, aux=r.match_id)
+                    state, Ev(MPI_RECV, rec_rid, t_rec, EMPTY_DELTA, aux=r.match_id)
                 )
         for i in state.wait_requests:
             del state.requests[i]

@@ -67,8 +67,13 @@ def execute_parallel_for(engine: "Engine", rank: "_RankState", pf: ParallelFor) 
         r_parallel = engine.regions.intern(f"omp_parallel_{pf.region}", Paradigm.OMP)
         r_for = engine.regions.intern(f"omp_for_{pf.region}", Paradigm.OMP)
         r_bar = engine.regions.intern(f"omp_ibarrier_{pf.region}", Paradigm.OMP)
+        r_writes = tuple(
+            engine.regions.intern(f"omp_shared_write_{var}", Paradigm.OMP)
+            for var in pf.shared_writes
+        )
     else:
         r_parallel = r_for = r_bar = -1
+        r_writes = ()
 
     # Per-construct measurement cost, scaled by compression.
     ev_cost = engine.ev_cost
@@ -97,6 +102,7 @@ def execute_parallel_for(engine: "Engine", rank: "_RankState", pf: ParallelFor) 
         dur = engine.cost.kernel_time(pf.kernel, float(units[i]), ctx, extra_flop_time=count_cost)
         dur *= engine.compute_scale(rank.rank, i)
         n_events = _WORKER_EVENTS if i > 0 else _WORKER_EVENTS - 1  # master: no TEAM_BEGIN
+        n_events += 2 * len(r_writes)  # zero-width shared-write region pairs
         finishes[i] = starts[i] + dur + n_events * ev_cost * rep
 
     bar_arrive = finishes
@@ -118,6 +124,14 @@ def execute_parallel_for(engine: "Engine", rank: "_RankState", pf: ParallelFor) 
                 engine.emit(loc, Ev(TEAM_BEGIN, r_parallel, float(starts[i]),
                                     WorkDelta(burst_calls=extra_bc), aux=omp_id))
                 engine.emit(loc, Ev(ENTER, r_for, float(starts[i]), runtime_delta))
+            # Unsynchronised shared writes (declared on the action) appear
+            # as region pairs spanning each thread's chunk: concurrent
+            # across the team by construction, which is precisely what the
+            # happened-before race detector proves.
+            for r_w in r_writes:
+                engine.emit(loc, Ev(ENTER, r_w, float(starts[i]), EMPTY_DELTA))
+            for r_w in reversed(r_writes):
+                engine.emit(loc, Ev(LEAVE, r_w, float(bar_arrive[i]), EMPTY_DELTA))
             engine.emit(loc, Ev(LEAVE, r_for, float(bar_arrive[i]), chunk_delta))
             engine.emit(loc, Ev(OBAR_ENTER, r_bar, float(bar_arrive[i]),
                                 WorkDelta(burst_calls=extra_bc)))

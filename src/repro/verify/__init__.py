@@ -14,7 +14,18 @@ this repository rests on:
   derived from them against the happened-before relation: per-location
   monotonicity under every clock mode, the Lamport condition on every
   send->recv edge, collective-epoch consistency and matching-id
-  integrity.
+  integrity;
+
+* the **determinism prover** (:func:`analyze_determinism`) statically
+  classifies every communication site of a program as
+  order-deterministic or racy and emits a sha256-stamped certificate
+  asserting which clock modes must produce bit-identical traces across
+  noise (cross-checked empirically by the faultsweep harness);
+
+* the **race detector** (:func:`find_races`) replays a recorded trace
+  under vector clocks and reports happened-before-concurrent conflicting
+  accesses -- wildcard message races and OpenMP shared-write races --
+  each with a witness path.
 
 Both report structured :class:`~repro.verify.diagnostics.Diagnostic`
 objects carrying a rule id from :mod:`repro.verify.rules`, the rank or
@@ -25,6 +36,13 @@ into the measurement pipeline; ``Measurement(..., sanitize=True)`` (or
 events are emitted.  See ``docs/verify.md`` for the rule catalogue.
 """
 
+from repro.verify.determinism import (
+    BIT_IDENTICAL,
+    NOISE_SENSITIVE,
+    CommSite,
+    DeterminismReport,
+    analyze_determinism,
+)
 from repro.verify.diagnostics import (
     Diagnostic,
     VerificationError,
@@ -41,6 +59,7 @@ from repro.verify.dryrun import (
 from repro.verify.fixtures import FIXTURES, fixture_names, make_fixture
 from repro.verify.linter import LintReport, lint_program
 from repro.verify.online import OnlineSanitizer, TraceInvariantError
+from repro.verify.races import RaceReport, find_races
 from repro.verify.rules import RULES, Rule, Severity, get_rule, rule
 from repro.verify.sanitizer import (
     SanitizeReport,
@@ -51,10 +70,15 @@ from repro.verify.sanitizer import (
 
 __all__ = [
     "ActionRecord",
+    "BIT_IDENTICAL",
+    "CommSite",
+    "DeterminismReport",
     "Diagnostic",
     "FIXTURES",
     "LintReport",
+    "NOISE_SENSITIVE",
     "OnlineSanitizer",
+    "RaceReport",
     "RankDryRun",
     "Rule",
     "RULES",
@@ -62,9 +86,11 @@ __all__ = [
     "Severity",
     "TraceInvariantError",
     "VerificationError",
+    "analyze_determinism",
     "check_timestamps",
     "dry_run_program",
     "dry_run_rank",
+    "find_races",
     "fixture_names",
     "format_diagnostics",
     "get_rule",

@@ -1,0 +1,374 @@
+"""Static determinism prover for rank programs.
+
+The paper's headline claim -- deterministic logical timers produce
+bit-identical traces across noise realizations -- holds only for
+programs whose *event structure* is itself noise-oblivious.  This pass
+proves (or refutes) that property statically, without running the
+engine: it dry-runs every rank (:mod:`repro.verify.dryrun`), classifies
+every communication site as order-deterministic or racy, and emits a
+**determinism certificate** asserting, per clock mode, whether traces
+must be bit-identical across noise seeds.
+
+Site classification
+-------------------
+
+``order-racy``
+    The *sequence of recorded events* can depend on physical timing:
+    wildcard (``ANY_SOURCE``) receives (DET001), several senders racing
+    for one wildcard channel (DET002), and generators that change their
+    action stream between dry-runs (DET003).  Any order-racy site voids
+    bit-identity for **every** mode, logical clocks included -- a
+    wildcard match is resolved by physical arrival order, and programs
+    can branch on the matched source.
+
+``value-racy``
+    Only a computed *value* is order-sensitive while the event structure
+    and all timestamps stay deterministic: non-commutative reductions
+    (DET004) and unsynchronised OpenMP shared writes (DET005).
+    Value-racy sites do not flip trace verdicts.
+
+Why bit-identity is provable statically: the engine resolves every
+named-source match, collective and barrier in program order; physical
+noise moves *timestamps*, never the event sequence, and logical clocks
+ignore physical time entirely.  The only constructs whose outcome feeds
+back from timing into the event stream are the ones enumerated above --
+so their absence is a proof, not a heuristic.
+
+The certificate is sha256-stamped via :func:`repro.obs.provenance.
+build_manifest`; :func:`repro.experiments.faultsweep.run_fault_sweep`
+cross-checks it against observed bit-identity so a wrong verdict is a
+test failure, not a footnote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.measure.config import MODES, NOISY_MODES
+from repro.obs.provenance import build_manifest
+from repro.sim import actions as A
+from repro.sim.program import Program
+from repro.verify.diagnostics import Diagnostic
+from repro.verify.dryrun import (
+    DEFAULT_MAX_ACTIONS,
+    ActionRecord,
+    dry_run_program,
+)
+
+__all__ = [
+    "BIT_IDENTICAL",
+    "NOISE_SENSITIVE",
+    "CommSite",
+    "DeterminismReport",
+    "analyze_determinism",
+]
+
+#: certificate verdict: traces of this mode must be byte-identical
+#: across noise realizations
+BIT_IDENTICAL = "bit-identical"
+#: certificate verdict: traces of this mode may (and for physical
+#: clocks, will) differ across noise realizations
+NOISE_SENSITIVE = "noise-sensitive"
+
+#: site verdicts
+_DETERMINISTIC = "deterministic"
+_ORDER_RACY = "order-racy"
+_VALUE_RACY = "value-racy"
+
+
+@dataclass(frozen=True)
+class CommSite:
+    """One classified communication site of the program.
+
+    ``verdict`` is ``"deterministic"``, ``"order-racy"`` (the event
+    sequence can depend on timing) or ``"value-racy"`` (only a computed
+    value is order-sensitive).  ``rule_id`` names the DET rule that
+    classified a non-deterministic site, ``""`` for deterministic ones.
+    """
+
+    rank: int
+    action_index: int
+    call_path: Tuple[str, ...]
+    kind: str  # "send" | "recv" | "recv_any" | "collective" | "parallel_for"
+    detail: str
+    verdict: str = _DETERMINISTIC
+    rule_id: str = ""
+    #: peer rank of a point-to-point site (dest for sends, source for
+    #: named receives; None for wildcards and non-p2p sites)
+    peer: Optional[int] = None
+    #: message tag of a point-to-point site
+    tag: Optional[int] = None
+
+
+@dataclass
+class DeterminismReport:
+    """Result of :func:`analyze_determinism`.
+
+    ``mode_verdicts`` maps every clock mode to :data:`BIT_IDENTICAL` or
+    :data:`NOISE_SENSITIVE`; ``certificate`` is the sha256-stamped
+    provenance manifest asserting those verdicts.
+    """
+
+    program_name: str
+    n_ranks: int
+    sites: List[CommSite] = field(default_factory=list)
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: two dry-runs yielded identical action streams on every rank
+    generator_deterministic: bool = True
+    mode_verdicts: Dict[str, str] = field(default_factory=dict)
+    mode_reasons: Dict[str, str] = field(default_factory=dict)
+    certificate: dict = field(default_factory=dict)
+
+    @property
+    def order_deterministic(self) -> bool:
+        """No site can change the recorded event sequence under noise."""
+        return self.generator_deterministic and not any(
+            s.verdict == _ORDER_RACY for s in self.sites
+        )
+
+    @property
+    def n_racy_sites(self) -> int:
+        return sum(1 for s in self.sites if s.verdict != _DETERMINISTIC)
+
+    def report(self) -> str:
+        lines = [
+            f"determinism analysis of {self.program_name!r} "
+            f"({self.n_ranks} ranks): "
+            f"{len(self.sites)} communication sites, "
+            f"{self.n_racy_sites} racy",
+        ]
+        for d in self.diagnostics:
+            lines.append("  " + d.format(with_hint=False).replace("\n", "\n  "))
+        for mode in self.mode_verdicts:
+            lines.append(
+                f"  mode {mode:8s} {self.mode_verdicts[mode]:15s} "
+                f"({self.mode_reasons[mode]})"
+            )
+        lines.append(f"  certificate sha256: {self.certificate.get('hash', '?')}")
+        return "\n".join(lines)
+
+
+def _stream_signature(records: List[ActionRecord]) -> List[Tuple[str, str]]:
+    """Comparable rendering of a rank's action stream."""
+    return [(type(r.action).__name__, repr(r.action)) for r in records]
+
+
+def _classify_rank(
+    rank: int,
+    records: List[ActionRecord],
+    sites: List[CommSite],
+    sends_by_channel: Dict[Tuple[int, int], List[CommSite]],
+    any_recvs: List[CommSite],
+) -> None:
+    """First pass: collect per-rank sites into the shared indexes."""
+    for rec in records:
+        a = rec.action
+        if isinstance(a, (A.Send, A.Isend)):
+            site = CommSite(
+                rank, rec.index, rec.call_path, "send",
+                f"{rec.describe()}", peer=a.dest, tag=a.tag,
+            )
+            sites.append(site)
+            sends_by_channel.setdefault((a.dest, a.tag), []).append(site)
+        elif isinstance(a, (A.Recv, A.Irecv)):
+            if a.source == A.ANY_SOURCE:
+                site = CommSite(
+                    rank, rec.index, rec.call_path, "recv_any",
+                    f"{rec.describe()}", tag=a.tag,
+                    verdict=_ORDER_RACY, rule_id="DET001",
+                )
+                any_recvs.append(site)
+            else:
+                site = CommSite(
+                    rank, rec.index, rec.call_path, "recv",
+                    f"{rec.describe()}", peer=a.source, tag=a.tag,
+                )
+            sites.append(site)
+        elif isinstance(a, (A.Allreduce, A.Reduce)) and not a.commutative:
+            sites.append(CommSite(
+                rank, rec.index, rec.call_path, "collective",
+                f"{type(a).__name__}(commutative=False)",
+                verdict=_VALUE_RACY, rule_id="DET004",
+            ))
+        elif isinstance(a, A.ParallelFor) and a.shared_writes:
+            sites.append(CommSite(
+                rank, rec.index, rec.call_path, "parallel_for",
+                f"ParallelFor({a.region!r}) shared_writes="
+                f"{list(a.shared_writes)}",
+                verdict=_VALUE_RACY, rule_id="DET005",
+            ))
+
+
+def _site_ref(site: CommSite) -> str:
+    path = "/".join(site.call_path) or "<top>"
+    return f"rank {site.rank} {site.detail} at {path} (action #{site.action_index})"
+
+
+def analyze_determinism(
+    program: Program,
+    max_actions: int = DEFAULT_MAX_ACTIONS,
+) -> DeterminismReport:
+    """Prove or refute noise-obliviousness of ``program`` statically.
+
+    Dry-runs the program twice (generator-nondeterminism check, DET003),
+    classifies every communication site, derives a per-clock-mode
+    verdict and stamps the result into a provenance certificate.
+    """
+    with obs.span("verify.determinism", program=program.name):
+        report = DeterminismReport(
+            program_name=program.name, n_ranks=program.n_ranks
+        )
+        runs = dry_run_program(program, max_actions=max_actions)
+        runs2 = dry_run_program(program, max_actions=max_actions)
+
+        sends_by_channel: Dict[Tuple[int, int], List[CommSite]] = {}
+        any_recvs: List[CommSite] = []
+        for rank in range(program.n_ranks):
+            # Generator nondeterminism: same stub inputs, different
+            # action stream -> the program randomises outside rank-seeded
+            # state and nothing downstream can be trusted.
+            if _stream_signature(runs[rank].records) != _stream_signature(
+                runs2[rank].records
+            ):
+                report.generator_deterministic = False
+                first = next(
+                    (
+                        i
+                        for i, (x, y) in enumerate(zip(
+                            _stream_signature(runs[rank].records),
+                            _stream_signature(runs2[rank].records),
+                        ))
+                        if x != y
+                    ),
+                    min(len(runs[rank].records), len(runs2[rank].records)),
+                )
+                report.diagnostics.append(Diagnostic(
+                    "DET003",
+                    f"rank {rank}: dry-runs diverge at action #{first}",
+                    rank=rank, action_index=first,
+                    witness=(
+                        f"run 1 action #{first}: "
+                        + (runs[rank].records[first].describe()
+                           if first < len(runs[rank].records) else "<end>"),
+                        f"run 2 action #{first}: "
+                        + (runs2[rank].records[first].describe()
+                           if first < len(runs2[rank].records) else "<end>"),
+                    ),
+                ))
+            _classify_rank(
+                rank, runs[rank].records, report.sites,
+                sends_by_channel, any_recvs,
+            )
+
+        # DET001 (each wildcard site) + DET002 (senders racing for it).
+        for site in any_recvs:
+            report.diagnostics.append(Diagnostic(
+                "DET001",
+                f"{site.detail} matches by physical arrival order",
+                rank=site.rank, call_path=site.call_path,
+                action_index=site.action_index,
+                witness=(_site_ref(site),),
+            ))
+            racing = [
+                s
+                for s in sends_by_channel.get((site.rank, site.tag), [])
+                if s.rank != site.rank
+            ]
+            racing_ranks = sorted({s.rank for s in racing})
+            if len(racing_ranks) >= 2:
+                witness = [_site_ref(site)] + [
+                    _site_ref(s) for s in racing[:4]
+                ]
+                witness.append(
+                    "no happened-before edge orders these sends at the "
+                    "receiver: either may match first"
+                )
+                report.diagnostics.append(Diagnostic(
+                    "DET002",
+                    f"{len(racing_ranks)} ranks ({racing_ranks}) race for "
+                    f"the wildcard channel (dst={site.rank}, tag={site.tag})",
+                    rank=site.rank, call_path=site.call_path,
+                    action_index=site.action_index,
+                    witness=tuple(witness),
+                ))
+
+        # DET004 / DET005 diagnostics from value-racy sites.
+        for site in report.sites:
+            if site.rule_id == "DET004":
+                report.diagnostics.append(Diagnostic(
+                    "DET004",
+                    f"{site.detail}: reduced value depends on combine order",
+                    rank=site.rank, call_path=site.call_path,
+                    action_index=site.action_index,
+                    witness=(_site_ref(site),),
+                ))
+            elif site.rule_id == "DET005":
+                report.diagnostics.append(Diagnostic(
+                    "DET005",
+                    f"{site.detail}: team threads write shared state "
+                    "without synchronisation",
+                    rank=site.rank, call_path=site.call_path,
+                    action_index=site.action_index,
+                    witness=(_site_ref(site),),
+                ))
+
+        # Per-mode verdicts.  Physical clocks are never bit-identical;
+        # logical clocks are bit-identical iff the event structure cannot
+        # depend on timing.
+        order_det = report.order_deterministic
+        for mode in MODES:
+            if mode in NOISY_MODES:
+                report.mode_verdicts[mode] = NOISE_SENSITIVE
+                report.mode_reasons[mode] = (
+                    "physical/noisy clock: timestamps follow machine noise"
+                )
+            elif order_det:
+                report.mode_verdicts[mode] = BIT_IDENTICAL
+                report.mode_reasons[mode] = (
+                    "no order-racy site: event sequence and logical "
+                    "timestamps are noise-oblivious"
+                )
+            else:
+                why = (
+                    "generator nondeterministic across dry-runs"
+                    if not report.generator_deterministic
+                    else "order-racy site(s): "
+                    + ", ".join(sorted({
+                        s.rule_id for s in report.sites
+                        if s.verdict == _ORDER_RACY
+                    }))
+                )
+                report.mode_verdicts[mode] = NOISE_SENSITIVE
+                report.mode_reasons[mode] = why
+
+        report.certificate = build_manifest(
+            "determinism-certificate",
+            {
+                "program": program.name,
+                "n_ranks": program.n_ranks,
+                "threads_per_rank": program.threads_per_rank,
+                "n_sites": len(report.sites),
+                "racy_sites": [
+                    {
+                        "rank": s.rank,
+                        "action_index": s.action_index,
+                        "kind": s.kind,
+                        "verdict": s.verdict,
+                        "rule": s.rule_id,
+                        "detail": s.detail,
+                    }
+                    for s in report.sites
+                    if s.verdict != _DETERMINISTIC
+                ],
+                "generator_deterministic": report.generator_deterministic,
+                "order_deterministic": order_det,
+                "mode_verdicts": dict(report.mode_verdicts),
+            },
+        )
+        obs.counter(
+            "verify.determinism.analyzed",
+            order_deterministic=order_det,
+        ).inc()
+        return report

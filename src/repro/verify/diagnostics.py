@@ -29,6 +29,8 @@ class Diagnostic:
     call_path:    region call path at the offending action, outermost first
     action_index: index of the offending action in the rank's dry-run
     mode:         timestamp mode (sanitizer timestamp checks), if any
+    witness:      happened-before witness: one line per step of the
+                  evidence path (race detector / determinism prover)
     """
 
     rule_id: str
@@ -38,6 +40,7 @@ class Diagnostic:
     call_path: Tuple[str, ...] = ()
     action_index: Optional[int] = None
     mode: Optional[str] = None
+    witness: Tuple[str, ...] = ()
 
     @property
     def severity(self) -> str:
@@ -63,6 +66,8 @@ class Diagnostic:
         head = f"[{self.rule_id} {self.severity}]"
         body = f"{place}: {self.message}" if place else self.message
         out = f"{head} {body}"
+        for step in self.witness:
+            out += f"\n    witness: {step}"
         if with_hint and self.hint:
             out += f"\n    hint: {self.hint}"
         return out

@@ -3,8 +3,11 @@
 The linter needs each rank's *action sequence* without paying for a full
 simulation: no cost model, no noise, no virtual time.  A rank generator
 only ever consumes the request ids the engine feeds back for
-``Isend``/``Irecv``, so driving it with stub ids reproduces the exact
-action stream the engine would dispatch.
+``Isend``/``Irecv`` and the source rank of a blocking ``Recv``, so
+driving it with stub results reproduces an action stream the engine
+could dispatch.  (A wildcard receive gets a fixed stub source: the
+dry-run explores one deterministic matching; flagging the others is the
+determinism prover's job.)
 
 The dry-run also performs the per-rank structural checks that need the
 call-path context while it is live: ``Enter``/``Leave`` discipline
@@ -34,7 +37,8 @@ class ActionRecord:
     index: int
     action: A.Action
     call_path: Tuple[str, ...]
-    #: stub request id fed back for Isend/Irecv, else None
+    #: stub result fed back (request id for Isend/Irecv, source rank for
+    #: a blocking Recv), else None
     result: Optional[int] = None
 
     def describe(self) -> str:
@@ -43,7 +47,8 @@ class ActionRecord:
         if isinstance(a, (A.Send, A.Isend)):
             return f"{name}(dest={a.dest}, tag={a.tag})"
         if isinstance(a, (A.Recv, A.Irecv)):
-            return f"{name}(source={a.source}, tag={a.tag})"
+            src = "ANY" if a.source == A.ANY_SOURCE else a.source
+            return f"{name}(source={src}, tag={a.tag})"
         if isinstance(a, A.Wait):
             return f"{name}(request={a.request})"
         if isinstance(a, A.Waitall):
@@ -150,6 +155,14 @@ def dry_run_rank(
         elif cls is A.Isend or cls is A.Irecv:
             result = next_req
             next_req += 1
+        elif cls is A.Recv:
+            # Blocking receives yield the matched source rank; feed the
+            # named source, or a fixed stub for wildcards (the dry-run
+            # explores exactly one -- deterministic -- matching).
+            if action.source != A.ANY_SOURCE:
+                result = action.source
+            else:
+                result = 0 if rank != 0 else (1 if program.n_ranks > 1 else 0)
         elif not isinstance(action, A.Action):
             run.diagnostics.append(Diagnostic(
                 "PRG001",

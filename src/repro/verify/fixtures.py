@@ -1,19 +1,23 @@
-"""Seeded-buggy fixture programs for the linter.
+"""Seeded-buggy fixture programs for the linter and the race passes.
 
-Each fixture is a small two-rank program with exactly one planted class
-of MPI/OpenMP misuse, together with the rule ids the linter must raise
-for it.  They serve three audiences: the test suite (every fixture must
-trigger its expected rules and nothing of higher severity), the
-``repro-lint --selftest`` command (a deployment smoke test for the rule
-registry), and documentation by example.
+Each fixture is a small program with exactly one planted class of
+MPI/OpenMP misuse, together with the rule ids the linter must raise for
+it -- and, for the racy fixtures, the DET rules the determinism prover
+and the RACE rules the trace race detector must raise.  They serve
+three audiences: the test suite (every fixture must trigger its
+expected rules and nothing of higher severity), the ``repro-lint
+--selftest`` command (a deployment smoke test for the rule registry),
+and documentation by example.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, Generator
 
 from repro.sim.actions import (
+    ANY_SOURCE,
     Allreduce,
     Barrier,
     Compute,
@@ -21,6 +25,7 @@ from repro.sim.actions import (
     Irecv,
     Isend,
     Leave,
+    ParallelFor,
     Recv,
     Send,
     Waitall,
@@ -41,9 +46,10 @@ class _TwoRankProgram(Program):
     threads_per_rank = 1
 
     def __init__(self, name: str, body: Callable[[ProgramContext], Generator],
-                 n_ranks: int = 2):
+                 n_ranks: int = 2, n_threads: int = 1):
         self.name = name
         self.n_ranks = n_ranks
+        self.threads_per_rank = n_threads
         self._body = body
 
     def make_rank(self, ctx: ProgramContext) -> Generator:
@@ -164,22 +170,87 @@ def _invalid_peer(ctx: ProgramContext) -> Generator:
     yield Leave("main")
 
 
+def _wildcard_recv(ctx: ProgramContext) -> Generator:
+    """Single-sender wildcard receive: order-racy statically (DET001),
+    but benign in any recorded trace (RACE003) -- only one candidate."""
+    yield Enter("main")
+    if ctx.rank == 0:
+        yield Recv(source=ANY_SOURCE, tag=4)
+    else:
+        yield Compute(_K, 5.0)
+        yield Send(dest=0, tag=4, nbytes=64.0)
+    yield Leave("main")
+
+
+def _send_race(ctx: ProgramContext) -> Generator:
+    """Two ranks race for one wildcard channel; the receiver branches on
+    the matched source, so even *logical* traces diverge across noise."""
+    yield Enter("main")
+    if ctx.rank == 0:
+        src = yield Recv(source=ANY_SOURCE, tag=5)
+        if src == 1:
+            yield Enter("handle_rank1_first")
+            yield Leave("handle_rank1_first")
+        yield Recv(source=ANY_SOURCE, tag=5)
+    else:
+        yield Enter("worker")
+        yield Compute(_K, 500.0)
+        yield Send(dest=0, tag=5, nbytes=64.0)
+        yield Leave("worker")
+    yield Leave("main")
+
+
+def _omp_shared_write(ctx: ProgramContext) -> Generator:
+    """Missing reduction clause: every thread writes shared 'acc'."""
+    yield Enter("main")
+    yield ParallelFor("accumulate", _K, total_units=8.0,
+                      shared_writes=("acc",))
+    yield Leave("main")
+
+
+#: planted bug: global mutable state shared by every instantiation, so
+#: two successive dry-runs of the fixture always disagree
+_nondet_counter = itertools.count()
+
+
+def _nondet_generator(ctx: ProgramContext) -> Generator:
+    """Branches on global mutable state: two dry-runs disagree."""
+    yield Enter("main")
+    yield Compute(_K, 2.0)
+    if next(_nondet_counter) % 2:  # not derived from ctx.rank!
+        yield Enter("lucky")
+        yield Leave("lucky")
+    yield Leave("main")
+
+
 @dataclass(frozen=True)
 class LintFixture:
-    """One buggy (or clean) fixture and the rule ids it must trigger."""
+    """One buggy (or clean) fixture and the rule ids it must trigger.
+
+    ``expected_rules`` come from the linter; ``expected_det_rules`` from
+    the static determinism prover (:mod:`repro.verify.determinism`);
+    ``expected_race_rules`` from the trace race detector
+    (:mod:`repro.verify.races`) when the fixture is actually simulated.
+    """
 
     name: str
     make: Callable[[], Program]
     expected_rules: FrozenSet[str]
     description: str
+    expected_det_rules: FrozenSet[str] = frozenset()
+    expected_race_rules: FrozenSet[str] = frozenset()
 
 
-def _fixture(name, body, expected, description, n_ranks=2) -> LintFixture:
+def _fixture(name, body, expected, description, n_ranks=2, n_threads=1,
+             det=(), race=()) -> LintFixture:
     return LintFixture(
         name=name,
-        make=lambda: _TwoRankProgram(f"fixture-{name}", body, n_ranks=n_ranks),
+        make=lambda: _TwoRankProgram(f"fixture-{name}", body,
+                                     n_ranks=n_ranks, n_threads=n_threads),
         expected_rules=frozenset(expected),
         description=description,
+        expected_det_rules=frozenset(det),
+        expected_race_rules=frozenset(race),
     )
 
 
@@ -210,6 +281,21 @@ FIXTURES: Dict[str, LintFixture] = {
         _fixture("invalid-peer", _invalid_peer,
                  ("MPI007", "MPI001", "MPI003"),
                  "Isend to a rank outside the job (and leaked)"),
+        _fixture("wildcard-recv", _wildcard_recv, (),
+                 "single-sender ANY_SOURCE receive (statically racy, "
+                 "benign in any one trace)",
+                 det=("DET001",), race=("RACE003",)),
+        _fixture("send-race", _send_race, (),
+                 "two senders race for one wildcard channel; receiver "
+                 "branches on the matched source",
+                 n_ranks=3, det=("DET001", "DET002"), race=("RACE001",)),
+        _fixture("omp-shared-write", _omp_shared_write, (),
+                 "ParallelFor writes shared state without a reduction",
+                 n_ranks=1, n_threads=4,
+                 det=("DET005",), race=("RACE002",)),
+        _fixture("nondet-generator", _nondet_generator, (),
+                 "generator branches on an unseeded global RNG",
+                 n_ranks=1, det=("DET003",)),
     ]
 }
 

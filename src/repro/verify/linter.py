@@ -138,6 +138,8 @@ def _check_peers(runs: Dict[int, RankDryRun], n_ranks: int) -> List[Diagnostic]:
             if p is None:
                 continue
             kind, peer, tag = p
+            if kind == "recv" and peer == A.ANY_SOURCE:
+                continue  # wildcard; the determinism prover owns this
             bad = peer < 0 or peer >= n_ranks or peer == rank
             if not bad:
                 continue
@@ -160,36 +162,76 @@ def _check_peers(runs: Dict[int, RankDryRun], n_ranks: int) -> List[Diagnostic]:
 
 
 def _check_p2p_matching(runs: Dict[int, RankDryRun]) -> List[Diagnostic]:
-    """Count sends vs. receives per (src, dst, tag) channel."""
+    """Count sends vs. receives per (src, dst, tag) channel.
+
+    Wildcard (``ANY_SOURCE``) receives form a per-``(dst, tag)`` pool
+    that absorbs surplus sends from *any* source channel: count-level
+    matching cannot know which sender a wildcard picks, so the check is
+    exact on totals and silent about the racy order (that is DET/RACE
+    territory).
+    """
     sends: Dict[Tuple[int, int, int], List[Tuple[int, ActionRecord]]] = {}
     recvs: Dict[Tuple[int, int, int], List[Tuple[int, ActionRecord]]] = {}
+    any_recvs: Dict[Tuple[int, int], List[Tuple[int, ActionRecord]]] = {}
     for rank, run in runs.items():
         for rec in run.records:
             a = rec.action
             if isinstance(a, (A.Send, A.Isend)):
                 sends.setdefault((rank, a.dest, a.tag), []).append((rank, rec))
             elif isinstance(a, (A.Recv, A.Irecv)):
-                recvs.setdefault((a.source, rank, a.tag), []).append((rank, rec))
+                if a.source == A.ANY_SOURCE:
+                    any_recvs.setdefault((rank, a.tag), []).append((rank, rec))
+                else:
+                    recvs.setdefault((a.source, rank, a.tag), []).append((rank, rec))
 
     out: List[Diagnostic] = []
+    #: (dst, tag) -> surplus sends not covered by a named receive
+    surplus_sends: Dict[Tuple[int, int], List[Tuple[int, ActionRecord]]] = {}
     for key in sorted(set(sends) | set(recvs)):
         src, dst, tag = key
         s = sends.get(key, [])
         r = recvs.get(key, [])
         if len(s) > len(r):
-            rank, rec = s[len(r)]  # first surplus send, FIFO matching
-            out.append(Diagnostic(
-                "MPI001",
-                f"{len(s)} send(s) but {len(r)} receive(s) on channel "
-                f"{src}->{dst} tag {tag}; first unmatched: {rec.describe()}",
-                rank=rank, call_path=rec.call_path, action_index=rec.index,
-            ))
+            if (dst, tag) in any_recvs:
+                surplus_sends.setdefault((dst, tag), []).extend(s[len(r):])
+            else:
+                rank, rec = s[len(r)]  # first surplus send, FIFO matching
+                out.append(Diagnostic(
+                    "MPI001",
+                    f"{len(s)} send(s) but {len(r)} receive(s) on channel "
+                    f"{src}->{dst} tag {tag}; first unmatched: "
+                    f"{rec.describe()}",
+                    rank=rank, call_path=rec.call_path,
+                    action_index=rec.index,
+                ))
         elif len(r) > len(s):
             rank, rec = r[len(s)]
             out.append(Diagnostic(
                 "MPI002",
                 f"{len(r)} receive(s) but {len(s)} send(s) on channel "
                 f"{src}->{dst} tag {tag}; first unmatched: {rec.describe()}",
+                rank=rank, call_path=rec.call_path, action_index=rec.index,
+            ))
+    for pool_key in sorted(set(surplus_sends) | set(any_recvs)):
+        dst, tag = pool_key
+        extra = surplus_sends.get(pool_key, [])
+        wild = any_recvs.get(pool_key, [])
+        if len(extra) > len(wild):
+            rank, rec = extra[len(wild)]
+            out.append(Diagnostic(
+                "MPI001",
+                f"{len(extra)} surplus send(s) but only {len(wild)} "
+                f"wildcard receive(s) toward rank {dst} tag {tag}; "
+                f"first unmatched: {rec.describe()}",
+                rank=rank, call_path=rec.call_path, action_index=rec.index,
+            ))
+        elif len(wild) > len(extra):
+            rank, rec = wild[len(extra)]
+            out.append(Diagnostic(
+                "MPI002",
+                f"{len(wild)} wildcard receive(s) but only {len(extra)} "
+                f"unclaimed send(s) toward rank {dst} tag {tag}; "
+                f"first unmatched: {rec.describe()}",
                 rank=rank, call_path=rec.call_path, action_index=rec.index,
             ))
     return out
@@ -403,6 +445,7 @@ def _check_deadlock(
     n_ranks = len(ranks)
     chan_sends: Dict[Tuple[int, int, int], deque] = {}
     chan_recvs: Dict[Tuple[int, int, int], deque] = {}
+    any_recvs: Dict[Tuple[int, int], deque] = {}  # (dst, tag) -> wildcards
     coll_arrived: Dict[int, Set[int]] = {}  # instance -> ranks present
 
     def _take_match(table, key) -> Optional[_ChanEntry]:
@@ -413,6 +456,17 @@ def _check_deadlock(
             return e
         return None
 
+    def _take_any_send(dst: int, tag: int) -> Optional[_ChanEntry]:
+        """Pop a queued send from any source toward (dst, tag).
+
+        Which sender a wildcard picks is timing-dependent; for
+        deadlock-freedom any completion order suffices (the abstraction
+        over-approximates liveness, never reports a false cycle)."""
+        for key in sorted(chan_sends):
+            if key[1] == dst and key[2] == tag and chan_sends[key]:
+                return _take_match(chan_sends, key)
+        return None
+
     def _step(st: _AbstractRank) -> bool:
         """Try to advance one action; returns False when the rank blocks."""
         rec = st.records[st.pc]
@@ -421,7 +475,8 @@ def _check_deadlock(
         if cls is A.Isend or cls is A.Send:
             key = (st.rank, a.dest, a.tag)
             entry = _ChanEntry(st.rank, a.dest)
-            if _take_match(chan_recvs, key) is not None:
+            if (_take_match(chan_recvs, key) is not None
+                    or _take_match(any_recvs, (a.dest, a.tag)) is not None):
                 entry.matched = True
             else:
                 chan_sends.setdefault(key, deque()).append(entry)
@@ -431,12 +486,16 @@ def _check_deadlock(
                 st.blocked_on, st.blocked_entry = rec, entry
                 return False  # rendezvous send parks until matched
         elif cls is A.Irecv or cls is A.Recv:
-            key = (a.source, st.rank, a.tag)
             entry = _ChanEntry(st.rank, a.source)
-            if _take_match(chan_sends, key) is not None:
+            if a.source == A.ANY_SOURCE:
+                if _take_any_send(st.rank, a.tag) is not None:
+                    entry.matched = True
+                else:
+                    any_recvs.setdefault((st.rank, a.tag), deque()).append(entry)
+            elif _take_match(chan_sends, (a.source, st.rank, a.tag)) is not None:
                 entry.matched = True
             else:
-                chan_recvs.setdefault(key, deque()).append(entry)
+                chan_recvs.setdefault((a.source, st.rank, a.tag), deque()).append(entry)
             if cls is A.Irecv:
                 st.requests[rec.result] = entry
             elif not entry.matched:
@@ -518,6 +577,9 @@ def _check_deadlock(
                      if r in st.requests and not st.requests[r].matched}
         else:  # collective
             peers = set(ranks) - coll_arrived.get(st.coll_k, set())
+        # a blocked wildcard receive could be satisfied by any other rank
+        if A.ANY_SOURCE in peers:
+            peers = (peers - {A.ANY_SOURCE}) | (set(ranks) - {st.rank})
         waits_on[st.rank] = peers
 
     cycle = _find_cycle(waits_on)

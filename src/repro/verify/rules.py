@@ -14,6 +14,8 @@ Rule id families
 ``MPI``  MPI misuse in programs (matching, requests, collectives, deadlock).
 ``PRG``  Problems with the rank generator itself (crash, runaway).
 ``TRC``  Trace-level invariants (happened-before, matching, clock condition).
+``DET``  Static determinism analysis (wildcards, send races, nondeterminism).
+``RACE`` Happened-before races found in a recorded trace (vector clocks).
 =======  ==================================================================
 """
 
@@ -237,4 +239,63 @@ TRC009 = rule(
     "a fault marker's match id should belong to a message that completes "
     "in the trace; a dangling reference usually means the rollback kept "
     "the fault marker but discarded the message records",
+)
+
+# ---------------------------------------------------------------------------
+# static determinism analysis (repro.verify.determinism)
+# ---------------------------------------------------------------------------
+
+DET001 = rule(
+    "DET001", Severity.ERROR,
+    "wildcard (ANY_SOURCE) receive makes message matching timing-dependent",
+    "name the source rank explicitly, or accept that logical traces of "
+    "this program are not bit-identical across noise realizations",
+)
+DET002 = rule(
+    "DET002", Severity.ERROR,
+    "multiple senders race for the same wildcard-receive channel",
+    "the matched order depends on physical arrival times; serialise the "
+    "senders (distinct tags or named receives) to restore determinism",
+)
+DET003 = rule(
+    "DET003", Severity.ERROR,
+    "rank generator is itself nondeterministic across dry-runs",
+    "two dry-runs of the program yielded different action sequences; "
+    "seed any randomness from the rank id, not wall-clock or global RNGs",
+)
+DET004 = rule(
+    "DET004", Severity.WARNING,
+    "non-commutative reduction: result value depends on combine order",
+    "the event structure and timestamps stay deterministic, but the "
+    "reduced value is order-sensitive; use a commutative operator or a "
+    "fixed reduction tree if bit-identical values matter",
+)
+DET005 = rule(
+    "DET005", Severity.ERROR,
+    "OpenMP threads write shared state without synchronisation",
+    "add a reduction clause / privatise the variable; the computed value "
+    "is racy even though trace timestamps stay deterministic",
+)
+
+# ---------------------------------------------------------------------------
+# happened-before races over a recorded trace (repro.verify.races)
+# ---------------------------------------------------------------------------
+
+RACE001 = rule(
+    "RACE001", Severity.ERROR,
+    "wildcard message race: concurrent sends matched by one receive site",
+    "the two sends are not ordered by happened-before, so either could "
+    "have matched first; the recorded order is one noise realization",
+)
+RACE002 = rule(
+    "RACE002", Severity.ERROR,
+    "concurrent unsynchronised writes to OpenMP shared state",
+    "the writing regions are happened-before-concurrent on different "
+    "locations; guard the writes or use a reduction",
+)
+RACE003 = rule(
+    "RACE003", Severity.INFO,
+    "wildcard receive whose candidate sends are totally ordered",
+    "this wildcard is benign in the recorded trace: every candidate send "
+    "is ordered by happened-before, so only one match was possible",
 )

@@ -65,10 +65,17 @@ class SanitizeReport:
     n_events: int
     modes: Tuple[str, ...]
     diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: rule id -> findings dropped beyond the per-rule cap; nothing is
+    #: lost silently, the remainder is counted here
+    suppressed: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
         return not has_errors(self.diagnostics)
+
+    @property
+    def n_suppressed(self) -> int:
+        return sum(self.suppressed.values())
 
     def rule_ids(self) -> Set[str]:
         return {d.rule_id for d in self.diagnostics}
@@ -77,6 +84,8 @@ class SanitizeReport:
         status = "clean" if not self.diagnostics else (
             f"{len(self.diagnostics)} finding(s)"
         )
+        if self.n_suppressed:
+            status += f" (+{self.n_suppressed} suppressed)"
         header = (
             f"sanitize trace [{self.trace_mode}]: {self.n_locations} "
             f"locations, {self.n_events} events, modes "
@@ -84,12 +93,21 @@ class SanitizeReport:
         )
         if not self.diagnostics:
             return header
-        return format_diagnostics(self.diagnostics, header=header,
-                                  with_hints=with_hints)
+        out = format_diagnostics(self.diagnostics, header=header,
+                                 with_hints=with_hints)
+        for rule_id in sorted(self.suppressed):
+            out += (
+                f"\n[{rule_id}] (+{self.suppressed[rule_id]} more suppressed)"
+            )
+        return out
 
 
 class _Capped:
-    """Collects diagnostics, truncating repeats of the same rule."""
+    """Collects diagnostics, truncating repeats of the same rule.
+
+    Truncation is never silent: :attr:`suppressed` counts the findings
+    dropped beyond the cap, per rule, for the report to surface.
+    """
 
     def __init__(self, limit: int = _MAX_PER_RULE):
         self.out: List[Diagnostic] = []
@@ -102,14 +120,15 @@ class _Capped:
         if n <= self._limit:
             self.out.append(diag)
 
+    @property
+    def suppressed(self) -> Dict[str, int]:
+        return {
+            rule_id: n - self._limit
+            for rule_id, n in sorted(self._counts.items())
+            if n > self._limit
+        }
+
     def finish(self) -> List[Diagnostic]:
-        for rule_id, n in sorted(self._counts.items()):
-            if n > self._limit:
-                self.out.append(Diagnostic(
-                    rule_id,
-                    f"... {n - self._limit} further {rule_id} finding(s) "
-                    "suppressed",
-                ))
         return self.out
 
 
@@ -118,8 +137,15 @@ class _Capped:
 # ---------------------------------------------------------------------------
 
 
-def sanitize_raw(trace: RawTrace) -> List[Diagnostic]:
-    """Mode-independent structural checks on a raw trace."""
+def sanitize_raw(
+    trace: RawTrace,
+    suppressed: Optional[Dict[str, int]] = None,
+) -> List[Diagnostic]:
+    """Mode-independent structural checks on a raw trace.
+
+    ``suppressed``, when given, accumulates per-rule counts of findings
+    dropped beyond the per-rule cap.
+    """
     cap = _Capped()
     sends: Dict[int, int] = {}  # match id -> send location
     recvs: Dict[int, int] = {}
@@ -296,6 +322,9 @@ def sanitize_raw(trace: RawTrace) -> List[Diagnostic]:
                 "receive record",
                 location=loc,
             ))
+    if suppressed is not None:
+        for rule_id, n in cap.suppressed.items():
+            suppressed[rule_id] = suppressed.get(rule_id, 0) + n
     return cap.finish()
 
 
@@ -304,12 +333,16 @@ def sanitize_raw(trace: RawTrace) -> List[Diagnostic]:
 # ---------------------------------------------------------------------------
 
 
-def check_timestamps(tt) -> List[Diagnostic]:
+def check_timestamps(
+    tt,
+    suppressed: Optional[Dict[str, int]] = None,
+) -> List[Diagnostic]:
     """Clock-condition checks on a :class:`TimestampedTrace`.
 
     Works for physical (``tsc``) and all logical modes; forged or
     corrupted timestamp arrays are reported against the event structure
-    of the underlying raw trace.
+    of the underlying raw trace.  ``suppressed`` accumulates per-rule
+    counts of findings beyond the per-rule cap.
     """
     trace: RawTrace = tt.trace
     mode: str = tt.mode
@@ -374,6 +407,9 @@ def check_timestamps(tt) -> List[Diagnostic]:
                 f"[{lo:.9g}, {hi:.9g}] instead of one group value",
                 location=groups[key][0][0], mode=mode,
             ))
+    if suppressed is not None:
+        for rule_id, n in cap.suppressed.items():
+            suppressed[rule_id] = suppressed.get(rule_id, 0) + n
     return cap.finish()
 
 
@@ -396,7 +432,8 @@ def sanitize_trace(
     from repro.clocks import timestamp_trace
 
     mode_list = tuple(modes) if modes is not None else MODES
-    diagnostics = sanitize_raw(trace)
+    suppressed: Dict[str, int] = {}
+    diagnostics = sanitize_raw(trace, suppressed=suppressed)
     structural_errors = has_errors(diagnostics)
     for mode in mode_list:
         if structural_errors:
@@ -404,11 +441,12 @@ def sanitize_trace(
             # (incomplete groups) or mislead; report structure first
             break
         tt = timestamp_trace(trace, mode, counter_seed=counter_seed)
-        diagnostics.extend(check_timestamps(tt))
+        diagnostics.extend(check_timestamps(tt, suppressed=suppressed))
     return SanitizeReport(
         trace_mode=trace.mode,
         n_locations=trace.n_locations,
         n_events=trace.n_events,
         modes=mode_list,
         diagnostics=diagnostics,
+        suppressed=suppressed,
     )

@@ -364,7 +364,7 @@ class TestCli:
         from repro.cli import main_lint
 
         assert main_lint(["--selftest"]) == 0
-        assert "11 fixtures ok" in capsys.readouterr().out
+        assert "15 fixtures ok" in capsys.readouterr().out
 
     def test_buggy_fixture_fails(self, capsys):
         from repro.cli import main_lint
