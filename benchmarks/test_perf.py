@@ -39,6 +39,22 @@ def test_perf_engine_simulation(benchmark):
     assert n_events > 1000
 
 
+def test_perf_engine_simulation_legacy(benchmark):
+    """Per-event heapq drain, kept as the reference for the batch-drain
+    speedup (the vectorized drain is the default above)."""
+    from repro.sim.engine import EngineConfig
+
+    def run():
+        cluster = jureca_dc(1)
+        app = MiniFE(MiniFEConfig.tiny(nx=96, n_ranks=8, threads_per_rank=4, cg_iters=8))
+        cost = CostModel(cluster, noise=NoiseModel(NoiseConfig(), seed=0))
+        return Engine(app, cluster, cost, measurement=Measurement("tsc"),
+                      config=EngineConfig(vectorized=False)).run().trace.n_events
+
+    n_events = benchmark(run)
+    assert n_events > 1000
+
+
 def test_perf_lamport_replay(benchmark, trace):
     times = benchmark(lambda: timestamp_trace(trace, "ltbb"))
     assert len(times.times) == trace.n_locations
@@ -75,6 +91,41 @@ def test_perf_npz_write_read(benchmark, trace, tmp_path):
 
     back = benchmark(round_trip)
     assert back.n_events == trace.n_events
+
+
+def test_perf_sharded_write(benchmark, trace, tmp_path):
+    from repro.measure.shards import write_sharded_trace
+
+    path = tmp_path / "t.shards"
+    benchmark(lambda: write_sharded_trace(trace, path,
+                                          shard_events=trace.n_events // 8))
+    assert path.is_dir()
+
+
+def test_perf_sharded_stream(benchmark, trace, tmp_path):
+    """Full streamed merged() walk over a multi-shard archive."""
+    from repro.measure.shards import open_sharded_trace, write_sharded_trace
+
+    path = tmp_path / "t.shards"
+    write_sharded_trace(trace, path, shard_events=trace.n_events // 8)
+
+    def walk():
+        n = 0
+        for _loc, _ev in open_sharded_trace(path).merged():
+            n += 1
+        return n
+
+    assert benchmark(walk) == trace.n_events
+
+
+def test_perf_sharded_clock_replay(benchmark, trace, tmp_path):
+    from repro.clocks.streaming import stream_clock_replay
+    from repro.measure.shards import open_sharded_trace, write_sharded_trace
+
+    path = tmp_path / "t.shards"
+    write_sharded_trace(trace, path, shard_events=trace.n_events // 8)
+    summary = benchmark(lambda: stream_clock_replay(open_sharded_trace(path), "lt1"))
+    assert summary.max_clock > 0
 
 
 def test_perf_analyzer(benchmark, trace):

@@ -48,7 +48,7 @@ from repro.sim.events import (
     TEAM_BEGIN,
 )
 
-__all__ = ["analyze_trace"]
+__all__ = ["analyze_trace", "analyze_stream"]
 
 # region kinds (classification of stack-top time)
 _K_USER = 0  # -> comp
@@ -77,14 +77,39 @@ def analyze_trace(tt: TimestampedTrace) -> CubeProfile:
     """Analyze ``tt`` and return the profile (severities in clock units)."""
     trace = tt.trace
     ts = tt.times
-    regions = trace.regions
-    n_loc = trace.n_locations
+    ev_index = [0] * trace.n_locations
+
+    def stream():
+        for loc, ev in trace.merged():
+            i = ev_index[loc]
+            ev_index[loc] = i + 1
+            yield loc, ev, float(ts[loc][i])
+
+    return analyze_stream(
+        stream(),
+        mode=tt.mode,
+        regions=trace.regions,
+        locations=trace.locations,
+        pinning=trace.pinning,
+    )
+
+
+def analyze_stream(events, *, mode, regions, locations, pinning=None) -> CubeProfile:
+    """Wait-state analysis over a merged-order ``(loc, ev, t)`` stream.
+
+    The streaming core of :func:`analyze_trace`: walker state is bounded
+    by locations x call paths plus in-flight synchronisation groups, so
+    an out-of-core archive (:class:`repro.measure.shards.ShardedTrace`)
+    can be analyzed without materializing the whole trace -- feed it
+    ``(loc, ev, ev.t)`` for a physical-time (tsc) analysis.
+    """
+    n_loc = len(locations)
 
     system = SystemTree(
-        trace.locations,
-        {r: trace.pinning.node_of(r) for r in trace.pinning.ranks} if trace.pinning else {},
+        locations,
+        {r: pinning.node_of(r) for r in pinning.ranks} if pinning else {},
     )
-    profile = CubeProfile(system, M.TIME_LEAVES, mode=tt.mode)
+    profile = CubeProfile(system, M.TIME_LEAVES, mode=mode)
     ct = profile.calltree
     root = ct.intern(())
 
@@ -106,11 +131,13 @@ def analyze_trace(tt: TimestampedTrace) -> CubeProfile:
     enter_stack: List[List[float]] = [[0.0] for _ in range(n_loc)]
     last_ts: List[float] = [0.0] * n_loc
     started: List[bool] = [False] * n_loc
-    ev_index: List[int] = [0] * n_loc
 
-    loc_rank = [r for (r, _t) in trace.locations]
-    is_master = [t == 0 for (_r, t) in trace.locations]
-    workers_of = {r: len(trace.threads_of(r)) - 1 for r in {r for (r, _t) in trace.locations}}
+    loc_rank = [r for (r, _t) in locations]
+    is_master = [t == 0 for (_r, t) in locations]
+    threads_per_rank: Dict[int, int] = {}
+    for (r, _t) in locations:
+        threads_per_rank[r] = threads_per_rank.get(r, 0) + 1
+    workers_of = {r: n - 1 for r, n in threads_per_rank.items()}
     in_par_depth: Dict[int, int] = {loc: 0 for loc in range(n_loc)}
     # Workers outside a team are idle; their gaps are accounted through the
     # master's serial time (x W), so their own dt must not be attributed.
@@ -145,10 +172,7 @@ def analyze_trace(tt: TimestampedTrace) -> CubeProfile:
 
     add = profile.add_id
 
-    for loc, ev in trace.merged():
-        i = ev_index[loc]
-        ev_index[loc] = i + 1
-        t = ts[loc][i]
+    for loc, ev, t in events:
         et = ev.etype
         rank = loc_rank[loc]
         master = is_master[loc]

@@ -23,7 +23,13 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import obs as _obs
 
-__all__ = ["run_benchmarks", "compare_to_baseline", "REGRESSION_KEYS"]
+__all__ = [
+    "run_benchmarks",
+    "compare_to_baseline",
+    "campaign_warnings",
+    "render_comparison_markdown",
+    "REGRESSION_KEYS",
+]
 
 #: (section, field) pairs gated by the baseline comparison; wall-time
 #: fields only -- throughput/speedup fields are derived from them
@@ -32,6 +38,7 @@ REGRESSION_KEYS: Tuple[Tuple[str, str], ...] = (
     ("replay_ltbb", "columnar_seconds"),
     ("replay_lthwctr", "columnar_seconds"),
     ("analyzer", "seconds"),
+    ("shards", "stream_seconds"),
 )
 
 
@@ -52,12 +59,13 @@ def _timed(session: "_obs.ObsSession", label: str,
     return best
 
 
-def _make_trace(quick: bool):
+def _make_trace(quick: bool, vectorized: bool = True):
     from repro.machine import jureca_dc
     from repro.machine.noise import NoiseConfig, NoiseModel
     from repro.measure import Measurement
     from repro.miniapps.minife import MiniFE, MiniFEConfig
     from repro.sim import CostModel, Engine
+    from repro.sim.engine import EngineConfig
 
     if quick:
         cfg = MiniFEConfig.tiny(nx=64, n_ranks=4, threads_per_rank=2, cg_iters=4)
@@ -68,7 +76,8 @@ def _make_trace(quick: bool):
 
     def build():
         return Engine(MiniFE(cfg), cluster, cost,
-                      measurement=Measurement("tsc")).run().trace
+                      measurement=Measurement("tsc"),
+                      config=EngineConfig(vectorized=vectorized)).run().trace
 
     return build
 
@@ -92,15 +101,32 @@ def run_benchmarks(quick: bool = False, workers: int = 2,
     if session is None:
         session = _obs.ObsSession()
 
-    engine_s = _timed(session, "engine", build, repeats)
+    # Vectorized and legacy builds are timed in interleaved pairs and the
+    # speedup is the ratio of the two minima: interleaving means both
+    # minima are drawn from the same wall-clock window, so a machine-state
+    # shift (frequency step, noisy neighbour) cannot land between two
+    # sequential timing blocks and fake a regression, while taking minima
+    # keeps a single spiked repetition from poisoning the ratio.
+    build_legacy = _make_trace(quick, vectorized=False)
+    engine_pairs = max(repeats, 5)
+    engine_s = legacy_engine_s = float("inf")
+    for _ in range(engine_pairs):
+        engine_s = min(engine_s, _timed(session, "engine", build, 1))
+        legacy_engine_s = min(
+            legacy_engine_s, _timed(session, "engine_legacy", build_legacy, 1)
+        )
+    speedup = legacy_engine_s / engine_s
     trace = build()
     n_events = trace.n_events
     log(f"engine:          {engine_s * 1e3:8.2f} ms "
-        f"({n_events / engine_s:,.0f} events/s)")
+        f"({n_events / engine_s:,.0f} events/s, "
+        f"{speedup:.1f}x vs legacy heapq walk)")
 
     results: Dict[str, Dict] = {
         "engine": {
             "seconds": engine_s,
+            "legacy_seconds": legacy_engine_s,
+            "speedup": speedup,
             "events": n_events,
             "events_per_sec": n_events / engine_s,
         },
@@ -135,6 +161,7 @@ def run_benchmarks(quick: bool = False, workers: int = 2,
     log(f"analyzer:        {analyzer_s * 1e3:8.2f} ms "
         f"({n_events / analyzer_s:,.0f} events/s)")
 
+    results["shards"] = _bench_shards(trace, log, session, repeats)
     results["campaign"] = _bench_campaign(quick, workers, log, session)
     return {
         "format": "repro-bench-1",
@@ -143,13 +170,70 @@ def run_benchmarks(quick: bool = False, workers: int = 2,
     }
 
 
+def _bench_shards(trace, log, session: "_obs.ObsSession",
+                  repeats: int) -> Dict:
+    """Out-of-core streaming throughput over a multi-shard archive.
+
+    Writes the bench trace as a sharded archive (shards far smaller than
+    the trace so the walk really crosses shard boundaries), then times a
+    full streamed ``merged()`` walk and a streaming ``lt1`` clock replay.
+    """
+    import shutil
+    import tempfile
+    from pathlib import Path as _Path
+
+    from repro.clocks.streaming import stream_clock_replay
+    from repro.measure.shards import open_sharded_trace, write_sharded_trace
+
+    n_events = trace.n_events
+    shard_events = max(256, n_events // 8)
+    tmp = _Path(tempfile.mkdtemp(prefix="repro-bench-")) / "bench.shards"
+    try:
+        write_s = _timed(
+            session, "shards_write",
+            lambda: write_sharded_trace(trace, tmp, shard_events=shard_events),
+            repeats,
+        )
+
+        def stream():
+            for _loc, _ev in open_sharded_trace(tmp).merged():
+                pass
+
+        stream_s = _timed(session, "shards_stream", stream, repeats)
+        replay_s = _timed(
+            session, "shards_replay_lt1",
+            lambda: stream_clock_replay(open_sharded_trace(tmp), "lt1"),
+            repeats,
+        )
+    finally:
+        shutil.rmtree(tmp.parent, ignore_errors=True)
+    log(f"shards:          {stream_s * 1e3:8.2f} ms streamed walk "
+        f"({n_events / stream_s:,.0f} events/s, write {write_s * 1e3:.2f} ms, "
+        f"lt1 replay {replay_s * 1e3:.2f} ms)")
+    return {
+        "shard_events": shard_events,
+        "write_seconds": write_s,
+        "stream_seconds": stream_s,
+        "stream_events_per_sec": n_events / stream_s,
+        "replay_lt1_seconds": replay_s,
+    }
+
+
 def _bench_campaign(quick: bool, workers: int, log,
                     session: "_obs.ObsSession") -> Dict:
     """Wall time of a miniature campaign, serial vs. ``workers`` processes.
 
     Registers a throwaway experiment for the duration of the measurement;
-    caching is disabled so both runs really compute.
+    caching is disabled so both runs really compute.  The fixture is
+    sized so each worker's share of the campaign dwarfs the process-pool
+    start-up cost (~100 ms) -- on a multi-core machine the parallel run
+    should win, and ``repro-bench`` warns when it does not.  On a
+    single-CPU machine (``cpu_count`` is recorded alongside the numbers)
+    the workers time-slice one core and parallel cannot win; the warning
+    says so instead of flagging a regression.
     """
+    import os
+
     from repro.experiments import configs as C
     from repro.experiments.configs import ExperimentSpec
     from repro.experiments.workflow import run_experiment
@@ -158,10 +242,12 @@ def _bench_campaign(quick: bool, workers: int, log,
         from repro.miniapps.minife import MiniFE, MiniFEConfig
 
         return MiniFE(MiniFEConfig.tiny(
-            nx=48 if quick else 64, n_ranks=4, cg_iters=3, init_segments=2))
+            nx=64 if quick else 96, n_ranks=4,
+            cg_iters=6 if quick else 8, init_segments=2))
 
     name = "Bench-Micro"
-    spec = ExperimentSpec(name, make, nodes=1, reps_ref=2, reps_noisy=2,
+    reps = 3 if quick else 4
+    spec = ExperimentSpec(name, make, nodes=1, reps_ref=reps, reps_noisy=reps,
                           phases=("init", "solve"))
     C.EXPERIMENTS[name] = spec
     try:
@@ -178,16 +264,20 @@ def _bench_campaign(quick: bool, workers: int, log,
     finally:
         del C.EXPERIMENTS[name]
     log(f"campaign:        {serial_s * 1e3:8.2f} ms serial, "
-        f"{parallel_s * 1e3:8.2f} ms with {workers} workers")
+        f"{parallel_s * 1e3:8.2f} ms with {workers} workers "
+        f"({serial_s / parallel_s:.2f}x)")
     return {
         "serial_seconds": serial_s,
         "workers": workers,
         "parallel_seconds": parallel_s,
+        "parallel_speedup": serial_s / parallel_s,
+        "cpu_count": os.cpu_count() or 1,
     }
 
 
 def compare_to_baseline(
-    doc: Dict, baseline: Dict, threshold: float = 2.0
+    doc: Dict, baseline: Dict, threshold: float = 2.0,
+    min_engine_speedup: float = 0.0,
 ) -> List[str]:
     """Regressions of ``doc`` vs. ``baseline`` (empty list = all clear).
 
@@ -196,6 +286,12 @@ def compare_to_baseline(
     benchmark additions without invalidating old baselines.  Comparing a
     quick run against a full baseline (or vice versa) is meaningless --
     that mismatch is reported as the single problem instead.
+
+    ``min_engine_speedup`` additionally gates the *ratio* of the legacy
+    heapq engine to the vectorized engine measured in this very run.
+    Both sides see the same machine and the same load, so the ratio is
+    stable where absolute wall times are not -- CI uses it to pin the
+    engine's batch-drain speedup.
     """
     if doc.get("quick") != baseline.get("quick"):
         return [
@@ -214,7 +310,86 @@ def compare_to_baseline(
                 f"{section}.{field}: {cur * 1e3:.2f} ms vs baseline "
                 f"{base * 1e3:.2f} ms (>{threshold:g}x)"
             )
+    if min_engine_speedup > 0.0:
+        speedup = doc.get("results", {}).get("engine", {}).get("speedup")
+        if speedup is None:
+            problems.append(
+                "engine.speedup missing from results -- cannot check "
+                f"the >= {min_engine_speedup:g}x engine gate"
+            )
+        elif speedup < min_engine_speedup:
+            problems.append(
+                f"engine.speedup: vectorized engine only {speedup:.2f}x "
+                f"over the legacy walk (gate: >= {min_engine_speedup:g}x)"
+            )
     return problems
+
+
+def campaign_warnings(doc: Dict) -> List[str]:
+    """Non-fatal oddities worth surfacing (parallel slower than serial)."""
+    camp = doc.get("results", {}).get("campaign", {})
+    serial = camp.get("serial_seconds")
+    parallel = camp.get("parallel_seconds")
+    if serial is None or parallel is None or parallel <= serial:
+        return []
+    cpus = camp.get("cpu_count", 0)
+    msg = (
+        f"campaign: parallel ({parallel * 1e3:.1f} ms, "
+        f"{camp.get('workers')} workers) slower than serial "
+        f"({serial * 1e3:.1f} ms)"
+    )
+    if cpus and cpus < 2:
+        msg += f" -- expected on this {cpus}-CPU machine, workers time-slice one core"
+    else:
+        msg += " -- pool start-up dominates or the machine is oversubscribed"
+    return [msg]
+
+
+def render_comparison_markdown(doc: Dict, baseline: Dict,
+                               threshold: float = 2.0) -> str:
+    """Markdown summary table of ``doc`` vs. ``baseline`` (the CI artifact).
+
+    One row per (section, field) present in either document; wall-time
+    fields show the regression ratio against ``threshold``, derived
+    fields (speedups, throughput) are listed for context.
+    """
+    gated = set(REGRESSION_KEYS)
+    lines = [
+        "# repro-bench comparison",
+        "",
+        f"Fixture: `quick={doc.get('quick')}`; regression threshold: "
+        f"`{threshold:g}x` on gated wall times.",
+        "",
+        "| section.field | baseline | current | ratio | gate |",
+        "|---|---:|---:|---:|:---|",
+    ]
+    base_r = baseline.get("results", {})
+    cur_r = doc.get("results", {})
+    for section in sorted(set(base_r) | set(cur_r)):
+        fields = sorted(set(base_r.get(section, {})) | set(cur_r.get(section, {})))
+        for field in fields:
+            base = base_r.get(section, {}).get(field)
+            cur = cur_r.get(section, {}).get(field)
+            if not isinstance(base, (int, float)) or not isinstance(cur, (int, float)):
+                continue
+            if field.endswith("seconds"):
+                fmt = lambda v: f"{v * 1e3:.2f} ms"
+            elif field.endswith("per_sec"):
+                fmt = lambda v: f"{v:,.0f}/s"
+            else:
+                fmt = lambda v: f"{v:g}"
+            ratio = (cur / base) if base else float("inf")
+            if (section, field) in gated:
+                gate = "ok" if cur <= threshold * base else "**REGRESSION**"
+            else:
+                gate = ""
+            lines.append(
+                f"| {section}.{field} | {fmt(base)} | {fmt(cur)} "
+                f"| {ratio:.2f}x | {gate} |"
+            )
+    for warning in campaign_warnings(doc):
+        lines += ["", f"> warning: {warning}"]
+    return "\n".join(lines) + "\n"
 
 
 def write_bench(doc: Dict, path: Path) -> None:

@@ -410,7 +410,14 @@ def main_bench(argv: Optional[List[str]] = None) -> int:
     """
     from pathlib import Path
 
-    from repro.bench import compare_to_baseline, load_bench, run_benchmarks, write_bench
+    from repro.bench import (
+        campaign_warnings,
+        compare_to_baseline,
+        load_bench,
+        render_comparison_markdown,
+        run_benchmarks,
+        write_bench,
+    )
 
     parser = argparse.ArgumentParser(prog="repro-bench", description=main_bench.__doc__)
     parser.add_argument("--quick", action="store_true",
@@ -422,26 +429,55 @@ def main_bench(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--threshold", type=float, default=2.0,
                         help="regression factor that fails the gate "
                              "(default: %(default)s)")
+    parser.add_argument("--min-engine-speedup", type=float, default=0.0,
+                        metavar="X",
+                        help="fail unless the vectorized engine is at least "
+                             "X times faster than the legacy walk in this "
+                             "same run (0 disables; CI uses 1.5)")
     parser.add_argument("--workers", type=int, default=2,
                         help="worker count for the campaign benchmark "
+                             "(default: %(default)s)")
+    parser.add_argument("--compare", default=None, metavar="PATH",
+                        help="write a markdown comparison table against this "
+                             "baseline bench file (the CI artifact; does not "
+                             "gate -- use --baseline for gating)")
+    parser.add_argument("--compare-output", default="BENCH_compare.md",
+                        metavar="PATH",
+                        help="where --compare writes the markdown table "
                              "(default: %(default)s)")
     args = parser.parse_args(argv)
 
     doc = run_benchmarks(quick=args.quick, workers=args.workers)
     write_bench(doc, Path(args.output))
     print(f"bench results written to {args.output}")
+    for warning in campaign_warnings(doc):
+        print(f"WARNING {warning}")
 
-    if args.baseline:
-        baseline = load_bench(Path(args.baseline))
-        if baseline is None:
-            print(f"cannot read baseline {args.baseline!r}")
+    if args.compare:
+        compare_base = load_bench(Path(args.compare))
+        if compare_base is None:
+            print(f"cannot read comparison baseline {args.compare!r}")
             return 2
-        problems = compare_to_baseline(doc, baseline, args.threshold)
+        md = render_comparison_markdown(doc, compare_base, args.threshold)
+        Path(args.compare_output).write_text(md)
+        print(f"comparison table written to {args.compare_output}")
+
+    if args.baseline or args.min_engine_speedup > 0.0:
+        if args.baseline:
+            baseline = load_bench(Path(args.baseline))
+            if baseline is None:
+                print(f"cannot read baseline {args.baseline!r}")
+                return 2
+        else:
+            baseline = doc  # self-comparison: only the speedup gate applies
+        problems = compare_to_baseline(
+            doc, baseline, args.threshold,
+            min_engine_speedup=args.min_engine_speedup)
         if problems:
             for p in problems:
                 print(f"REGRESSION {p}")
             return 1
-        print(f"no regressions vs {args.baseline} "
+        print(f"no regressions vs {args.baseline or 'self'} "
               f"(threshold {args.threshold:g}x)")
     return 0
 

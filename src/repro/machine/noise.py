@@ -95,19 +95,66 @@ def _lognormal_factor(rng: np.random.Generator, sigma: float) -> float:
     return float(np.exp(rng.normal(-0.5 * sigma * sigma, sigma)))
 
 
+class _FactorBuffer:
+    """Prefetched mean-1 lognormal factors for one fixed-parameter stream.
+
+    ``pop()`` yields exactly the sequence of values that repeated
+    ``_lognormal_factor(rng, sigma)`` calls would produce on the same
+    stream: ``Generator.normal(mu, sigma, size=n)`` consumes the bit
+    stream identically to ``n`` scalar draws, and ``np.exp`` over the
+    batch equals the scalar ``np.exp`` element by element (both verified
+    bitwise in the engine equivalence tests).  Prefetching only moves
+    the *raw* bit-generator position ahead; the injector-visible factor
+    sequence -- the only thing consumed anywhere -- is unchanged, which
+    keeps legacy and vectorized engine runs interchangeable in any
+    order on a shared :class:`NoiseModel`.
+    """
+
+    __slots__ = ("_rng", "_mu", "_sigma", "_vals")
+
+    BATCH = 256
+
+    def __init__(self, rng: np.random.Generator, sigma: float):
+        self._rng = rng
+        self._sigma = sigma
+        self._mu = -0.5 * sigma * sigma
+        self._vals: list = []
+
+    def pop(self) -> float:
+        vals = self._vals
+        if not vals:
+            # reversed so list.pop() replays the draw order
+            vals[:] = np.exp(
+                self._rng.normal(self._mu, self._sigma, self.BATCH)
+            )[::-1].tolist()
+        return vals.pop()
+
+
 class CpuNoise:
     """Multiplicative compute-time jitter per (location, kernel execution)."""
 
     def __init__(self, rngs: RngStreams, config: NoiseConfig):
         self._rngs = rngs
         self._sigma = config.cpu_sigma
+        self._buffers: dict = {}
         # bound once; the shared no-op singleton while observability is off
         self._injections = obs.counter("noise.injections", kind="cpu")
 
     def factor(self, rank: int, thread: int) -> float:
         self._injections.inc()
-        rng = self._rngs.get("cpu-noise", rank=rank, thread=thread)
-        return _lognormal_factor(rng, self._sigma)
+        if self._sigma <= 0.0:
+            return 1.0
+        return self.buffer(rank, thread).pop()
+
+    def buffer(self, rank: int, thread: int) -> _FactorBuffer:
+        """The location's prefetched factor stream (requires sigma > 0)."""
+        key = (rank, thread)
+        buf = self._buffers.get(key)
+        if buf is None:
+            rng = self._rngs.get("cpu-noise", rank=rank, thread=thread)
+            buf = _FactorBuffer(rng, self._sigma)
+            self._buffers[key] = buf
+        return buf
 
 
 class OsJitter:
@@ -138,12 +185,23 @@ class MemoryNoise:
     def __init__(self, rngs: RngStreams, config: NoiseConfig):
         self._rngs = rngs
         self._sigma = config.memory_sigma
+        self._buffers: dict = {}
         self._injections = obs.counter("noise.injections", kind="memory")
 
     def factor(self, numa_id: int) -> float:
         self._injections.inc()
-        rng = self._rngs.get("mem-noise", numa=numa_id)
-        return _lognormal_factor(rng, self._sigma)
+        if self._sigma <= 0.0:
+            return 1.0
+        return self.buffer(numa_id).pop()
+
+    def buffer(self, numa_id: int) -> _FactorBuffer:
+        """The domain's prefetched factor stream (requires sigma > 0)."""
+        buf = self._buffers.get(numa_id)
+        if buf is None:
+            rng = self._rngs.get("mem-noise", numa=numa_id)
+            buf = _FactorBuffer(rng, self._sigma)
+            self._buffers[numa_id] = buf
+        return buf
 
 
 class NetworkNoise:
@@ -152,11 +210,17 @@ class NetworkNoise:
     def __init__(self, rngs: RngStreams, config: NoiseConfig):
         self._rngs = rngs
         self._sigma = config.network_sigma
+        self._gens: dict = {}
         self._injections = obs.counter("noise.injections", kind="network")
 
     def factor(self, key) -> float:
         self._injections.inc()
-        rng = self._rngs.get("net-noise", key=key)
+        # one level of memoization above RngStreams.get: transfer keys
+        # recur every run, and the kwargs/sort dance there is hot
+        rng = self._gens.get(key)
+        if rng is None:
+            rng = self._rngs.get("net-noise", key=key)
+            self._gens[key] = rng
         return _lognormal_factor(rng, self._sigma)
 
 

@@ -10,6 +10,7 @@ per NUMA domain; LULESH-2 deliberately fills domains unevenly).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, Iterator, List, Tuple
 
 from repro.util.validation import check_positive
@@ -53,7 +54,7 @@ class Socket:
     numa_domains: Tuple[NumaDomain, ...]
     l3_capacity: float  # bytes, aggregate over the socket's L3 slices
 
-    @property
+    @cached_property
     def cores(self) -> Tuple[Core, ...]:
         return tuple(c for d in self.numa_domains for c in d.cores)
 
@@ -65,15 +66,15 @@ class Node:
     node_id: int
     sockets: Tuple[Socket, ...]
 
-    @property
+    @cached_property
     def numa_domains(self) -> Tuple[NumaDomain, ...]:
         return tuple(d for s in self.sockets for d in s.numa_domains)
 
-    @property
+    @cached_property
     def cores(self) -> Tuple[Core, ...]:
         return tuple(c for s in self.sockets for c in s.cores)
 
-    @property
+    @cached_property
     def l3_capacity(self) -> float:
         return sum(s.l3_capacity for s in self.sockets)
 
@@ -92,25 +93,33 @@ class Cluster:
     network_latency: float  # seconds, nearest-neighbour
     network_bandwidth: float  # bytes/s per link
 
-    @property
+    @cached_property
     def cores(self) -> Tuple[Core, ...]:
         return tuple(c for n in self.nodes for c in n.cores)
 
-    @property
+    @cached_property
     def numa_domains(self) -> Tuple[NumaDomain, ...]:
         return tuple(d for n in self.nodes for d in n.numa_domains)
 
+    @cached_property
+    def _numa_by_id(self) -> Dict[int, NumaDomain]:
+        return {d.global_id: d for d in self.numa_domains}
+
+    @cached_property
+    def _core_by_id(self) -> Dict[int, Core]:
+        return {c.global_id: c for c in self.cores}
+
     def numa_domain(self, numa_id: int) -> NumaDomain:
-        for d in self.numa_domains:
-            if d.global_id == numa_id:
-                return d
-        raise KeyError(f"no NUMA domain {numa_id}")
+        try:
+            return self._numa_by_id[numa_id]
+        except KeyError:
+            raise KeyError(f"no NUMA domain {numa_id}") from None
 
     def core(self, global_id: int) -> Core:
-        for c in self.cores:
-            if c.global_id == global_id:
-                return c
-        raise KeyError(f"no core {global_id}")
+        try:
+            return self._core_by_id[global_id]
+        except KeyError:
+            raise KeyError(f"no core {global_id}") from None
 
 
 def build_cluster(

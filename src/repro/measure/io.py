@@ -13,6 +13,11 @@ Two formats, dispatched on the file suffix:
   written with :func:`numpy.savez_compressed`.  One bulk array write and
   read per field instead of one JSON record per event, which makes
   campaign-scale archives an order of magnitude faster to load.
+* ``*.shards`` -- ``repro-shards-1``, the out-of-core sharded archive
+  (a directory): events in global merged order split into fixed-size
+  memory-mappable shards plus a JSON manifest.  Streaming consumers
+  (:class:`~repro.measure.shards.ShardedTrace`) analyze it while holding
+  at most one shard in memory; see :mod:`repro.measure.shards`.
 
 Both round-trip exactly (float timestamps bit-preserved) and are covered
 by the suite.  Used by the CLI tools (``repro-run`` writes,
@@ -113,6 +118,11 @@ def write_trace(trace: RawTrace, path: Union[str, Path],
     without parsing the event body.
     """
     path = Path(path)
+    if path.suffix == ".shards":
+        from repro.measure.shards import write_sharded_trace
+
+        write_sharded_trace(trace, path, manifest=manifest)
+        return
     fmt = "npz" if path.suffix == ".npz" else "jsonl"
     with obs.span("io.write_trace", format=fmt):
         if fmt == "npz":
@@ -161,6 +171,11 @@ def read_trace(path: Union[str, Path]) -> RawTrace:
     its ``provenance`` attribute (``None`` when the archive has none).
     """
     path = Path(path)
+    if path.suffix == ".shards":
+        from repro.measure.shards import open_sharded_trace
+
+        with obs.span("io.read_trace", format="shards"):
+            return open_sharded_trace(path).to_raw()
     fmt = "npz" if path.suffix == ".npz" else "jsonl"
     with obs.span("io.read_trace", format=fmt):
         trace = (_read_trace_npz(path) if fmt == "npz"
@@ -171,8 +186,16 @@ def read_trace(path: Union[str, Path]) -> RawTrace:
 
 
 def read_manifest(path: Union[str, Path]) -> Optional[dict]:
-    """Provenance manifest embedded in a trace archive, or ``None``."""
+    """Provenance manifest embedded in a trace archive, or ``None``.
+
+    Header-only for every format: sharded archives read ``manifest.json``
+    alone, the other formats decode just the header record.
+    """
     path = Path(path)
+    if path.suffix == ".shards":
+        from repro.measure.shards import read_shard_manifest
+
+        return read_shard_manifest(path).get("provenance")
     if path.suffix == ".npz":
         with np.load(path) as data:
             header = json.loads(bytes(data["header"]).decode("utf-8"))

@@ -1,0 +1,342 @@
+"""Out-of-core sharded columnar trace archives.
+
+A *sharded* archive is a directory holding a trace as fixed-size columnar
+shards plus a small JSON manifest:
+
+::
+
+    trace.shards/
+        manifest.json        header: mode, runtime, locations, regions,
+                             per-shard row counts and time ranges
+        shard-0000.npy       structured array, events in global merged order
+        shard-0001.npy
+        ...
+
+Each shard is a NumPy structured array (one record per event: location id,
+event kind, region id, timestamps, aux payload, work-delta components)
+stored in **global merged order** -- sorted by ``(t, loc, index-in-loc)``,
+exactly the order :meth:`repro.measure.trace.RawTrace.merged` visits a
+well-formed trace.  Storing the merge order makes every merged-order
+consumer (sanitize, race replay, clock replay, wait-state analysis) a
+single forward scan: :class:`ShardedTrace` memory-maps one shard at a
+time (``numpy.load(..., mmap_mode="r")``), materializes at most that
+shard's rows as Python objects, and drops them before opening the next
+shard.  Peak memory is bounded by the shard size regardless of trace
+length, which is what lets campaign-scale traces be analyzed out of core.
+
+:func:`read_shard_manifest` reads *only* ``manifest.json`` -- provenance
+and shape queries never touch the event body.
+
+Writes are atomic per file (see :func:`repro.measure.io.atomic_write_bytes`)
+and the manifest is written last, so a reader never observes a manifest
+that references missing or truncated shards.
+"""
+
+from __future__ import annotations
+
+import io as _io
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro import obs
+from repro.measure.columnar import _reconstruct_aux
+from repro.measure.trace import RawTrace
+from repro.sim.events import Ev, RegionRegistry
+from repro.sim.kernels import EMPTY_DELTA, WorkDelta
+
+__all__ = [
+    "DEFAULT_SHARD_EVENTS",
+    "SHARD_FORMAT",
+    "MANIFEST_NAME",
+    "StreamStats",
+    "ShardedTrace",
+    "write_sharded_trace",
+    "read_shard_manifest",
+    "open_sharded_trace",
+]
+
+SHARD_FORMAT = "repro-shards-1"
+MANIFEST_NAME = "manifest.json"
+
+#: default rows per shard; small enough that one shard of the structured
+#: records (~74 B/row) stays a few MiB, large enough to amortize per-shard
+#: open/decode overhead
+DEFAULT_SHARD_EVENTS = 65536
+
+_COLUMN_FIELDS = ("etype", "region", "t", "t_enter", "aux_a", "aux_b",
+                  "omp_iters", "bb", "stmt", "instr", "burst_calls", "omp_calls")
+
+_DELTA_FIELDS = ("omp_iters", "bb", "stmt", "instr", "burst_calls", "omp_calls")
+
+#: one record per event; ``loc`` first so a shard is self-describing
+SHARD_DTYPE = np.dtype([
+    ("loc", np.int32),
+    ("etype", np.int16),
+    ("region", np.int32),
+    ("t", np.float64),
+    ("t_enter", np.float64),
+    ("aux_a", np.int64),
+    ("aux_b", np.int64),
+    ("omp_iters", np.float64),
+    ("bb", np.float64),
+    ("stmt", np.float64),
+    ("instr", np.float64),
+    ("burst_calls", np.float64),
+    ("omp_calls", np.float64),
+])
+
+
+def _shard_name(i: int) -> str:
+    return f"shard-{i:04d}.npy"
+
+
+def write_sharded_trace(
+    trace: RawTrace,
+    path: Union[str, Path],
+    shard_events: int = DEFAULT_SHARD_EVENTS,
+    manifest: Optional[dict] = None,
+) -> Path:
+    """Write ``trace`` as a sharded archive directory at ``path``.
+
+    Events are written in global merged order (the order
+    :meth:`RawTrace.merged` yields them for well-formed traces), split
+    into shards of at most ``shard_events`` rows.  ``manifest`` (a
+    :func:`repro.obs.build_manifest` document) is embedded as provenance.
+    Returns the archive directory path.
+    """
+    from repro.measure.io import atomic_write_bytes, atomic_write_text
+
+    if shard_events <= 0:
+        raise ValueError(f"shard_events must be positive, got {shard_events}")
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+
+    with obs.span("io.write_sharded", shard_events=shard_events):
+        cols = trace.columns()  # validates aux payload conventions
+        parts_loc, parts_idx = [], []
+        for loc, lc in enumerate(cols.locs):
+            n = len(lc)
+            parts_loc.append(np.full(n, loc, dtype=np.int64))
+            parts_idx.append(np.arange(n, dtype=np.int64))
+        if parts_loc:
+            loc_all = np.concatenate(parts_loc)
+            idx_all = np.concatenate(parts_idx)
+            t_all = np.concatenate([lc.t for lc in cols.locs])
+        else:
+            loc_all = idx_all = np.empty(0, dtype=np.int64)
+            t_all = np.empty(0, dtype=np.float64)
+        # merged order: by (t, loc, per-location index); matches the heap
+        # merge of RawTrace.merged() for per-location monotone traces
+        order = np.lexsort((idx_all, loc_all, t_all))
+
+        n_total = len(order)
+        rec = np.empty(n_total, dtype=SHARD_DTYPE)
+        rec["loc"] = loc_all[order]
+        for field in _COLUMN_FIELDS:
+            col = (np.concatenate([getattr(lc, field) for lc in cols.locs])
+                   if cols.locs else np.empty(0))
+            rec[field] = col[order]
+
+        shard_meta = []
+        for i, start in enumerate(range(0, max(n_total, 1), shard_events)):
+            chunk = rec[start:start + shard_events]
+            if len(chunk) == 0 and i > 0:
+                break
+            buf = _io.BytesIO()
+            np.save(buf, chunk)
+            atomic_write_bytes(path / _shard_name(i), buf.getvalue())
+            shard_meta.append({
+                "file": _shard_name(i),
+                "n_events": int(len(chunk)),
+                "t_min": float(chunk["t"][0]) if len(chunk) else 0.0,
+                "t_max": float(chunk["t"][-1]) if len(chunk) else 0.0,
+            })
+
+        header = {
+            "format": SHARD_FORMAT,
+            "mode": cols.mode,
+            "runtime": cols.runtime,
+            "locations": [list(lt) for lt in cols.locations],
+            "regions": list(cols.regions.names),
+            "paradigms": list(cols.regions.paradigms),
+            "n_events": int(n_total),
+            "shard_events": int(shard_events),
+            "loc_counts": [int(len(lc)) for lc in cols.locs],
+            "shards": shard_meta,
+        }
+        if manifest is not None:
+            header["provenance"] = manifest
+        # manifest last: its appearance commits the archive
+        atomic_write_text(path / MANIFEST_NAME, json.dumps(header, indent=1))
+    obs.counter("io.traces_written", format="shards").inc()
+    return path
+
+
+def read_shard_manifest(path: Union[str, Path]) -> dict:
+    """The archive header -- reads ``manifest.json`` only, never a shard."""
+    path = Path(path)
+    with open(path / MANIFEST_NAME, "r", encoding="utf-8") as fh:
+        header = json.load(fh)
+    if header.get("format") != SHARD_FORMAT:
+        raise ValueError(f"{path}: not a sharded repro trace archive")
+    return header
+
+
+def open_sharded_trace(path: Union[str, Path]) -> "ShardedTrace":
+    """Open a sharded archive for streaming (reads the manifest only)."""
+    return ShardedTrace(Path(path), read_shard_manifest(path))
+
+
+class StreamStats:
+    """Bookkeeping of one :class:`ShardedTrace`'s streaming behaviour.
+
+    ``peak_resident_rows`` is the largest number of event rows
+    materialized at any moment -- the bounded-memory tests pin it to the
+    shard size.
+    """
+
+    __slots__ = ("shards_opened", "rows_streamed", "peak_resident_rows")
+
+    def __init__(self) -> None:
+        self.shards_opened = 0
+        self.rows_streamed = 0
+        self.peak_resident_rows = 0
+
+
+class ShardedTrace:
+    """Streaming view of a sharded archive (duck-types ``RawTrace``).
+
+    Exposes the metadata surface of :class:`~repro.measure.trace.RawTrace`
+    (``mode``, ``regions``, ``locations``, ``n_events``, ...) plus a
+    streaming :meth:`merged` iterator, so merged-order consumers -- the
+    logical clock replays, :func:`repro.verify.races.find_races`, the
+    streaming sanitizer and analyzer -- accept it unchanged.  Only
+    :meth:`to_raw` materializes the whole trace.
+    """
+
+    def __init__(self, path: Path, header: dict):
+        self.path = Path(path)
+        self.header = header
+        self.mode: str = header["mode"]
+        self.runtime: float = header["runtime"]
+        self.locations: List[Tuple[int, int]] = [
+            tuple(lt) for lt in header["locations"]
+        ]
+        regions = RegionRegistry()
+        for name, paradigm in zip(header["regions"], header["paradigms"]):
+            regions.intern(name, paradigm)
+        self.regions = regions
+        self.provenance: Optional[dict] = header.get("provenance")
+        self.loc_counts: List[int] = [int(c) for c in header["loc_counts"]]
+        self.shard_events: int = int(header["shard_events"])
+        self.stats = StreamStats()
+        self._loc_index: Dict[Tuple[int, int], int] = {
+            lt: i for i, lt in enumerate(self.locations)
+        }
+
+    # -- RawTrace-compatible metadata surface ---------------------------
+    @property
+    def n_locations(self) -> int:
+        return len(self.locations)
+
+    @property
+    def n_events(self) -> int:
+        return int(self.header["n_events"])
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.header["shards"])
+
+    @property
+    def n_ranks(self) -> int:
+        return len({r for (r, _t) in self.locations})
+
+    def loc_id(self, rank: int, thread: int) -> int:
+        return self._loc_index[(rank, thread)]
+
+    def threads_of(self, rank: int) -> List[int]:
+        return sorted(t for (r, t) in self.locations if r == rank)
+
+    def master_locations(self) -> List[int]:
+        return [self._loc_index[(r, 0)]
+                for r in sorted({r for (r, _t) in self.locations})]
+
+    # -- streaming -------------------------------------------------------
+    def iter_shards(self) -> Iterator[np.ndarray]:
+        """Memory-mapped shard arrays, one at a time.
+
+        Each yielded array is a read-only ``numpy.memmap`` over one shard
+        file; the previous map is dropped before the next is opened, so at
+        most one shard is resident.
+        """
+        for meta in self.header["shards"]:
+            arr = np.load(self.path / meta["file"], mmap_mode="r")
+            if len(arr) != meta["n_events"]:
+                raise ValueError(
+                    f"{meta['file']}: {len(arr)} rows, manifest says "
+                    f"{meta['n_events']}"
+                )
+            self.stats.shards_opened += 1
+            yield arr
+            del arr  # release the map before opening the next shard
+
+    def merged(self) -> Iterator[Tuple[int, Ev]]:
+        """All events as ``(loc, Ev)`` in global merged order, streamed.
+
+        Equivalent to :meth:`RawTrace.merged` on the materialized trace,
+        but holds at most one shard's rows in memory.
+        """
+        stats = self.stats
+        for arr in self.iter_shards():
+            # one bulk copy per column per shard (bounded by shard size);
+            # plain lists are much faster to walk than np scalar reads
+            loc_l = arr["loc"].tolist()
+            et_l = arr["etype"].tolist()
+            reg_l = arr["region"].tolist()
+            t_l = arr["t"].tolist()
+            te_l = arr["t_enter"].tolist()
+            a_l = arr["aux_a"].tolist()
+            b_l = arr["aux_b"].tolist()
+            d_ls = [arr[f].tolist() for f in _DELTA_FIELDS]
+            d0, d1, d2, d3, d4, d5 = d_ls
+            n = len(loc_l)
+            stats.rows_streamed += n
+            if n > stats.peak_resident_rows:
+                stats.peak_resident_rows = n
+            for i in range(n):
+                et = et_l[i]
+                if d0[i] or d1[i] or d2[i] or d3[i] or d4[i] or d5[i]:
+                    delta = WorkDelta(d0[i], d1[i], d2[i], d3[i], d4[i], d5[i])
+                else:
+                    delta = EMPTY_DELTA
+                yield loc_l[i], Ev(
+                    et, reg_l[i], t_l[i], delta,
+                    aux=_reconstruct_aux(et, a_l[i], b_l[i]),
+                    t_enter=te_l[i],
+                )
+
+    # -- materialization (the non-streaming escape hatch) ---------------
+    def to_raw(self) -> RawTrace:
+        """Materialize the full per-event :class:`RawTrace` (O(events))."""
+        events: List[List[Ev]] = [[] for _ in self.locations]
+        for loc, ev in self.merged():
+            events[loc].append(ev)
+        trace = RawTrace(
+            mode=self.mode,
+            regions=self.regions,
+            locations=list(self.locations),
+            events=events,
+            runtime=self.runtime,
+            pinning=None,
+        )
+        trace.provenance = self.provenance
+        return trace
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedTrace({str(self.path)!r}, events={self.n_events}, "
+            f"shards={self.n_shards}, locations={self.n_locations})"
+        )

@@ -53,6 +53,8 @@ from repro.machine.network import CollectiveCostModel, NetworkModel
 from repro.machine.topology import Cluster
 from repro.sim import actions as A
 from repro.sim.costmodel import ComputeContext, CostModel, OmpCostModel
+from repro.sim.equeue import SoAEventQueue
+from repro.sim.fastpath import FastPath
 from repro.sim.events import (
     BURST,
     COLL_END,
@@ -72,6 +74,11 @@ from repro.sim.program import Program, ProgramContext
 
 __all__ = ["Engine", "SimResult", "EngineConfig", "SimCrashError", "RestartPlan"]
 
+#: scheduler-step outcomes (identity-compared sentinels)
+_DONE = object()  # rank generator exhausted
+_PARKED = object()  # blocked, or resumed (re-queued) during its own dispatch
+_RUNNABLE = object()  # still runnable; caller decides slice vs re-queue
+
 
 @dataclass
 class EngineConfig:
@@ -81,6 +88,10 @@ class EngineConfig:
     eager_copy_bandwidth: float = 8.0e9  # bytes/s memcpy into the eager buffer
     checkpoint_write_bandwidth: float = 2.0e9  # bytes/s per rank to stable storage
     omp: OmpCostModel = field(default_factory=OmpCostModel)
+    #: Use the batch/cached hot path (SoA scheduler queue, per-site cost
+    #: caches, run-slicing, direct emission).  Bit-identical to the legacy
+    #: per-event path, which remains available as the ``False`` oracle.
+    vectorized: bool = True
 
 
 class SimCrashError(RuntimeError):
@@ -351,6 +362,16 @@ class Engine:
         self._next_omp = 0
         self._n_events = 0
         self._phase_enter: Dict[str, float] = {}
+        #: per-run Enter/Leave cache: region -> (is_phase, rid or None)
+        self._region_cache: Dict[str, Tuple[bool, Optional[int]]] = {}
+        self._mpi_rid: Dict[str, int] = {}
+        #: hoisted constants for the hot _mpi_leave path
+        self._mpi_spin = cost.mpi_spin_instr_per_sec
+        self._mpi_lib_instr = cost.mpi_library_instr_per_call
+        #: per-run (rank, Send/Isend action) -> (eager, base transfer, eager extra)
+        self._send_cache: Dict[Tuple[int, Any], Tuple[bool, float, float]] = {}
+        #: per-run collective action -> (rep, noiseless collective cost)
+        self._coll_cost_cache: Dict[Any, Tuple[float, float]] = {}
         self._phase_leave: Dict[str, float] = {}
         self._rank_time: Dict[int, float] = {}
 
@@ -382,6 +403,21 @@ class Engine:
             rank_sockets.setdefault(r, set()).add(core.socket_id)
         self._rank_spans_sockets = {r: len(s) > 1 for r, s in rank_sockets.items()}
 
+        # Vectorized hot path: SoA scheduler queue + per-site cost caches.
+        # Built last -- FastPath binds the measurement's event lists and
+        # the contention tables above.
+        if self.config.vectorized:
+            self._fast = FastPath(self)
+            self._equeue = SoAEventQueue(self.pinning.ranks)
+            # Direct-append emission for the whole engine (not just the
+            # fast-path dispatchers): equivalent to measurement.record()
+            # whenever no online sanitizer needs to observe each event.
+            self._ev_lists = self._fast._ev_lists
+        else:
+            self._fast = None
+            self._equeue = None
+            self._ev_lists = None
+
     # ------------------------------------------------------------------
     # identifiers and emission
     # ------------------------------------------------------------------
@@ -397,11 +433,22 @@ class Engine:
         if not self._live:
             return
         self._n_events += 1
-        if self.measurement is not None:
+        lists = self._ev_lists
+        if lists is not None:
+            lists[loc].append(ev)
+        elif self.measurement is not None:
             self.measurement.record(loc, ev)
 
     def emit_master(self, rank: _RankState, ev: Ev) -> None:
-        self.emit(self.loc_id(rank.rank, 0), ev)
+        # inlined emit() body: this is the hottest emission entry point
+        if not self._live:
+            return
+        self._n_events += 1
+        lists = self._ev_lists
+        if lists is not None:
+            lists[self._loc_base[rank.rank]].append(ev)
+        elif self.measurement is not None:
+            self.measurement.record(self._loc_base[rank.rank], ev)
 
     def count_cost(self, delta: WorkDelta) -> float:
         if self.measurement is None:
@@ -497,19 +544,11 @@ class Engine:
         # Epoch 0: a crash before the first checkpoint restarts from t=0.
         self._apply_restarts(0)
 
-        n_done = 0
         n_ranks = len(self._ranks)
-        c_steps = self._c_steps
-        c_stale = self._c_stale
-        while self._heap:
-            t, _seq, r, epoch = heapq.heappop(self._heap)
-            state = self._ranks[r]
-            if state.done or state.blocked or epoch != state.epoch:
-                c_stale.inc()
-                continue
-            c_steps.inc()
-            if self._step(state):
-                n_done += 1
+        if self._equeue is not None:
+            n_done = self._drain_vectorized()
+        else:
+            n_done = self._drain_legacy()
         if n_done != n_ranks:
             raise self._deadlock_error()
 
@@ -538,7 +577,17 @@ class Engine:
         diags = []
         for r in stuck:
             s = self._ranks[r]
-            desc, path = s.block_site or ("<unknown action>", tuple(s.stack))
+            site = s.block_site
+            if site is None:
+                desc, path = "<unknown action>", tuple(s.stack)
+            elif len(site) == 4:  # deferred collective site
+                region, seq, missing, path = site
+                desc = (
+                    f"{region} (collective sequence {seq}, "
+                    f"waiting for {missing} more rank(s))"
+                )
+            else:
+                desc, path = site
             diags.append(Diagnostic(
                 "MPI008", f"blocked on {desc}", rank=r, call_path=path
             ))
@@ -548,7 +597,141 @@ class Engine:
         )
         return RuntimeError(format_diagnostics(diags, header=header))
 
+    def _drain_legacy(self) -> int:
+        """Legacy oracle scheduler: heapq of (t, seq, rank, epoch) tuples."""
+        n_done = 0
+        c_steps = self._c_steps
+        c_stale = self._c_stale
+        while self._heap:
+            t, _seq, r, epoch = heapq.heappop(self._heap)
+            state = self._ranks[r]
+            if state.done or state.blocked or epoch != state.epoch:
+                c_stale.inc()
+                continue
+            c_steps.inc()
+            if self._step(state):
+                n_done += 1
+        return n_done
+
+    def _drain_vectorized(self) -> int:
+        """SoA scheduler with run-slicing.
+
+        After each step, if the rank's new time is still *strictly* earlier
+        than every queued wake-up it keeps running without a queue round-
+        trip -- exactly the entry the legacy heap would pop next, because
+        a fresh push carries the largest sequence number and loses every
+        ``(t, seq)`` tie to an already-queued entry.
+        """
+        if self._crashes:
+            # Fault injection needs the per-step crash check; take the
+            # uninlined path (its sites bypass the shared cache anyway).
+            return self._drain_vectorized_careful()
+        q = self._equeue
+        ranks = self._ranks
+        pop = q.pop
+        peek = q.peek_t
+        push_pop = q.push_pop
+        dispatch = self._dispatch
+        fast = self._fast
+        pfor_fn = fast.parallel_for if fast is not None else None
+        compute_fn = fast.do_compute if fast is not None else None
+        burst_fn = fast.do_burst if fast is not None else None
+        enter_fn = self._do_enter
+        leave_fn = self._do_leave
+        rt = self._rank_time
+        _PFOR, _COMP, _BURST = A.ParallelFor, A.Compute, A.CallBurst
+        _ENTER, _LEAVE = A.Enter, A.Leave
+        n_done = 0
+        n_steps = 0
+        n_stale = 0
+        nxt = pop()
+        while nxt is not None:
+            _t, r, epoch = nxt
+            state = ranks[r]
+            if state.done or state.blocked or epoch != state.epoch:
+                n_stale += 1
+                nxt = pop()
+                continue
+            gen_send = state.gen.send
+            while True:
+                # inlined _step_core (sans crash check: none are armed)
+                n_steps += 1
+                try:
+                    action = gen_send(state.pending_result)
+                except StopIteration:
+                    state.done = True
+                    rt[r] = state.t
+                    n_done += 1
+                    nxt = pop()
+                    break
+                state.pending_result = None
+                state.n_actions += 1
+                epoch_before = state.epoch
+                cls = type(action)
+                if pfor_fn is not None and cls is _PFOR:
+                    pfor_fn(state, action)
+                elif compute_fn is not None and cls is _COMP:
+                    compute_fn(state, action)
+                elif burst_fn is not None and cls is _BURST:
+                    burst_fn(state, action)
+                elif cls is _ENTER:
+                    enter_fn(state, action.region)
+                elif cls is _LEAVE:
+                    leave_fn(state, action.region)
+                else:
+                    dispatch(state, action)
+                t = state.t
+                if t > rt[r]:
+                    rt[r] = t
+                if not state.blocked and not state.done and state.epoch == epoch_before:
+                    if t < peek():
+                        continue  # still the earliest: slice on
+                    nxt = push_pop(r, t, state.epoch)
+                    break
+                nxt = pop()
+                break
+        self._c_steps.inc(n_steps)
+        self._c_stale.inc(n_stale)
+        return n_done
+
+    def _drain_vectorized_careful(self) -> int:
+        """SoA drain with the full per-step path (crash points armed)."""
+        q = self._equeue
+        ranks = self._ranks
+        c_steps = self._c_steps
+        c_stale = self._c_stale
+        step = self._step_core
+        pop = q.pop
+        peek = q.peek_t
+        push = self._push
+        n_done = 0
+        while True:
+            nxt = pop()
+            if nxt is None:
+                break
+            _t, r, epoch = nxt
+            state = ranks[r]
+            if state.done or state.blocked or epoch != state.epoch:
+                c_stale.inc()
+                continue
+            while True:
+                c_steps.inc()
+                res = step(state)
+                if res is _RUNNABLE:
+                    if state.t < peek():
+                        continue  # still the earliest: slice on
+                    push(state)
+                    break
+                if res is _DONE:
+                    n_done += 1
+                break
+        return n_done
+
     def _push(self, state: _RankState) -> None:
+        eq = self._equeue
+        if eq is not None:
+            eq.push(state.rank, state.t, state.epoch)
+            return
         self._seq += 1
         heapq.heappush(self._heap, (state.t, self._seq, state.rank, state.epoch))
 
@@ -563,6 +746,22 @@ class Engine:
 
     def _step(self, state: _RankState) -> bool:
         """Advance one action; returns True when the rank finished."""
+        res = self._step_core(state)
+        if res is _DONE:
+            return True
+        if res is _RUNNABLE:
+            self._push(state)
+        return False
+
+    def _step_core(self, state: _RankState):
+        """Advance one action; returns a scheduler-outcome sentinel.
+
+        ``_RUNNABLE`` means the rank may act again and was *not* re-queued
+        (the caller decides: legacy pushes, the vectorized drain may slice).
+        ``_PARKED`` covers both blocking and a resume during the rank's own
+        dispatch (e.g. last rank into a collective) -- in the latter case
+        ``_resume`` already re-queued it under a new epoch.
+        """
         if self._crashes:
             cp = self._crashes.get(state.rank)
             if cp is not None and (
@@ -581,23 +780,36 @@ class Engine:
         except StopIteration:
             state.done = True
             self._rank_time[state.rank] = state.t
-            return True
+            return _DONE
         state.pending_result = None
         state.n_actions += 1
         epoch_before = state.epoch
         self._dispatch(state, action)
-        self._rank_time[state.rank] = max(self._rank_time[state.rank], state.t)
-        # A rank that was resumed during its own dispatch (e.g. it was the
-        # last to enter a collective) has already been re-queued.
+        rt = self._rank_time
+        if state.t > rt[state.rank]:
+            rt[state.rank] = state.t
         if not state.blocked and not state.done and state.epoch == epoch_before:
-            self._push(state)
-        return False
+            return _RUNNABLE
+        return _PARKED
 
     # ------------------------------------------------------------------
     # action dispatch
     # ------------------------------------------------------------------
     def _dispatch(self, state: _RankState, action) -> None:
         cls = type(action)
+        fast = self._fast
+        if fast is not None:
+            # Cached-statics fast path for the three compute-shaped
+            # actions (bit-identical to the legacy branches below).
+            if cls is A.ParallelFor:
+                fast.parallel_for(state, action)
+                return
+            if cls is A.Compute:
+                fast.do_compute(state, action)
+                return
+            if cls is A.CallBurst:
+                fast.do_burst(state, action)
+                return
         if cls is A.Compute:
             self._do_compute(state, action)
         elif cls is A.ParallelFor:
@@ -629,14 +841,45 @@ class Engine:
     def _filtered(self, region: str) -> bool:
         return self.measurement is not None and self.measurement.filtered(region)
 
+    def _region_info(self, region: str) -> Tuple[bool, Optional[int]]:
+        """Per-run cache of (is_phase, rid-or-None) for Enter/Leave.
+
+        ``rid`` is ``None`` when the region is filtered or there is no
+        measurement; it is interned lazily so region-id assignment keeps
+        the legacy first-ENTER order.  The cache is per-engine (one run),
+        so rebuilding filter rules *between* runs behaves as before;
+        mutating them mid-run is not supported.
+        """
+        info = self._region_cache.get(region)
+        if info is None:
+            rid: Optional[int] = None
+            if self.measurement is not None and not self._filtered(region):
+                rid = self.regions.intern(region)
+            info = (region in self.program.phases, rid)
+            self._region_cache[region] = info
+        return info
+
     def _do_enter(self, state: _RankState, region: str) -> None:
         state.stack.append(region)
-        if region in self.program.phases and region not in self._phase_enter:
+        info = self._region_cache.get(region)
+        if info is None:
+            info = self._region_info(region)
+        is_phase, rid = info
+        if is_phase and region not in self._phase_enter:
             self._phase_enter[region] = state.t
-        if self.measurement is None or self._filtered(region):
+        if rid is None:
             return
-        rid = self.regions.intern(region)
-        self.emit_master(state, Ev(ENTER, rid, state.t, state.flush_delta()))
+        # inlined emit_master (the delta flush runs even in ghost replay)
+        d = state.pending_delta
+        state.pending_delta = EMPTY_DELTA
+        if self._live:
+            self._n_events += 1
+            lists = self._ev_lists
+            if lists is not None:
+                lists[self._loc_base[state.rank]].append(Ev(ENTER, rid, state.t, d))
+            else:
+                self.measurement.record(
+                    self._loc_base[state.rank], Ev(ENTER, rid, state.t, d))
         state.t += self.ev_cost
 
     def _do_leave(self, state: _RankState, region: Optional[str]) -> None:
@@ -647,13 +890,25 @@ class Engine:
             raise RuntimeError(
                 f"rank {state.rank}: Leave({region!r}) does not match Enter({top!r})"
             )
-        if top in self.program.phases:
+        info = self._region_cache.get(top)
+        if info is None:
+            info = self._region_info(top)
+        is_phase, rid = info
+        if is_phase:
             prev = self._phase_leave.get(top, -math.inf)
             self._phase_leave[top] = max(prev, state.t)
-        if self.measurement is None or self._filtered(top):
+        if rid is None:
             return
-        rid = self.regions.intern(top)
-        self.emit_master(state, Ev(LEAVE, rid, state.t, state.flush_delta()))
+        d = state.pending_delta
+        state.pending_delta = EMPTY_DELTA
+        if self._live:
+            self._n_events += 1
+            lists = self._ev_lists
+            if lists is not None:
+                lists[self._loc_base[state.rank]].append(Ev(LEAVE, rid, state.t, d))
+            else:
+                self.measurement.record(
+                    self._loc_base[state.rank], Ev(LEAVE, rid, state.t, d))
         state.t += self.ev_cost
 
     # -- computation ------------------------------------------------------
@@ -754,9 +1009,21 @@ class Engine:
 
     def _mpi_enter(self, state: _RankState, region: str) -> int:
         """Emit the ENTER of an MPI call; returns the region id."""
-        rid = self.regions.intern(region, Paradigm.MPI)
+        rid = self._mpi_rid.get(region)
+        if rid is None:
+            rid = self.regions.intern(region, Paradigm.MPI)
+            self._mpi_rid[region] = rid
         if self.measurement is not None:
-            self.emit_master(state, Ev(ENTER, rid, state.t, state.flush_delta()))
+            d = state.pending_delta
+            state.pending_delta = EMPTY_DELTA
+            if self._live:
+                self._n_events += 1
+                lists = self._ev_lists
+                if lists is not None:
+                    lists[self._loc_base[state.rank]].append(Ev(ENTER, rid, state.t, d))
+                else:
+                    self.measurement.record(
+                        self._loc_base[state.rank], Ev(ENTER, rid, state.t, d))
             state.t += self.ev_cost
         return rid
 
@@ -764,10 +1031,22 @@ class Engine:
         """Emit the LEAVE of an MPI call with spin-wait instructions."""
         state.t = t_end
         if self.measurement is not None:
-            instr = self.cost.mpi_wait_instructions(max(0.0, t_end - t_begin))
-            instr += self.cost.mpi_library_instr_per_call
-            self.emit_master(state, Ev(LEAVE, rid, t_end, WorkDelta(instr=instr)))
-            state.t += self.ev_cost
+            if self._live:
+                # == cost.mpi_wait_instructions(max(0, dt)) + library const
+                dt = t_end - t_begin
+                if dt < 0.0:
+                    dt = 0.0
+                instr = self._mpi_spin * dt + self._mpi_lib_instr
+                self._n_events += 1
+                lists = self._ev_lists
+                if lists is not None:
+                    lists[self._loc_base[state.rank]].append(
+                        Ev(LEAVE, rid, t_end, WorkDelta(instr=instr)))
+                else:
+                    self.measurement.record(
+                        self._loc_base[state.rank],
+                        Ev(LEAVE, rid, t_end, WorkDelta(instr=instr)))
+            state.t = t_end + self.ev_cost
         self._rank_time[state.rank] = state.t
 
     def _transfer_time(self, src: int, dst: int, nbytes: float, match_id: int) -> float:
@@ -792,7 +1071,20 @@ class Engine:
         match_id = self._next_match
         self._next_match += 1
         nbytes = action.nbytes
-        eager = self.network.is_eager(nbytes)
+        site_key = (state.rank, action)
+        site = self._send_cache.get(site_key)
+        if site is None:
+            # (sums stay unfolded at use sites: float adds must keep the
+            # legacy association to remain bit-identical)
+            site = (
+                self.network.is_eager(nbytes),
+                self.network.transfer_time(
+                    nbytes, self.pinning.same_node(state.rank, action.dest)
+                ),
+                nbytes / self.config.eager_copy_bandwidth,
+            )
+            self._send_cache[site_key] = site
+        eager, base_transfer, eager_copy_t = site
         if self.measurement is not None:
             # aux: (match id, rendezvous flag) -- the analyzer needs the
             # protocol to decide whether a late receiver is possible.
@@ -822,10 +1114,15 @@ class Engine:
             entry["request"] = req
 
         if eager:
-            entry["arrival"] = t0 + self._transfer_time(state.rank, action.dest, nbytes, match_id)
+            transfer = base_transfer
+            if self._faults is not None:
+                transfer *= self._faults.link.factor(state.rank, action.dest)
+            if self.cost.noise is not None:
+                transfer *= self.cost.noise.network.factor(("p2p", match_id))
+            entry["arrival"] = t0 + transfer
             local_done = (
                 state.t + self.config.mpi_call_overhead + self._mpi_sync_cost
-                + nbytes / self.config.eager_copy_bandwidth
+                + eager_copy_t
             )
             if req is not None:
                 req.complete_t = local_done
@@ -1093,11 +1390,8 @@ class Engine:
         self._c_blocks.inc()
         state.blocked = True
         missing = self.pinning.n_ranks - len(inst["enters"])
-        state.block_site = (
-            f"{region} (collective sequence {seq}, "
-            f"waiting for {missing} more rank(s))",
-            tuple(state.stack),
-        )
+        # deferred-format site: rendered only by the deadlock reporter
+        state.block_site = (region, seq, missing, tuple(state.stack))
         if len(inst["enters"]) == self.pinning.n_ranks:
             self._complete_collective(seq, inst)
 
@@ -1113,12 +1407,17 @@ class Engine:
         self._c_coll.inc()
         ranks = self.pinning.ranks
         action = inst["action"]
-        rep = max(1.0, float(getattr(action, "represents", 1.0)))
-        cost = self.collectives.cost(
-            inst["op"], self.pinning, ranks, self._coll_nbytes(action)
-        ) * rep
-        if type(action) is A.Checkpoint:
-            cost += (action.nbytes / self.config.checkpoint_write_bandwidth) * rep
+        cached = self._coll_cost_cache.get(action)
+        if cached is None:
+            rep = max(1.0, float(getattr(action, "represents", 1.0)))
+            base = self.collectives.cost(
+                inst["op"], self.pinning, ranks, self._coll_nbytes(action)
+            ) * rep
+            if type(action) is A.Checkpoint:
+                base += (action.nbytes / self.config.checkpoint_write_bandwidth) * rep
+            cached = (rep, base)
+            self._coll_cost_cache[action] = cached
+        rep, cost = cached
         if self.cost.noise is not None:
             cost *= self.cost.noise.network.factor(("coll", seq))
         completion = max(inst["enters"].values()) + cost
@@ -1126,23 +1425,36 @@ class Engine:
         self._next_coll += 1
         n = len(ranks)
         extra_bc = (rep - 1.0) / 2.0  # lt_1: each event stands for rep calls
-        for r in ranks:
-            st = self._ranks[r]
-            rid = inst["rid"][r]
-            t_enter = inst["enters"][r]
-            if self.measurement is not None:
-                instr = self.cost.mpi_wait_instructions(max(0.0, completion - t_enter))
-                instr += self.cost.mpi_library_instr_per_call * rep
+        instrumented = self.measurement is not None
+        t_exit = completion + (self.config.mpi_call_overhead + self._mpi_sync_cost) * rep
+        if instrumented:
+            spin = self._mpi_spin
+            lib_instr = self._mpi_lib_instr * rep
+            aux = (coll_id, n)
+            evc_rep = self.ev_cost * rep
+            rids = inst["rid"]
+            enters = inst["enters"]
+            resume = self._resume
+            states = self._ranks
+            for r in ranks:
+                st = states[r]
+                rid = rids[r]
+                # == cost.mpi_wait_instructions(max(0, wait)) + lib * rep
+                instr = spin * max(0.0, completion - enters[r]) + lib_instr
                 self.emit_master(
                     st,
                     Ev(COLL_END, rid, completion,
-                       WorkDelta(instr=instr, burst_calls=extra_bc), aux=(coll_id, n)),
+                       WorkDelta(instr=instr, burst_calls=extra_bc), aux=aux),
                 )
-            st.t = completion + (self.config.mpi_call_overhead + self._mpi_sync_cost) * rep
-            if self.measurement is not None:
-                self.emit_master(st, Ev(LEAVE, rid, st.t, WorkDelta(burst_calls=extra_bc)))
-                st.t += self.ev_cost * rep
-            self._resume(st, st.t)
+                st.t = t_exit
+                self.emit_master(st, Ev(LEAVE, rid, t_exit, WorkDelta(burst_calls=extra_bc)))
+                st.t += evc_rep
+                resume(st, st.t)
+        else:
+            for r in ranks:
+                st = self._ranks[r]
+                st.t = t_exit
+                self._resume(st, st.t)
         del self._coll[seq]
         if type(action) is A.Checkpoint:
             self._ckpt_count += 1

@@ -1,0 +1,225 @@
+"""Structure-of-arrays scheduler queue for the vectorized engine.
+
+The legacy engine schedules ranks through a ``heapq`` of
+``(t, seq, rank, epoch)`` tuples: one tuple allocation per push and
+stale entries (superseded by a later resume) skipped at pop time.  The
+vectorized engine replaces the heap with one *lane* per rank, backed by
+parallel arrays holding the wake time, the push sequence number, the
+rank epoch and an active flag.
+
+A rank has at most one live heap entry at any time (``_push`` happens
+only from ``_step``/``_resume``, and a resume bumps the epoch, turning
+any older entry stale), so a lane per rank is a lossless representation:
+pushing a rank that is already queued overwrites its lane, which is
+exactly the legacy semantics of the older entry going stale and being
+skipped.  Pops select the active lane with the smallest ``(t, seq)``
+pair -- identical to the heap's tuple order, because ``seq`` is unique
+and strictly increasing, so rank/epoch never participate in the
+comparison.
+
+Small jobs keep the lanes in plain Python lists (a handful of ranks is
+faster to walk in the interpreter, and scalar reads from numpy arrays
+pay ~100ns of boxing each); from ``VECTOR_MIN_LANES`` ranks upward the
+lanes live in numpy arrays and pops/peeks use masked reductions, so
+wide jobs pay O(ranks) at C speed instead of interpreter speed.  The
+current minimum is cached and only recomputed after a push/pop
+invalidates it, which makes the run-slicing peek in the engine's inner
+loop O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["SoAEventQueue", "VECTOR_MIN_LANES"]
+
+#: lane count at which the backing store switches to numpy + masked
+#: reductions (below it: plain Python lists + interpreter scans)
+VECTOR_MIN_LANES = 32
+
+_INF = float("inf")
+
+
+class SoAEventQueue:
+    """One scheduler lane per rank, stored as parallel arrays."""
+
+    __slots__ = (
+        "_t", "_seq", "_epoch", "_active", "_lane", "_rank_of",
+        "_n_active", "_next_seq", "_min_t", "_vectorized",
+    )
+
+    def __init__(self, ranks: Sequence[int]):
+        n = len(ranks)
+        self._vectorized = n >= VECTOR_MIN_LANES
+        if self._vectorized:
+            self._t = np.full(n, _INF, dtype=np.float64)
+            self._seq = np.zeros(n, dtype=np.int64)
+            self._epoch = np.zeros(n, dtype=np.int64)
+            self._active = np.zeros(n, dtype=bool)
+        else:
+            self._t = [_INF] * n
+            self._seq = [0] * n
+            self._epoch = [0] * n
+            self._active = [False] * n
+        self._lane: Dict[int, int] = {r: i for i, r in enumerate(ranks)}
+        self._rank_of = list(ranks)
+        self._n_active = 0
+        self._next_seq = 0
+        #: cached (t, seq, lane) of the current minimum; None = stale
+        self._min_t: Optional[Tuple[float, int, int]] = None
+
+    def __len__(self) -> int:
+        return self._n_active
+
+    def __bool__(self) -> bool:
+        return self._n_active > 0
+
+    def push(self, rank: int, t: float, epoch: int) -> None:
+        """Queue (or re-queue) ``rank`` to wake at ``t``.
+
+        Overwriting an occupied lane is the SoA equivalent of the legacy
+        heap's stale-entry skip: the older entry could never have acted
+        (its epoch no longer matches the rank's).
+        """
+        lane = self._lane[rank]
+        self._next_seq += 1
+        if not self._active[lane]:
+            self._active[lane] = True
+            self._n_active += 1
+        self._t[lane] = t
+        self._seq[lane] = self._next_seq
+        self._epoch[lane] = epoch
+        cached = self._min_t
+        if cached is not None:
+            if t < cached[0] or cached[2] == lane:
+                self._min_t = None  # new entry may now be (or beat) the min
+        # equal-t pushes never beat the cached min: their seq is larger
+
+    def _find_min(self) -> Optional[Tuple[float, int, int]]:
+        if self._n_active == 0:
+            return None
+        if self._vectorized:
+            t = np.where(self._active, self._t, _INF)
+            m = t.min()
+            cands = np.flatnonzero(t == m)
+            if len(cands) == 1:
+                lane = int(cands[0])
+            else:
+                lane = int(cands[np.argmin(self._seq[cands])])
+            return (float(m), int(self._seq[lane]), lane)
+        best_t = _INF
+        best_seq = 0
+        best_lane = -1
+        t_arr = self._t
+        seq_arr = self._seq
+        active = self._active
+        for lane in range(len(t_arr)):
+            if not active[lane]:
+                continue
+            lt = t_arr[lane]
+            if lt < best_t or (lt == best_t and seq_arr[lane] < best_seq):
+                best_t = lt
+                best_seq = seq_arr[lane]
+                best_lane = lane
+        if best_lane < 0:
+            return None
+        return (best_t, best_seq, best_lane)
+
+    def peek_t(self) -> float:
+        """Wake time of the next pop (``inf`` when empty); O(1) when warm."""
+        cached = self._min_t
+        if cached is None:
+            if self._n_active == 0:
+                return _INF
+            if self._vectorized:
+                cached = self._find_min()
+            else:
+                # inlined scalar scan (the engine's hottest queue call)
+                best_t = _INF
+                best_seq = 0
+                best_lane = -1
+                active = self._active
+                seq_arr = self._seq
+                for lane, lt in enumerate(self._t):
+                    if active[lane] and (
+                        lt < best_t or (lt == best_t and seq_arr[lane] < best_seq)
+                    ):
+                        best_t = lt
+                        best_seq = seq_arr[lane]
+                        best_lane = lane
+                cached = (best_t, best_seq, best_lane)
+            self._min_t = cached
+        return cached[0] if cached is not None else _INF
+
+    def pop(self) -> Optional[Tuple[float, int, int]]:
+        """Remove and return ``(t, rank, epoch)`` of the earliest lane."""
+        cached = self._min_t
+        if cached is None:
+            if self._n_active == 0:
+                return None
+            if self._vectorized:
+                cached = self._find_min()
+            else:
+                best_t = _INF
+                best_seq = 0
+                best_lane = -1
+                active = self._active
+                seq_arr = self._seq
+                for lane, lt in enumerate(self._t):
+                    if active[lane] and (
+                        lt < best_t or (lt == best_t and seq_arr[lane] < best_seq)
+                    ):
+                        best_t = lt
+                        best_seq = seq_arr[lane]
+                        best_lane = lane
+                cached = (best_t, best_seq, best_lane)
+        if cached is None:
+            return None
+        t, _seq, lane = cached
+        self._active[lane] = False
+        self._n_active -= 1
+        self._min_t = None
+        return (t, self._rank_of[lane], int(self._epoch[lane]))
+
+    def push_pop(self, rank: int, t: float, epoch: int) -> Tuple[float, int, int]:
+        """Fused ``push(rank, t, epoch)`` + ``pop()`` (one scan, one call).
+
+        The engine's drain loop re-queues a still-runnable rank and
+        immediately pops the global minimum; fusing the two skips the
+        cache invalidate/recompute round-trip between them.
+        """
+        lane = self._lane[rank]
+        self._next_seq += 1
+        if not self._active[lane]:
+            self._active[lane] = True
+            self._n_active += 1
+        self._t[lane] = t
+        self._seq[lane] = self._next_seq
+        self._epoch[lane] = epoch
+        cached = self._min_t
+        if cached is not None and (t < cached[0] or cached[2] == lane):
+            cached = None  # the fresh entry may now be (or beat) the min
+        if cached is None:
+            if self._vectorized:
+                cached = self._find_min()
+            else:
+                best_t = _INF
+                best_seq = 0
+                best_lane = -1
+                active = self._active
+                seq_arr = self._seq
+                for ln, lt in enumerate(self._t):
+                    if active[ln] and (
+                        lt < best_t or (lt == best_t and seq_arr[ln] < best_seq)
+                    ):
+                        best_t = lt
+                        best_seq = seq_arr[ln]
+                        best_lane = ln
+                cached = (best_t, best_seq, best_lane)
+        mt, _seq, mlane = cached
+        self._active[mlane] = False
+        self._n_active -= 1
+        self._min_t = None
+        return (mt, self._rank_of[mlane], int(self._epoch[mlane]))

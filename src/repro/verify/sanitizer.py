@@ -48,7 +48,8 @@ from repro.sim.events import (
 )
 from repro.verify.diagnostics import Diagnostic, format_diagnostics, has_errors
 
-__all__ = ["SanitizeReport", "sanitize_raw", "check_timestamps", "sanitize_trace"]
+__all__ = ["SanitizeReport", "StructuralPass", "sanitize_raw",
+           "sanitize_stream", "check_timestamps", "sanitize_trace"]
 
 #: tolerance for "equal" physical timestamps within a group
 _REL_TOL = 1e-9
@@ -137,6 +138,229 @@ class _Capped:
 # ---------------------------------------------------------------------------
 
 
+class StructuralPass:
+    """Incremental form of the mode-independent structural checks.
+
+    Feed events one at a time in any order that preserves per-location
+    order (per-location walks and global merged order both qualify);
+    :meth:`finish` closes every location and runs the cross-location
+    checks.  :func:`sanitize_raw` drives it per location over an
+    in-memory trace; :func:`sanitize_stream` drives it in merged order
+    over a sharded archive, so state stays bounded by open regions and
+    in-flight synchronisation groups rather than trace length.
+    """
+
+    def __init__(self, regions, n_locations: int):
+        self._regions = regions
+        self._cap = _Capped()
+        self._sends: Dict[int, int] = {}  # match id -> send location
+        self._recvs: Dict[int, int] = {}
+        self._groups: Dict[Tuple[str, int], List[Tuple[int, float]]] = {}
+        self._group_size: Dict[Tuple[str, int], int] = {}
+        self._forks: Set[int] = set()
+        self._restart_groups: Dict[int, List[Tuple[int, float]]] = {}
+        self._restart_size: Dict[int, int] = {}
+        self._fault_refs: List[Tuple[int, int]] = []  # (loc, match id)
+        self._prev_t = [-float("inf")] * n_locations
+        self._stack: List[List[int]] = [[] for _ in range(n_locations)]
+        self._idx = [0] * n_locations
+        self._closed = [False] * n_locations
+        self._finished = False
+
+    def _region(self, rid: int) -> str:
+        try:
+            return self._regions.name(rid)
+        except IndexError:
+            return f"<region {rid}>"
+
+    def feed(self, loc: int, ev) -> None:
+        """Check one event of location ``loc`` (events per location in order)."""
+        cap = self._cap
+        region = self._region
+        i = self._idx[loc]
+        self._idx[loc] = i + 1
+        prev_t = self._prev_t[loc]
+        if ev.t < prev_t - 1e-15:
+            cap.add(Diagnostic(
+                "TRC001",
+                f"event #{i} ({region(ev.region)}) at t={ev.t:.9g} "
+                f"after t={prev_t:.9g}",
+                location=loc,
+            ))
+        self._prev_t[loc] = max(prev_t, ev.t)
+        et = ev.etype
+        stack = self._stack[loc]
+        if et == ENTER:
+            stack.append(ev.region)
+        elif et == LEAVE:
+            if not stack:
+                cap.add(Diagnostic(
+                    "TRC006",
+                    f"LEAVE {region(ev.region)} (event #{i}) with no "
+                    "open ENTER",
+                    location=loc,
+                ))
+            elif stack[-1] != ev.region:
+                cap.add(Diagnostic(
+                    "TRC006",
+                    f"LEAVE {region(ev.region)} (event #{i}) closes "
+                    f"ENTER {region(stack[-1])}",
+                    location=loc,
+                ))
+                stack.pop()
+            else:
+                stack.pop()
+        elif et == MPI_SEND:
+            mid = ev.aux[0]
+            if mid in self._sends:
+                cap.add(Diagnostic(
+                    "TRC002",
+                    f"duplicate MPI_SEND for match id {mid} (also on "
+                    f"location {self._sends[mid]})",
+                    location=loc,
+                ))
+            self._sends[mid] = loc
+        elif et == MPI_RECV:
+            mid = ev.aux
+            if mid in self._recvs:
+                cap.add(Diagnostic(
+                    "TRC002",
+                    f"duplicate MPI_RECV for match id {mid} (also on "
+                    f"location {self._recvs[mid]})",
+                    location=loc,
+                ))
+            self._recvs[mid] = loc
+        elif et == COLL_END or et == OBAR_LEAVE:
+            gid, size = ev.aux
+            key = ("coll" if et == COLL_END else "obar", gid)
+            self._groups.setdefault(key, []).append((loc, ev.t))
+            if self._group_size.setdefault(key, size) != size:
+                cap.add(Diagnostic(
+                    "TRC007",
+                    f"{key[0]} instance {gid}: conflicting group sizes "
+                    f"{self._group_size[key]} and {size}",
+                    location=loc,
+                ))
+        elif et == RESTART:
+            gid, size = ev.aux
+            self._restart_groups.setdefault(gid, []).append((loc, ev.t))
+            if self._restart_size.setdefault(gid, size) != size:
+                cap.add(Diagnostic(
+                    "TRC008",
+                    f"restart {gid}: conflicting group sizes "
+                    f"{self._restart_size[gid]} and {size}",
+                    location=loc,
+                ))
+        elif et == FAULT:
+            self._fault_refs.append((loc, ev.aux))
+        elif et == FORK:
+            self._forks.add(ev.aux)
+        elif et == TEAM_BEGIN:
+            if ev.aux not in self._forks:
+                cap.add(Diagnostic(
+                    "TRC007",
+                    f"TEAM_BEGIN for OpenMP construct {ev.aux} without "
+                    "a FORK on the master",
+                    location=loc,
+                ))
+
+    def end_location(self, loc: int) -> None:
+        """Close location ``loc``: report ENTERs never left (idempotent)."""
+        if self._closed[loc]:
+            return
+        self._closed[loc] = True
+        if self._stack[loc]:
+            self._cap.add(Diagnostic(
+                "TRC006",
+                "ENTER(s) never left: "
+                + " > ".join(self._region(r) for r in self._stack[loc]),
+                location=loc,
+            ))
+
+    def finish(self, suppressed: Optional[Dict[str, int]] = None) -> List[Diagnostic]:
+        """Close all locations, run cross-location checks, return findings."""
+        if self._finished:
+            raise RuntimeError("StructuralPass.finish() called twice")
+        self._finished = True
+        for loc in range(len(self._closed)):
+            self.end_location(loc)
+        cap = self._cap
+        sends, recvs = self._sends, self._recvs
+        groups, group_size = self._groups, self._group_size
+        restart_groups, restart_size = self._restart_groups, self._restart_size
+        fault_refs = self._fault_refs
+        for mid in sorted(set(sends) - set(recvs)):
+            cap.add(Diagnostic(
+                "TRC002",
+                f"MPI_SEND with match id {mid} has no MPI_RECV (dropped "
+                "receive record?)",
+                location=sends[mid],
+            ))
+        for mid in sorted(set(recvs) - set(sends)):
+            cap.add(Diagnostic(
+                "TRC002",
+                f"MPI_RECV with match id {mid} has no MPI_SEND (dropped send "
+                "record?)",
+                location=recvs[mid],
+            ))
+
+        for key in sorted(groups):
+            kind, gid = key
+            members = groups[key]
+            size = group_size[key]
+            if len(members) != size:
+                cap.add(Diagnostic(
+                    "TRC007",
+                    f"{kind} instance {gid} has {len(members)} member event(s) "
+                    f"but group size {size}",
+                    location=members[0][0],
+                ))
+                continue
+            ts = [t for (_loc, t) in members]
+            lo, hi = min(ts), max(ts)
+            if hi - lo > _REL_TOL * max(1.0, abs(hi)):
+                cap.add(Diagnostic(
+                    "TRC004",
+                    f"{kind} instance {gid}: physical completion times spread "
+                    f"over [{lo:.9g}, {hi:.9g}]",
+                    location=members[0][0],
+                ))
+
+        for gid in sorted(restart_groups):
+            members = restart_groups[gid]
+            size = restart_size[gid]
+            if len(members) != size:
+                cap.add(Diagnostic(
+                    "TRC008",
+                    f"restart {gid} has {len(members)} record(s) but "
+                    f"{size} rank(s)",
+                    location=members[0][0],
+                ))
+                continue
+            ts = [t for (_loc, t) in members]
+            lo, hi = min(ts), max(ts)
+            if hi - lo > _REL_TOL * max(1.0, abs(hi)):
+                cap.add(Diagnostic(
+                    "TRC008",
+                    f"restart {gid}: resume times spread over "
+                    f"[{lo:.9g}, {hi:.9g}] instead of one common time",
+                    location=members[0][0],
+                ))
+
+        for loc, mid in fault_refs:
+            if mid not in recvs:
+                cap.add(Diagnostic(
+                    "TRC009",
+                    f"FAULT marker references message {mid} which has no "
+                    "receive record",
+                    location=loc,
+                ))
+        if suppressed is not None:
+            for rule_id, n in cap.suppressed.items():
+                suppressed[rule_id] = suppressed.get(rule_id, 0) + n
+        return cap.finish()
+
+
 def sanitize_raw(
     trace: RawTrace,
     suppressed: Optional[Dict[str, int]] = None,
@@ -146,186 +370,35 @@ def sanitize_raw(
     ``suppressed``, when given, accumulates per-rule counts of findings
     dropped beyond the per-rule cap.
     """
-    cap = _Capped()
-    sends: Dict[int, int] = {}  # match id -> send location
-    recvs: Dict[int, int] = {}
-    groups: Dict[Tuple[str, int], List[Tuple[int, float]]] = {}
-    group_size: Dict[Tuple[str, int], int] = {}
-    forks: Set[int] = set()
-    restart_groups: Dict[int, List[Tuple[int, float]]] = {}
-    restart_size: Dict[int, int] = {}
-    fault_refs: List[Tuple[int, int]] = []  # (location, referenced match id)
-
-    def region(rid: int) -> str:
-        try:
-            return trace.regions.name(rid)
-        except IndexError:
-            return f"<region {rid}>"
-
+    p = StructuralPass(trace.regions, trace.n_locations)
     for loc, evs in enumerate(trace.events):
-        prev_t = -float("inf")
-        stack: List[int] = []
-        for i, ev in enumerate(evs):
-            if ev.t < prev_t - 1e-15:
-                cap.add(Diagnostic(
-                    "TRC001",
-                    f"event #{i} ({region(ev.region)}) at t={ev.t:.9g} "
-                    f"after t={prev_t:.9g}",
-                    location=loc,
-                ))
-            prev_t = max(prev_t, ev.t)
-            et = ev.etype
-            if et == ENTER:
-                stack.append(ev.region)
-            elif et == LEAVE:
-                if not stack:
-                    cap.add(Diagnostic(
-                        "TRC006",
-                        f"LEAVE {region(ev.region)} (event #{i}) with no "
-                        "open ENTER",
-                        location=loc,
-                    ))
-                elif stack[-1] != ev.region:
-                    cap.add(Diagnostic(
-                        "TRC006",
-                        f"LEAVE {region(ev.region)} (event #{i}) closes "
-                        f"ENTER {region(stack[-1])}",
-                        location=loc,
-                    ))
-                    stack.pop()
-                else:
-                    stack.pop()
-            elif et == MPI_SEND:
-                mid = ev.aux[0]
-                if mid in sends:
-                    cap.add(Diagnostic(
-                        "TRC002",
-                        f"duplicate MPI_SEND for match id {mid} (also on "
-                        f"location {sends[mid]})",
-                        location=loc,
-                    ))
-                sends[mid] = loc
-            elif et == MPI_RECV:
-                mid = ev.aux
-                if mid in recvs:
-                    cap.add(Diagnostic(
-                        "TRC002",
-                        f"duplicate MPI_RECV for match id {mid} (also on "
-                        f"location {recvs[mid]})",
-                        location=loc,
-                    ))
-                recvs[mid] = loc
-            elif et == COLL_END or et == OBAR_LEAVE:
-                gid, size = ev.aux
-                key = ("coll" if et == COLL_END else "obar", gid)
-                groups.setdefault(key, []).append((loc, ev.t))
-                if group_size.setdefault(key, size) != size:
-                    cap.add(Diagnostic(
-                        "TRC007",
-                        f"{key[0]} instance {gid}: conflicting group sizes "
-                        f"{group_size[key]} and {size}",
-                        location=loc,
-                    ))
-            elif et == RESTART:
-                gid, size = ev.aux
-                restart_groups.setdefault(gid, []).append((loc, ev.t))
-                if restart_size.setdefault(gid, size) != size:
-                    cap.add(Diagnostic(
-                        "TRC008",
-                        f"restart {gid}: conflicting group sizes "
-                        f"{restart_size[gid]} and {size}",
-                        location=loc,
-                    ))
-            elif et == FAULT:
-                fault_refs.append((loc, ev.aux))
-            elif et == FORK:
-                forks.add(ev.aux)
-            elif et == TEAM_BEGIN:
-                if ev.aux not in forks:
-                    cap.add(Diagnostic(
-                        "TRC007",
-                        f"TEAM_BEGIN for OpenMP construct {ev.aux} without "
-                        "a FORK on the master",
-                        location=loc,
-                    ))
-        if stack:
-            cap.add(Diagnostic(
-                "TRC006",
-                "ENTER(s) never left: "
-                + " > ".join(region(r) for r in stack),
-                location=loc,
-            ))
+        feed = p.feed
+        for ev in evs:
+            feed(loc, ev)
+        p.end_location(loc)
+    return p.finish(suppressed)
 
-    for mid in sorted(set(sends) - set(recvs)):
-        cap.add(Diagnostic(
-            "TRC002",
-            f"MPI_SEND with match id {mid} has no MPI_RECV (dropped "
-            "receive record?)",
-            location=sends[mid],
-        ))
-    for mid in sorted(set(recvs) - set(sends)):
-        cap.add(Diagnostic(
-            "TRC002",
-            f"MPI_RECV with match id {mid} has no MPI_SEND (dropped send "
-            "record?)",
-            location=recvs[mid],
-        ))
 
-    for key in sorted(groups):
-        kind, gid = key
-        members = groups[key]
-        size = group_size[key]
-        if len(members) != size:
-            cap.add(Diagnostic(
-                "TRC007",
-                f"{kind} instance {gid} has {len(members)} member event(s) "
-                f"but group size {size}",
-                location=members[0][0],
-            ))
-            continue
-        ts = [t for (_loc, t) in members]
-        lo, hi = min(ts), max(ts)
-        if hi - lo > _REL_TOL * max(1.0, abs(hi)):
-            cap.add(Diagnostic(
-                "TRC004",
-                f"{kind} instance {gid}: physical completion times spread "
-                f"over [{lo:.9g}, {hi:.9g}]",
-                location=members[0][0],
-            ))
+def sanitize_stream(
+    trace_like,
+    suppressed: Optional[Dict[str, int]] = None,
+) -> List[Diagnostic]:
+    """Structural checks over any trace-like object via its ``merged()``
+    iterator -- the bounded-memory entry point for sharded archives.
 
-    for gid in sorted(restart_groups):
-        members = restart_groups[gid]
-        size = restart_size[gid]
-        if len(members) != size:
-            cap.add(Diagnostic(
-                "TRC008",
-                f"restart {gid} has {len(members)} record(s) but "
-                f"{size} rank(s)",
-                location=members[0][0],
-            ))
-            continue
-        ts = [t for (_loc, t) in members]
-        lo, hi = min(ts), max(ts)
-        if hi - lo > _REL_TOL * max(1.0, abs(hi)):
-            cap.add(Diagnostic(
-                "TRC008",
-                f"restart {gid}: resume times spread over "
-                f"[{lo:.9g}, {hi:.9g}] instead of one common time",
-                location=members[0][0],
-            ))
-
-    for loc, mid in fault_refs:
-        if mid not in recvs:
-            cap.add(Diagnostic(
-                "TRC009",
-                f"FAULT marker references message {mid} which has no "
-                "receive record",
-                location=loc,
-            ))
-    if suppressed is not None:
-        for rule_id, n in cap.suppressed.items():
-            suppressed[rule_id] = suppressed.get(rule_id, 0) + n
-    return cap.finish()
+    Accepts anything exposing ``regions``, ``n_locations`` and
+    ``merged()`` (:class:`~repro.measure.trace.RawTrace`,
+    :class:`~repro.measure.shards.ShardedTrace`).  Findings are identical
+    to :func:`sanitize_raw` up to diagnostic order (compare sorted, or
+    via :class:`SanitizeReport` fingerprints, when the per-rule cap may
+    bite -- the cap keeps the *first* findings seen, and merged order
+    interleaves locations).
+    """
+    p = StructuralPass(trace_like.regions, trace_like.n_locations)
+    feed = p.feed
+    for loc, ev in trace_like.merged():
+        feed(loc, ev)
+    return p.finish(suppressed)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,165 @@
+"""Bit-identity of the vectorized engine hot path against the legacy walk.
+
+The vectorized drain (:class:`repro.sim.engine.EngineConfig`
+``vectorized=True``, the default) must be indistinguishable from the
+legacy heapq walk at every observable layer: the raw event stream
+(timestamps bit-for-bit, deltas, aux payloads), the sanitizer report,
+the logical-clock replays of all six modes, and the wait-state analysis
+profile ("score") cells.  The grid below covers the three mini-apps,
+multiple noise seeds, wildcard receives (timing-dependent matching) and
+checkpoint/restart recovery under injected faults.
+"""
+
+import pytest
+
+from repro.analysis import analyze_trace
+from repro.clocks import timestamp_trace
+from repro.experiments.faultsweep import (
+    CheckpointedRing,
+    default_fault_config,
+    trace_fingerprint,
+)
+from repro.machine import small_test_cluster
+from repro.machine.faults import FaultModel
+from repro.machine.noise import NoiseConfig, NoiseModel
+from repro.measure import Measurement
+from repro.measure.config import MODES
+from repro.miniapps import MiniFE, MiniFEConfig
+from repro.miniapps.lulesh import Lulesh, LuleshConfig
+from repro.miniapps.tealeaf import TeaLeaf, TeaLeafConfig
+from repro.sim import (
+    ANY_SOURCE,
+    Compute,
+    CostModel,
+    Engine,
+    Enter,
+    Irecv,
+    KernelSpec,
+    Leave,
+    Program,
+    Recv,
+    Send,
+    Wait,
+    run_with_recovery,
+)
+from repro.sim.engine import EngineConfig
+from repro.verify import sanitize_raw
+
+K = KernelSpec.balanced("k", flops_per_unit=1e5, bytes_per_unit=0.0,
+                        memory_scope="none")
+
+_APPS = {
+    "minife": lambda: MiniFE(MiniFEConfig.tiny(nx=48, cg_iters=3)),
+    "lulesh": lambda: Lulesh(LuleshConfig.tiny(steps=2)),
+    "tealeaf": lambda: TeaLeaf(TeaLeafConfig.tiny()),
+}
+
+
+def _run(make_program, seed, vectorized, mode="tsc"):
+    cluster = small_test_cluster(cores_per_numa=8, numa_per_socket=2)
+    cost = CostModel(cluster, noise=NoiseModel(NoiseConfig(), seed=seed))
+    return Engine(make_program(), cluster, cost,
+                  measurement=Measurement(mode),
+                  config=EngineConfig(vectorized=vectorized)).run().trace
+
+
+def _sig(trace):
+    """Full byte-level signature of the raw event stream."""
+    out = []
+    for evs in trace.events:
+        for ev in evs:
+            d = ev.delta
+            out.append((ev.etype, ev.region, ev.t.hex(), ev.aux,
+                        ev.t_enter.hex(), d.omp_iters, d.bb, d.stmt,
+                        d.instr, d.burst_calls, d.omp_calls))
+    return out
+
+
+def _sanitize_fp(trace):
+    return sorted((d.rule_id, d.severity, d.message, d.location)
+                  for d in sanitize_raw(trace))
+
+
+def _score_fp(trace, mode):
+    """All wait-state analysis cells: (metric, callpath id, loc) -> bits."""
+    prof = analyze_trace(timestamp_trace(trace, mode))
+    return sorted(
+        (metric, cpid, loc, value.hex())
+        for metric in prof.metrics
+        for (cpid, loc), value in prof.cells(metric).items()
+    )
+
+
+def _assert_equivalent(make_program, seed, modes=MODES):
+    legacy = _run(make_program, seed, vectorized=False)
+    vector = _run(make_program, seed, vectorized=True)
+    assert _sig(legacy) == _sig(vector)
+    assert _sanitize_fp(legacy) == _sanitize_fp(vector)
+    for mode in modes:
+        fp_l = trace_fingerprint(timestamp_trace(legacy, mode))
+        fp_v = trace_fingerprint(timestamp_trace(vector, mode))
+        assert fp_l == fp_v, mode
+        assert _score_fp(legacy, mode) == _score_fp(vector, mode), mode
+
+
+class TestMiniappGrid:
+    @pytest.mark.parametrize("seed", [0, 1])
+    @pytest.mark.parametrize("app", sorted(_APPS))
+    def test_trace_sanitize_scores_identical(self, app, seed):
+        _assert_equivalent(_APPS[app], seed)
+
+
+class _WildcardGather(Program):
+    """Rank 0 drains wildcard receives whose match order is timing-driven."""
+
+    name = "wildcard-gather"
+    n_ranks = 4
+    threads_per_rank = 1
+    phases = ("main",)
+
+    def make_rank(self, ctx):
+        yield Enter("main")
+        if ctx.rank == 0:
+            req = yield Irecv(source=ANY_SOURCE, tag=5)
+            for _ in range(self.n_ranks - 1):
+                src = yield Recv(source=ANY_SOURCE, tag=3)
+                yield Compute(K, 2.0 + src)
+            yield Wait(req)
+        else:
+            # Stagger the sends so noise decides the arrival order.
+            yield Compute(K, 3.0 * ctx.rank)
+            yield Send(dest=0, tag=3, nbytes=1024.0)
+            if ctx.rank == 1:
+                yield Send(dest=0, tag=5, nbytes=64.0)
+        yield Leave("main")
+
+
+class TestWildcardReceive:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_wildcard_matching_identical(self, seed):
+        _assert_equivalent(_WildcardGather, seed, modes=("tsc", "lt1"))
+
+
+class TestRestartRecovery:
+    @pytest.mark.parametrize("fault_seed", [99, 7])
+    def test_recovered_traces_identical(self, fault_seed):
+        def recovered(vectorized):
+            cluster = small_test_cluster()
+            faults = FaultModel(default_fault_config(), seed=fault_seed)
+            cost = lambda: CostModel(cluster,
+                                     noise=NoiseModel(NoiseConfig(), seed=3))
+            outcome = run_with_recovery(
+                CheckpointedRing(), cluster, cost, faults,
+                measurement=Measurement("tsc"),
+                config=EngineConfig(vectorized=vectorized))
+            return outcome
+
+        legacy = recovered(False)
+        vector = recovered(True)
+        assert legacy.n_restarts == vector.n_restarts
+        tl, tv = legacy.result.trace, vector.result.trace
+        assert _sig(tl) == _sig(tv)
+        assert _sanitize_fp(tl) == _sanitize_fp(tv)
+        for mode in MODES:
+            assert (trace_fingerprint(timestamp_trace(tl, mode))
+                    == trace_fingerprint(timestamp_trace(tv, mode))), mode
