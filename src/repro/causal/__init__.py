@@ -1,0 +1,63 @@
+"""repro.causal: causal observability over recorded traces.
+
+The analysis layer (:mod:`repro.analysis`) *reports* wait-states; this
+package explains them.  It builds the happened-before DAG of a trace with
+per-edge cost attribution under any clock mode (:mod:`repro.causal.dag`),
+extracts the critical path and traces every wait interval back through
+the DAG to the originating compute/transfer edges (the blame profile,
+which plugs into :func:`repro.cube.diff.profile_diff`), aligns per-rank
+timelines of different runs against reference markers so physical-timer
+traces become comparable (:mod:`repro.causal.align`), and answers
+what-if questions by re-running the vectorized clock replay over edited
+cost vectors (:mod:`repro.causal.whatif`) -- validated bit-identically
+against a full engine re-simulation for deterministic programs.
+
+See ``docs/causal.md`` for the DAG construction rules, the blame
+semantics and the what-if validity conditions.
+"""
+
+from repro.causal.align import AlignedExport, ClockAligner, collect_markers
+from repro.causal.dag import (
+    BLAME_COMPUTE,
+    BLAME_LEAVES,
+    BLAME_RESIDUAL,
+    BLAME_TRANSFER,
+    CAUSAL_WAIT,
+    CausalDag,
+    blame_profile,
+    build_dag,
+    critical_path_table,
+)
+from repro.causal.whatif import (
+    WhatIfEdit,
+    WhatIfResult,
+    WhatIfValidation,
+    drop_region,
+    run_whatif,
+    scale_rank,
+    scale_region,
+    validate_whatif,
+)
+
+__all__ = [
+    "CausalDag",
+    "build_dag",
+    "blame_profile",
+    "critical_path_table",
+    "BLAME_COMPUTE",
+    "BLAME_TRANSFER",
+    "BLAME_RESIDUAL",
+    "BLAME_LEAVES",
+    "CAUSAL_WAIT",
+    "ClockAligner",
+    "AlignedExport",
+    "collect_markers",
+    "WhatIfEdit",
+    "WhatIfResult",
+    "WhatIfValidation",
+    "run_whatif",
+    "validate_whatif",
+    "scale_region",
+    "scale_rank",
+    "drop_region",
+]

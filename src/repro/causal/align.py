@@ -1,0 +1,144 @@
+"""Cross-rank / cross-run timeline alignment against reference markers.
+
+Physical-timer traces of the same program under different noise seeds
+drift apart: identical logical progress lands at different wall-clock
+offsets, so overlaying two Perfetto timelines compares nothing.  The
+:class:`ClockAligner` (after byteprofile-analysis's aligner) uses the
+program's own global synchronisation points as **reference markers** --
+collective completions and restart barriers, which every rank passes in
+the same order -- and warps each location's timeline piecewise-linearly
+so the k-th marker of the aligned trace lands exactly on the k-th marker
+of the reference trace.  Between markers, time is interpolated; outside
+the marker range, the edge offset is applied.  Logical-mode traces need
+no alignment (they are bit-identical across seeds); the aligner maps
+them through unchanged when their markers already coincide.
+
+Markers are matched by *occurrence index per location*, which is exactly
+the noise-invariant coordinate system the paper's logical timers induce:
+the program structure pins which collective is "the k-th", regardless of
+when it happened physically.
+
+The aligned trace exports to Chrome trace-event JSON through
+:func:`repro.obs.export.write_trace_chrome` (streamed, so ``.shards``
+archives align with bounded memory); each aligned run gets its own pid
+namespace so Perfetto shows the runs side by side on one clock.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.events import COLL_END, RESTART
+
+__all__ = ["MARKER_KINDS", "collect_markers", "ClockAligner", "AlignedExport"]
+
+#: event kinds usable as global reference markers: every participant
+#: records them at the common completion time, in program order
+MARKER_KINDS = (COLL_END, RESTART)
+
+
+def collect_markers(trace_like) -> Dict[int, List[float]]:
+    """Per-location marker timestamps, in occurrence order (streamed)."""
+    markers: Dict[int, List[float]] = {}
+    for loc, ev in trace_like.merged():
+        if ev.etype in MARKER_KINDS:
+            markers.setdefault(loc, []).append(ev.t)
+    return markers
+
+
+def _piecewise_map(xs: List[float], fs: List[float]) -> Optional[Callable[[float], float]]:
+    """Monotone piecewise-linear map sending ``xs[k] -> fs[k]``."""
+    k = min(len(xs), len(fs))
+    if k == 0:
+        return None
+    xs, fs = xs[:k], fs[:k]
+    if k == 1:
+        off = fs[0] - xs[0]
+        return lambda t: t + off
+    lo_off = fs[0] - xs[0]
+    hi_off = fs[-1] - xs[-1]
+
+    def mapped(t: float) -> float:
+        if t <= xs[0]:
+            return t + lo_off
+        if t >= xs[-1]:
+            return t + hi_off
+        j = bisect_right(xs, t)
+        x0, x1 = xs[j - 1], xs[j]
+        f0, f1 = fs[j - 1], fs[j]
+        if x1 == x0:
+            return f1
+        return f0 + (t - x0) * (f1 - f0) / (x1 - x0)
+
+    return mapped
+
+
+class AlignedExport:
+    """A trace plus the per-location time warp aligning it to a reference.
+
+    ``map_t(loc, t)`` is the warped timestamp; pass the pair to
+    :func:`repro.obs.export.write_trace_chrome`.
+    """
+
+    def __init__(self, trace_like, maps: Dict[int, Callable[[float], float]],
+                 label: str = ""):
+        self.trace = trace_like
+        self._maps = maps
+        self.label = label
+
+    def map_t(self, loc: int, t: float) -> float:
+        m = self._maps.get(loc)
+        return m(t) if m is not None else t
+
+
+class ClockAligner:
+    """Aligns other runs' timelines onto a reference run's markers."""
+
+    def __init__(self, reference):
+        self.ref_markers = collect_markers(reference)
+
+    def n_markers(self) -> int:
+        return max((len(v) for v in self.ref_markers.values()), default=0)
+
+    def align(self, other, label: str = "") -> AlignedExport:
+        """Build the marker-matched time warp for ``other``.
+
+        Locations absent from the reference, or without any common
+        marker, pass through unchanged.
+        """
+        maps: Dict[int, Callable[[float], float]] = {}
+        for loc, xs in collect_markers(other).items():
+            fs = self.ref_markers.get(loc)
+            if not fs:
+                continue
+            m = _piecewise_map(xs, fs)
+            if m is not None:
+                maps[loc] = m
+        return AlignedExport(other, maps, label=label)
+
+    def residual_skew(self, aligned: AlignedExport) -> float:
+        """Worst marker misalignment *after* warping (0 up to float error).
+
+        A sanity measure for reports: markers shared with the reference
+        land exactly; the residual only reflects markers beyond the
+        common prefix."""
+        worst = 0.0
+        for loc, xs in collect_markers(aligned.trace).items():
+            fs = self.ref_markers.get(loc)
+            if not fs:
+                continue
+            for k in range(min(len(xs), len(fs))):
+                worst = max(worst, abs(aligned.map_t(loc, xs[k]) - fs[k]))
+        return worst
+
+    def raw_skew(self, other) -> float:
+        """Worst marker offset *before* alignment (the drift being fixed)."""
+        worst = 0.0
+        for loc, xs in collect_markers(other).items():
+            fs = self.ref_markers.get(loc)
+            if not fs:
+                continue
+            for k in range(min(len(xs), len(fs))):
+                worst = max(worst, abs(xs[k] - fs[k]))
+        return worst

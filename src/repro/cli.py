@@ -14,6 +14,9 @@
 * ``repro-faults``   -- run the fault sweep: fixed fault realization,
   varying noise, checks the logical timers' bit-identity (see
   ``docs/robustness.md``).
+* ``repro-causal``   -- causal profiler: critical path + wait-state blame,
+  cross-run trace alignment, what-if replay, delay propagation (see
+  ``docs/causal.md``).
 """
 
 from __future__ import annotations
@@ -23,7 +26,7 @@ import sys
 from typing import List, Optional
 
 __all__ = ["main_run", "main_analyze", "main_score", "main_report", "main_lint",
-           "main_bench", "main_obs", "main_faults"]
+           "main_bench", "main_obs", "main_faults", "main_causal"]
 
 
 def main_run(argv: Optional[List[str]] = None) -> int:
@@ -539,7 +542,9 @@ def main_obs(argv: Optional[List[str]] = None) -> int:
     p_sum = sub.add_parser("summary", help="per-experiment counters + span table")
     p_sum.add_argument("archive")
     p_exp = sub.add_parser("export", help="convert an archive for other tools")
-    p_exp.add_argument("archive")
+    p_exp.add_argument("archive",
+                       help="obs archive, or a .shards trace archive "
+                            "(streams with --chrome)")
     p_exp.add_argument("--chrome", action="store_true",
                        help="write Chrome trace-event JSON (Perfetto)")
     p_exp.add_argument("-o", "--output", default=None,
@@ -553,6 +558,21 @@ def main_obs(argv: Optional[List[str]] = None) -> int:
         print(obs.summary_text(obs.load_archive(args.archive)))
         return 0
     if args.cmd == "export":
+        if args.archive.endswith(".shards"):
+            # an engine-trace shard archive, not an obs archive: stream
+            # it shard-at-a-time into Chrome trace events
+            if not args.chrome:
+                parser.error(f"{args.archive}: shard archives only export "
+                             "with --chrome")
+            from repro.measure.shards import open_sharded_trace
+
+            sharded = open_sharded_trace(args.archive)
+            out = args.output or args.archive + ".chrome.json"
+            n = obs.write_trace_chrome(out, [obs.trace_chrome_events(sharded)])
+            print(f"chrome trace written to {out} ({n} events, peak "
+                  f"{sharded.stats.peak_resident_rows} resident rows; "
+                  "open in ui.perfetto.dev)")
+            return 0
         doc = obs.load_archive(args.archive)
         if args.chrome:
             out = args.output or args.archive + ".chrome.json"
@@ -627,6 +647,243 @@ def main_faults(argv: Optional[List[str]] = None) -> int:
     )
     print(result.report())
     ok = result.deterministic_ok and result.certificate_ok is not False
+    return 0 if ok else 1
+
+
+def _load_trace_like(path: str):
+    """Open a trace archive: ``.shards`` streams, ``.json.gz`` loads."""
+    if str(path).endswith(".shards"):
+        from repro.measure.shards import open_sharded_trace
+
+        return open_sharded_trace(path)
+    from repro.measure import read_trace
+
+    return read_trace(path)
+
+
+def main_causal(argv: Optional[List[str]] = None) -> int:
+    """Causal profiler over recorded traces.
+
+    ``repro-causal blame TRACE`` builds the happened-before DAG, extracts
+    the critical path and attributes every wait state back to the
+    compute/transfer edges that caused it (writes a JSON report and
+    optionally a Cube blame profile for ``repro-score``/``cube.diff``).
+    ``repro-causal align REF OTHER...`` warps other runs' timelines onto
+    the reference run's collective markers and streams one overlaid
+    Chrome trace (Perfetto-loadable).  ``repro-causal whatif TRACE
+    --scale REGION=F ...`` predicts the edited run's logical timeline,
+    optionally validated bit-for-bit against a full engine
+    re-simulation.  ``repro-causal delayprop`` runs the delay
+    propagation/decay experiment (Afzal/Hager/Wellein wavefront).  See
+    ``docs/causal.md``.
+    """
+    import json as _json
+
+    parser = argparse.ArgumentParser(prog="repro-causal",
+                                     description=main_causal.__doc__)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p_blame = sub.add_parser("blame", help="critical path + wait-state blame")
+    p_blame.add_argument("trace", help="trace archive (.json.gz or .shards)")
+    p_blame.add_argument("--mode", default=None,
+                         help="clock mode (default: the trace's own)")
+    p_blame.add_argument("--counter-seed", type=int, default=0)
+    p_blame.add_argument("--top", type=int, default=10,
+                         help="critical-path rows to print (default: %(default)s)")
+    p_blame.add_argument("-o", "--output", default=None,
+                         help="JSON report path (default: TRACE.blame.json)")
+    p_blame.add_argument("--profile", default=None,
+                         help="also write the Cube blame profile here")
+
+    p_align = sub.add_parser("align", help="overlay runs on one timeline")
+    p_align.add_argument("reference", help="reference trace archive")
+    p_align.add_argument("others", nargs="+", help="trace archives to align")
+    p_align.add_argument("-o", "--output", default="aligned.chrome.json",
+                         help="Chrome trace output (default: %(default)s)")
+
+    p_what = sub.add_parser("whatif", help="edited-cost replay prediction")
+    p_what.add_argument("trace", help="trace archive (.json.gz or .shards)")
+    p_what.add_argument("--mode", default=None,
+                        help="replay mode (default: the trace's own; must be "
+                             "a deterministic logical mode)")
+    p_what.add_argument("--scale", action="append", default=[],
+                        metavar="REGION=FACTOR",
+                        help="scale a region's work (repeatable)")
+    p_what.add_argument("--scale-rank", action="append", default=[],
+                        metavar="RANK=FACTOR",
+                        help="scale a whole rank's work (repeatable)")
+    p_what.add_argument("--drop", action="append", default=[], metavar="REGION",
+                        help="drop a region's work entirely (repeatable)")
+    p_what.add_argument("--validate", default=None, metavar="EXPERIMENT",
+                        help="validate against a fresh engine run of this "
+                             "experiment configuration")
+    p_what.add_argument("--seed", type=int, default=0,
+                        help="noise seed of the validation re-run")
+    p_what.add_argument("-o", "--output", default=None,
+                        help="JSON result path (default: print only)")
+
+    p_dp = sub.add_parser("delayprop", help="delay propagation/decay study")
+    p_dp.add_argument("--mode", default="ltbb")
+    p_dp.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3])
+    p_dp.add_argument("--iters", type=int, default=10)
+    p_dp.add_argument("--delay-rank", type=int, default=0)
+    p_dp.add_argument("--delay-iter", type=int, default=2)
+    p_dp.add_argument("--delay-units", type=float, default=200.0)
+    p_dp.add_argument("--no-whatif", action="store_true",
+                      help="skip the drop-region what-if cross-check")
+    p_dp.add_argument("-o", "--output", default=None,
+                      help="JSON result path (default: print only)")
+    args = parser.parse_args(argv)
+
+    if args.cmd == "blame":
+        from repro.causal import blame_profile, build_dag, critical_path_table
+        from repro.cube import write_profile
+
+        trace = _load_trace_like(args.trace)
+        dag = build_dag(trace, args.mode, counter_seed=args.counter_seed)
+        prof = blame_profile(dag)
+        cp = dag.critical_path()
+        print(f"mode {dag.mode}: {dag.n_events} events, {dag.n_nodes} sync "
+              f"nodes, makespan {dag.makespan:g}, total wait "
+              f"{dag.total_wait():g}")
+        print(f"critical path: {len(cp)} nodes, fingerprint "
+              f"{dag.critical_path_fingerprint()[:16]}")
+        rows = critical_path_table(dag, top=args.top)
+        if rows:
+            width = max(len(r[0]) for r in rows)
+            print(f"{'call path':<{width}}  {'hops':>5}  "
+                  f"{'work':>12}  {'wait':>12}")
+            for path, hops, work, wait in rows:
+                print(f"{path:<{width}}  {hops:>5}  {work:>12g}  {wait:>12g}")
+        report = {
+            "trace": args.trace,
+            "mode": dag.mode,
+            "makespan": dag.makespan,
+            "total_wait": dag.total_wait(),
+            "critical_path_len": len(cp),
+            "critical_path_fingerprint": dag.critical_path_fingerprint(),
+            "rows": [{"path": p, "hops": h, "work": wk, "wait": wt}
+                     for p, h, wk, wt in rows],
+            "blame": {
+                metric: sum(prof.cells(metric).values())
+                for metric in prof.metrics
+            },
+        }
+        out = args.output or args.trace + ".blame.json"
+        with open(out, "w") as fh:
+            _json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"blame report written to {out}")
+        if args.profile:
+            write_profile(prof, args.profile)
+            print(f"blame profile written to {args.profile}")
+        return 0
+
+    if args.cmd == "align":
+        from repro.causal import ClockAligner
+        from repro.obs import trace_chrome_events, write_trace_chrome
+
+        reference = _load_trace_like(args.reference)
+        aligner = ClockAligner(reference)
+        if aligner.n_markers() == 0:
+            parser.error(f"{args.reference}: no alignment markers "
+                         "(collectives/restarts) in the reference trace")
+        exports = [trace_chrome_events(reference, label="ref")]
+        pid_stride = max(r for r, _t in reference.locations) + 1
+        for k, path in enumerate(args.others):
+            other = _load_trace_like(path)
+            aligned = aligner.align(other, label=f"run{k + 1}")
+            print(f"{path}: raw skew {aligner.raw_skew(other):g} -> residual "
+                  f"{aligner.residual_skew(aligned):g} "
+                  f"({len(aligner.ref_markers)} marker locations)")
+            exports.append(trace_chrome_events(
+                aligned.trace, map_t=aligned.map_t,
+                pid_offset=(k + 1) * pid_stride, label=aligned.label))
+        n = write_trace_chrome(args.output, exports)
+        print(f"{n} events written to {args.output} (open in ui.perfetto.dev)")
+        return 0
+
+    if args.cmd == "whatif":
+        from repro.causal import (
+            drop_region,
+            run_whatif,
+            scale_rank,
+            scale_region,
+            validate_whatif,
+        )
+
+        edits = []
+        try:
+            for spec in args.scale:
+                region, _, factor = spec.rpartition("=")
+                edits.append(scale_region(region, float(factor)))
+            for spec in args.scale_rank:
+                rank, _, factor = spec.rpartition("=")
+                edits.append(scale_rank(int(rank), float(factor)))
+        except ValueError as exc:
+            parser.error(f"bad edit spec: {exc}")
+        edits.extend(drop_region(region) for region in args.drop)
+        if not edits:
+            parser.error("no edits given (--scale/--scale-rank/--drop)")
+        trace = _load_trace_like(args.trace)
+        result = run_whatif(trace, edits, args.mode)
+        for e in result.edits:
+            print(f"edit: {e.describe()}")
+        print(f"mode {result.mode}: makespan {result.baseline_makespan:g} -> "
+              f"{result.makespan:g} (speedup {result.speedup:.4g})")
+        doc = result.to_json()
+        if args.validate:
+            from repro.experiments.configs import make_app, make_cluster
+            from repro.machine.noise import NoiseConfig, NoiseModel
+            from repro.measure import Measurement
+            from repro.sim import CostModel, Engine
+
+            def rerun():
+                cluster = make_cluster(args.validate)
+                cost = CostModel(cluster,
+                                 noise=NoiseModel(NoiseConfig(),
+                                                  seed=args.seed))
+                return Engine(make_app(args.validate), cluster, cost,
+                              measurement=Measurement(trace.mode)).run().trace
+
+            v = validate_whatif(result, rerun)
+            doc["validation"] = v.to_json()
+            print(f"engine re-simulation oracle: "
+                  f"{'bit-identical' if v.ok else 'MISMATCH'} "
+                  f"(max |diff| {v.max_abs_diff:g})")
+            if not v.ok:
+                return 1
+        if args.output:
+            with open(args.output, "w") as fh:
+                _json.dump(doc, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"what-if result written to {args.output}")
+        return 0
+
+    # delayprop
+    from repro.experiments.delayprop import run_delay_propagation
+    from repro.measure.config import NOISY_MODES
+
+    result = run_delay_propagation(
+        mode=args.mode,
+        seeds=args.seeds,
+        iters=args.iters,
+        delay_rank=args.delay_rank,
+        delay_iter=args.delay_iter,
+        delay_units=args.delay_units,
+        check_whatif=not args.no_whatif,
+    )
+    print(result.report())
+    if args.output:
+        with open(args.output, "w") as fh:
+            _json.dump(result.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"delayprop result written to {args.output}")
+    ok = True
+    if result.mode not in NOISY_MODES and not result.seed_invariant:
+        ok = False
+    if result.whatif_ok is not None and not all(result.whatif_ok.values()):
+        ok = False
     return 0 if ok else 1
 
 

@@ -73,6 +73,7 @@ def columnar_increments(
     counter_noise: Optional[CounterNoise] = None,
     x_bb: float = X_BB_PER_OMP_CALL,
     y_stmt: float = Y_STMT_PER_OMP_CALL,
+    scales: Optional[List[np.ndarray]] = None,
 ) -> List[np.ndarray]:
     """Per-location clock-increment arrays for a logical mode.
 
@@ -81,9 +82,36 @@ def columnar_increments(
     every element is bit-identical to the per-event callable.  ``lthwctr``
     draws its noise through :meth:`CounterNoise.perturb_many`, which keeps
     the scalar path's per-event draw interleaving.
+
+    ``scales`` (per-location per-event factors, what-if replay --
+    :mod:`repro.causal.whatif`) multiplies every *work-delta field*
+    before the mode formula is applied, as if the program had performed
+    scaled work: a factor of 0 reproduces the increments of a run whose
+    edited kernels did no work at all.  Only the four deterministic
+    static modes support scaling (``lthwctr``'s counter perturbation is
+    magnitude-dependent, so scaled replay would not commute with the
+    noise draw).
     """
+    if scales is not None and mode == LTHWCTR:
+        raise ValueError("what-if scaling is not defined for lthwctr "
+                         "(counter noise is magnitude-dependent)")
     out: List[np.ndarray] = []
     for loc, lc in enumerate(cols.locs):
+        if scales is not None:
+            s = scales[loc]
+            base = 1.0 + 2.0 * (lc.burst_calls * s)
+            if mode == LT1:
+                inc = base
+            elif mode == LTLOOP:
+                inc = base + lc.omp_iters * s
+            elif mode == LTBB:
+                inc = base + lc.bb * s + x_bb * (lc.omp_calls * s)
+            elif mode == LTSTMT:
+                inc = base + lc.stmt * s + y_stmt * (lc.omp_calls * s)
+            else:
+                raise ValueError(f"no increment model for mode {mode!r}")
+            out.append(inc)
+            continue
         base = 1.0 + 2.0 * lc.burst_calls
         if mode == LT1:
             inc = base

@@ -306,6 +306,7 @@ class ShardedTrace:
             stats.rows_streamed += n
             if n > stats.peak_resident_rows:
                 stats.peak_resident_rows = n
+                obs.gauge("io.shards.peak_resident_rows").set(float(n))
             for i in range(n):
                 et = et_l[i]
                 if d0[i] or d1[i] or d2[i] or d3[i] or d4[i] or d5[i]:

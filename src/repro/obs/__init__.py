@@ -24,6 +24,8 @@ from repro.obs.export import (
     span_table,
     summary_text,
     to_chrome,
+    trace_chrome_events,
+    write_trace_chrome,
 )
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
@@ -84,6 +86,8 @@ __all__ = [
     "Span",
     "SpanRecorder",
     "to_chrome",
+    "trace_chrome_events",
+    "write_trace_chrome",
     "span_table",
     "metrics_table",
     "summary_text",

@@ -2,19 +2,27 @@
 
 All functions here operate on the plain-JSON *archive* documents produced
 by :meth:`repro.obs.session.ObsSession.snapshot` (``repro-obs-1``), so
-the ``repro-obs`` CLI can work on saved files without a live session.
+the ``repro-obs`` CLI can work on saved files without a live session --
+plus the streaming **engine-trace** exporter
+(:func:`trace_chrome_events` / :func:`write_trace_chrome`), which turns
+a recorded application trace (``RawTrace`` or out-of-core
+``ShardedTrace``) into the same Chrome trace-event JSON with bounded
+memory, one event at a time.
 """
 
 from __future__ import annotations
 
+import json
 from collections import OrderedDict
-from typing import Dict, List, Mapping, Tuple
+from typing import Callable, Iterator, List, Mapping, Optional, Tuple
 
 __all__ = [
     "to_chrome",
     "span_table",
     "metrics_table",
     "summary_text",
+    "trace_chrome_events",
+    "write_trace_chrome",
     "CHROME_REQUIRED_KEYS",
 ]
 
@@ -69,6 +77,126 @@ def to_chrome(doc: Mapping) -> dict:
         "displayTimeUnit": "ms",
         "otherData": {"format": doc.get("format", "repro-obs-1")},
     }
+
+
+def trace_chrome_events(
+    trace_like,
+    map_t: Optional[Callable[[int, float], float]] = None,
+    pid_offset: int = 0,
+    label: str = "",
+) -> Iterator[dict]:
+    """Yield Chrome trace events for an engine trace, one at a time.
+
+    Consumes ``trace_like.merged()`` -- a ``ShardedTrace`` therefore
+    streams shard-at-a-time with bounded memory.  Region enter/leave
+    pairs become complete (``ph: "X"``) events, call bursts span their
+    aggregated interval, and fault/restart records become instants.
+    ``map_t(loc, t)`` optionally warps timestamps (cross-run alignment,
+    :mod:`repro.causal.align`); ``pid_offset``/``label`` give each
+    exported run its own process namespace so several runs overlay on
+    one Perfetto timeline.
+    """
+    # local imports keep repro.obs importable without the sim package
+    from repro.sim.events import (
+        BURST,
+        ENTER,
+        FAULT,
+        LEAVE,
+        RESTART,
+    )
+
+    regions = trace_like.regions
+    locations = trace_like.locations
+    warp = map_t if map_t is not None else (lambda _loc, t: t)
+
+    for loc, (rank, thread) in enumerate(locations):
+        name = f"rank {rank}"
+        if label:
+            name = f"{label} {name}"
+        yield {"name": "process_name", "ph": "M", "pid": pid_offset + rank,
+               "tid": thread, "ts": 0.0,
+               "args": {"name": name}}
+
+    stacks: List[List[Tuple[int, float]]] = [[] for _ in locations]
+    for loc, ev in trace_like.merged():
+        et = ev.etype
+        if et == ENTER:
+            stacks[loc].append((ev.region, ev.t))
+            continue
+        rank, thread = locations[loc]
+        pid = pid_offset + rank
+        if et == LEAVE:
+            if not stacks[loc]:
+                continue
+            rid, t0 = stacks[loc].pop()
+            w0 = warp(loc, t0)
+            yield {
+                "name": regions.name(rid),
+                "cat": regions.paradigm(rid),
+                "ph": "X",
+                "ts": w0 * 1e6,
+                "dur": (warp(loc, ev.t) - w0) * 1e6,
+                "pid": pid,
+                "tid": thread,
+            }
+        elif et == BURST:
+            w0 = warp(loc, ev.t_enter)
+            yield {
+                "name": regions.name(ev.region),
+                "cat": regions.paradigm(ev.region),
+                "ph": "X",
+                "ts": w0 * 1e6,
+                "dur": (warp(loc, ev.t) - w0) * 1e6,
+                "pid": pid,
+                "tid": thread,
+            }
+        elif et == FAULT or et == RESTART:
+            yield {
+                "name": regions.name(ev.region) if ev.region >= 0
+                else ("RESTART" if et == RESTART else "FAULT"),
+                "cat": "fault",
+                "ph": "i",
+                "ts": warp(loc, ev.t) * 1e6,
+                "s": "g",
+                "pid": pid,
+                "tid": thread,
+            }
+    # unclosed regions (program end inside a region): close at last seen t
+    for loc, stk in enumerate(stacks):
+        rank, thread = locations[loc]
+        while stk:
+            rid, t0 = stk.pop()
+            w0 = warp(loc, t0)
+            yield {
+                "name": regions.name(rid),
+                "cat": regions.paradigm(rid),
+                "ph": "X",
+                "ts": w0 * 1e6,
+                "dur": 0.0,
+                "pid": pid_offset + rank,
+                "tid": thread,
+            }
+
+
+def write_trace_chrome(path, exports) -> int:
+    """Stream one or more trace exports into a Chrome trace JSON file.
+
+    ``exports`` is an iterable of event iterators (e.g. several
+    :func:`trace_chrome_events` calls for aligned runs); events are
+    written incrementally, so the peak memory is one event, not the
+    trace.  Returns the number of events written.
+    """
+    n = 0
+    with open(path, "w") as fh:
+        fh.write('{"traceEvents":[')
+        for events in exports:
+            for ev in events:
+                if n:
+                    fh.write(",")
+                fh.write(json.dumps(ev))
+                n += 1
+        fh.write('],"displayTimeUnit":"ms"}\n')
+    return n
 
 
 def _span_aggregate(spans: List[Mapping]) -> "OrderedDict[str, Tuple[int, float]]":

@@ -390,6 +390,12 @@ class Engine:
         self._c_coll = obs.counter("sim.collectives_completed")
         self._c_blocks = obs.counter("sim.rank_blocks")
         self._h_msg_bytes = obs.histogram("sim.message_bytes")
+        # actions dispatched per scheduler run-slice (SoA queue drain)
+        self._h_drain_batch = obs.histogram(
+            "sim.drain_batch_size",
+            bounds=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0,
+                    512.0, 1024.0),
+        )
         self._c_crashes = obs.counter("faults.crashes")
         self._c_restarts = obs.counter("faults.restarts")
         self._c_ckpts = obs.counter("faults.checkpoints")
@@ -561,6 +567,8 @@ class Engine:
         trace = self.measurement.finish(runtime) if self.measurement is not None else None
         obs.counter("sim.events_emitted").add(self._n_events)
         obs.counter("sim.runs").inc()
+        if self._fast is not None:
+            self._fast.flush_metrics()
         return SimResult(
             runtime=runtime,
             phase_times=phases,
@@ -641,6 +649,7 @@ class Engine:
         rt = self._rank_time
         _PFOR, _COMP, _BURST = A.ParallelFor, A.Compute, A.CallBurst
         _ENTER, _LEAVE = A.Enter, A.Leave
+        observe_batch = self._h_drain_batch.observe
         n_done = 0
         n_steps = 0
         n_stale = 0
@@ -653,6 +662,7 @@ class Engine:
                 nxt = pop()
                 continue
             gen_send = state.gen.send
+            slice_start = n_steps
             while True:
                 # inlined _step_core (sans crash check: none are armed)
                 n_steps += 1
@@ -690,6 +700,7 @@ class Engine:
                     break
                 nxt = pop()
                 break
+            observe_batch(n_steps - slice_start)
         self._c_steps.inc(n_steps)
         self._c_stale.inc(n_stale)
         return n_done
@@ -704,6 +715,7 @@ class Engine:
         pop = q.pop
         peek = q.peek_t
         push = self._push
+        observe_batch = self._h_drain_batch.observe
         n_done = 0
         while True:
             nxt = pop()
@@ -714,8 +726,10 @@ class Engine:
             if state.done or state.blocked or epoch != state.epoch:
                 c_stale.inc()
                 continue
+            n_slice = 0
             while True:
                 c_steps.inc()
+                n_slice += 1
                 res = step(state)
                 if res is _RUNNABLE:
                     if state.t < peek():
@@ -725,6 +739,7 @@ class Engine:
                 if res is _DONE:
                     n_done += 1
                 break
+            observe_batch(n_slice)
         return n_done
 
     def _push(self, state: _RankState) -> None:

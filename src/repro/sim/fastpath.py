@@ -505,6 +505,17 @@ class FastPath:
         self._ev_lists: Optional[List[List[Ev]]] = None
         if measurement is not None and measurement._sanitizer is None:
             self._ev_lists = measurement._events
+        # Dispatch-site cache statistics: plain ints on the hot path
+        # (an obs counter call per dispatch would cost more than the
+        # cached lookup it measures), flushed to the obs registry once
+        # per run by :meth:`flush_metrics`.  Hit levels: ``id`` = the
+        # identity-keyed front cache, ``shared_id`` = the cross-engine
+        # identity index, ``value`` = the hash-keyed per-engine site
+        # dict; a miss builds the site.
+        self._hits_serial = [0, 0, 0]  # id, shared_id, value
+        self._hits_pfor = [0, 0, 0]
+        self._miss_serial = 0
+        self._miss_pfor = 0
 
     # -- noise binding --------------------------------------------------
     def _ln(self, rank: int, thread: int) -> Optional[_LocNoise]:
@@ -603,22 +614,27 @@ class FastPath:
         ik = (state.rank, id(action))
         ent = self._serial_by_id.get(ik)
         if ent is not None:
+            self._hits_serial[0] += 1
             return ent[1]
         ids = self._shared_serial_ids
         if ids is not None:
             sent = ids.get(ik)
             if sent is not None and sent[0] is action:
+                self._hits_serial[1] += 1
                 site = self._bind_serial(sent[1])
                 self._serial_by_id[ik] = (action, site)
                 return site
         key = (state.rank, action)
         site = self._serial.get(key)
         if site is None:
+            self._miss_serial += 1
             st = self._shared_serial_state(key, state, action)
             site = self._bind_serial(st)
             self._serial[key] = site
             if ids is not None and len(ids) < _SHARED_IDS_MAX:
                 ids[ik] = (action, st)
+        else:
+            self._hits_serial[2] += 1
         self._serial_by_id[ik] = (action, site)
         return site
 
@@ -763,17 +779,21 @@ class FastPath:
         if ids is not None:
             sent = ids.get(ik)
             if sent is not None and sent[0] is pf:
+                self._hits_pfor[1] += 1
                 site = self._bind_pfor(sent[1], pf)
                 self._pfor_by_id[ik] = (pf, site)
                 return site
         key = (state.rank, pf)
         site = self._pfor.get(key)
         if site is None:
+            self._miss_pfor += 1
             st = self._shared_pfor_state(key, state, pf)
             site = self._bind_pfor(st, pf)
             self._pfor[key] = site
             if ids is not None and len(ids) < _SHARED_IDS_MAX:
                 ids[ik] = (pf, st)
+        else:
+            self._hits_pfor[2] += 1
         self._pfor_by_id[ik] = (pf, site)
         return site
 
@@ -782,6 +802,7 @@ class FastPath:
         ik = (state.rank, id(pf))
         ent = self._pfor_by_id.get(ik)
         if ent is not None:
+            self._hits_pfor[0] += 1
             site = ent[1]
         else:
             site = self._pfor_site(ik, state, pf)
@@ -902,3 +923,23 @@ class FastPath:
                 self.emit(locs[0],
                           Ev(LEAVE, r_parallel, join_done + site.evc, EMPTY_DELTA))
         state.t = join_done + site.two_evc
+
+    # -- observability --------------------------------------------------
+    def flush_metrics(self) -> None:
+        """Flush the dispatch-site cache statistics to the obs registry.
+
+        Called once at the end of :meth:`Engine._run`; a disabled
+        registry makes this a handful of no-op calls.
+        """
+        from repro import obs
+
+        for kind, hits, misses in (
+            ("serial", self._hits_serial, self._miss_serial),
+            ("pfor", self._hits_pfor, self._miss_pfor),
+        ):
+            for level, n in zip(("id", "shared_id", "value"), hits):
+                if n:
+                    obs.counter("sim.fastpath.site_hits",
+                                kind=kind, level=level).add(n)
+            if misses:
+                obs.counter("sim.fastpath.site_misses", kind=kind).add(misses)
