@@ -1,0 +1,152 @@
+"""Serving smoke: boot the service, drive cold/warm/coalesced load.
+
+Run by the CI ``serve-smoke`` job.  Boots the ``repro-serve`` asyncio
+service on an ephemeral port over a scratch cache, then asserts the
+serving design's load-bearing claims end to end:
+
+* **cold** -- the first request for an experiment computes through the
+  process pool and carries ``X-Repro-Cache: miss``;
+* **warm** -- the repeat answers from the content-addressed cache
+  (``hit``) with bytes identical to the cold response, and the
+  ``serve.jobs_executed`` counter proves the pool was not touched;
+* **coalesced** -- K concurrent requests for one new key execute
+  exactly one computation (``serve.coalesced`` == K-1);
+* **bit-identity** -- the served bytes equal
+  ``serialize_result(run_experiment(...))`` computed directly;
+* **quota** -- a tenant with a tiny bucket gets ``429`` + Retry-After;
+* **analysis** -- an uploaded trace answers blame/replay requests, warm
+  on repeat.
+
+Artifacts left for upload: ``serve_load.json`` (the load report) and
+``serve_metrics.json`` (the service's obs snapshot).
+
+Usage::
+
+    PYTHONPATH=src python examples/serve_smoke.py
+"""
+
+import asyncio
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import obs
+from repro.experiments import configs as C
+from repro.experiments import workflow as W
+from repro.experiments.configs import ExperimentSpec
+
+EXPERIMENT = "Serve-Smoke"
+
+
+def register_experiment():
+    def make():
+        from repro.miniapps.minife import MiniFE, MiniFEConfig
+
+        return MiniFE(MiniFEConfig.tiny(nx=64, n_ranks=4, cg_iters=3,
+                                        init_segments=2))
+
+    C.EXPERIMENTS[EXPERIMENT] = ExperimentSpec(
+        EXPERIMENT, make, nodes=1, reps_ref=1, reps_noisy=1,
+        phases=("init", "solve"))
+
+
+def check(name, ok, detail=""):
+    mark = "ok" if ok else "FAIL"
+    print(f"  [{mark}] {name}" + (f"  ({detail})" if detail else ""))
+    if not ok:
+        raise SystemExit(f"serve smoke failed: {name}")
+
+
+async def main() -> int:
+    from repro.serve.client import ServeClient, format_load_report, run_load
+    from repro.serve.service import AnalysisService, ServeConfig
+
+    tmp = Path(tempfile.mkdtemp(prefix="repro-serve-smoke-"))
+    cache = tmp / "cache"
+    W._CACHE_DIR = cache
+    session = obs.enable()
+
+    service = AnalysisService(ServeConfig(
+        port=0, workers=2, cache_dir=str(cache),
+        tenant_rate=50.0, tenant_burst=100.0))
+    await service.start()
+    print(f"service on 127.0.0.1:{service.port}, store at {cache}")
+    try:
+        # -- cold / warm / coalesced load phases ---------------------------
+        report = await run_load("127.0.0.1", service.port, EXPERIMENT,
+                                seed=0, coalesce=4)
+        print(format_load_report(report))
+        check("cold request computed", report["cold_cache"] == "miss")
+        check("warm request cached", report["warm_cache"] == "hit")
+        check("warm bytes identical to cold", report["warm_identical"])
+        check("coalesced burst all 200",
+              report["coalesce_statuses"] == [200])
+        check("coalesced bytes identical", report["coalesce_identical"])
+
+        jobs = session.metrics.value("serve.jobs_executed",
+                                     kind="experiment")
+        check("exactly one job per unique key", jobs == 2.0,
+              f"jobs_executed={jobs} for 2 unique keys")
+        coalesced = session.metrics.value("serve.coalesced")
+        check("single flight coalesced K-1 clients", coalesced == 3.0,
+              f"coalesced={coalesced}")
+
+        # -- served bytes == direct computation ----------------------------
+        direct = W.run_experiment(EXPERIMENT, seed=0, use_cache=True,
+                                  preflight=False, workers=1)
+        client = ServeClient("127.0.0.1", service.port)
+        served = await client.experiment(EXPERIMENT, 0)
+        check("served bit-identical to run_experiment",
+              served.body == W.serialize_result(direct))
+        check("identity check stayed warm",
+              served.headers.get("x-repro-cache") == "hit")
+
+        # -- quota: a starved tenant gets 429 + Retry-After ----------------
+        service.quotas.rate = 0.5
+        starved = ServeClient("127.0.0.1", service.port, tenant="starved")
+        service.quotas.bucket("starved").tokens = 0.0
+        resp = await starved.experiment(EXPERIMENT, 0)
+        check("starved tenant rejected", resp.status == 429)
+        check("429 carries Retry-After",
+              int(resp.headers.get("retry-after", "0")) >= 1)
+
+        # -- analysis over an uploaded trace -------------------------------
+        from repro.machine import small_test_cluster
+        from repro.machine.noise import NoiseConfig, NoiseModel
+        from repro.measure import Measurement, write_trace
+        from repro.miniapps.minife import MiniFE, MiniFEConfig
+        from repro.sim import CostModel, Engine
+
+        cluster = small_test_cluster(cores_per_numa=4, numa_per_socket=2)
+        cost = CostModel(cluster, noise=NoiseModel(NoiseConfig(), seed=1))
+        trace = Engine(MiniFE(MiniFEConfig.tiny(nx=48, cg_iters=2)),
+                       cluster, cost,
+                       measurement=Measurement("ltbb")).run().trace
+        trace_file = tmp / "smoke.trace.json.gz"
+        write_trace(trace, trace_file)
+        up = await client.upload_trace(trace_file.read_bytes())
+        blame = await client.analyze("blame", up["hash"])
+        check("blame on uploaded trace", blame.status == 200,
+              f"makespan={blame.json().get('makespan'):.3f}")
+        again = await client.analyze("blame", up["hash"])
+        check("repeated analysis warm",
+              again.headers.get("x-repro-cache") == "hit")
+        check("repeated analysis byte-identical", again.body == blame.body)
+
+        # -- artifacts ------------------------------------------------------
+        Path("serve_load.json").write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n")
+        Path("serve_metrics.json").write_text(
+            json.dumps(session.snapshot(), indent=1) + "\n")
+        print("artifacts: serve_load.json serve_metrics.json")
+    finally:
+        await service.stop()
+        obs.disable()
+    print("serve smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    register_experiment()
+    sys.exit(asyncio.run(main()))

@@ -39,6 +39,7 @@ REGRESSION_KEYS: Tuple[Tuple[str, str], ...] = (
     ("replay_lthwctr", "columnar_seconds"),
     ("analyzer", "seconds"),
     ("shards", "stream_seconds"),
+    ("serve", "warm_seconds"),
 )
 
 
@@ -163,6 +164,7 @@ def run_benchmarks(quick: bool = False, workers: int = 2,
 
     results["shards"] = _bench_shards(trace, log, session, repeats)
     results["campaign"] = _bench_campaign(quick, workers, log, session)
+    results["serve"] = _bench_serve(quick, log, session, repeats)
     return {
         "format": "repro-bench-1",
         "quick": quick,
@@ -273,6 +275,92 @@ def _bench_campaign(quick: bool, workers: int, log,
         "parallel_speedup": serial_s / parallel_s,
         "cpu_count": os.cpu_count() or 1,
     }
+
+
+def _bench_serve(quick: bool, log, session: "_obs.ObsSession",
+                 repeats: int) -> Dict:
+    """Request latencies of the analysis service (``repro-serve``).
+
+    Boots the asyncio service on an ephemeral port over a scratch cache
+    and measures the serving funnel's three characteristic latencies:
+    the **cold** request (one pool computation), the **warm** repeat
+    (content-addressed cache, never touches the pool -- this is the
+    gated number: a regression here means the cache read path got
+    slower), and a **coalesced** burst of concurrent identical requests
+    (single flight: one computation however many clients).
+    """
+    import asyncio
+    import shutil
+    import tempfile
+    from pathlib import Path as _Path
+
+    from repro.experiments import configs as C
+    from repro.experiments.configs import ExperimentSpec
+
+    def make():
+        from repro.miniapps.minife import MiniFE, MiniFEConfig
+
+        return MiniFE(MiniFEConfig.tiny(
+            nx=64 if quick else 96, n_ranks=4,
+            cg_iters=4 if quick else 6, init_segments=2))
+
+    name = "Bench-Serve"
+    C.EXPERIMENTS[name] = ExperimentSpec(name, make, nodes=1, reps_ref=1,
+                                         reps_noisy=1,
+                                         phases=("init", "solve"))
+    tmp = _Path(tempfile.mkdtemp(prefix="repro-bench-serve-"))
+    out: Dict = {}
+
+    async def drive():
+        from repro.serve.client import ServeClient
+        from repro.serve.service import AnalysisService, ServeConfig
+
+        service = AnalysisService(ServeConfig(
+            port=0, workers=2, cache_dir=str(tmp / "cache"),
+            tenant_rate=1e6, tenant_burst=1e6))
+        await service.start()
+        try:
+            client = ServeClient("127.0.0.1", service.port)
+            with session.span("bench.serve_cold") as sp:
+                resp = await client.experiment(name, 0)
+            if resp.status != 200:
+                raise RuntimeError(f"serve bench cold request failed "
+                                   f"({resp.status}): {resp.body[:200]!r}")
+            cold_s = sp.duration
+            warm_s = float("inf")
+            for rep in range(max(2 * repeats, 5)):
+                with session.span("bench.serve_warm", rep=rep) as sp:
+                    await client.experiment(name, 0)
+                warm_s = min(warm_s, sp.duration)
+            k = 4
+            with session.span("bench.serve_coalesced") as sp:
+                burst = await asyncio.gather(
+                    *(client.experiment(name, 1) for _ in range(k)))
+            if any(r.status != 200 for r in burst):
+                raise RuntimeError("serve bench coalesced burst failed")
+            out.update({
+                "cold_seconds": cold_s,
+                "warm_seconds": warm_s,
+                "warm_requests_per_sec": 1.0 / warm_s,
+                "coalesce_clients": k,
+                "coalesce_seconds": sp.duration,
+                "cold_over_warm": cold_s / warm_s,
+            })
+        finally:
+            await service.stop()
+
+    try:
+        with _obs.scoped(session):
+            asyncio.run(drive())
+    finally:
+        del C.EXPERIMENTS[name]
+        shutil.rmtree(tmp, ignore_errors=True)
+    log(f"serve:           {out['warm_seconds'] * 1e3:8.2f} ms warm "
+        f"({out['warm_requests_per_sec']:,.0f} req/s, cold "
+        f"{out['cold_seconds'] * 1e3:.2f} ms, "
+        f"{out['cold_over_warm']:.0f}x cold/warm, {out['coalesce_clients']} "
+        f"coalesced in {out['coalesce_seconds'] * 1e3:.2f} ms)")
+    return out
 
 
 def compare_to_baseline(

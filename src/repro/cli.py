@@ -17,6 +17,9 @@
 * ``repro-causal``   -- causal profiler: critical path + wait-state blame,
   cross-run trace alignment, what-if replay, delay propagation (see
   ``docs/causal.md``).
+* ``repro-serve``    -- asyncio analysis service over the shared
+  content-addressed result cache: single-flight coalescing, adaptive
+  batching, backpressure, quotas (see ``docs/serving.md``).
 """
 
 from __future__ import annotations
@@ -26,7 +29,8 @@ import sys
 from typing import List, Optional
 
 __all__ = ["main_run", "main_analyze", "main_score", "main_report", "main_lint",
-           "main_bench", "main_obs", "main_faults", "main_causal"]
+           "main_bench", "main_obs", "main_faults", "main_causal",
+           "main_serve"]
 
 
 def main_run(argv: Optional[List[str]] = None) -> int:
@@ -884,6 +888,73 @@ def main_causal(argv: Optional[List[str]] = None) -> int:
         ok = False
     if result.whatif_ok is not None and not all(result.whatif_ok.values()):
         ok = False
+    return 0 if ok else 1
+
+
+def main_serve(argv: Optional[List[str]] = None) -> int:
+    """Run or exercise the analysis service (see ``docs/serving.md``).
+
+    ``repro-serve run`` boots the asyncio HTTP service over the shared
+    result cache; ``repro-serve load HOST:PORT EXPERIMENT`` drives the
+    cold/warm/coalesced load phases against a running service and
+    prints the latency/identity report.
+    """
+    import asyncio as _asyncio
+    import json as _json
+
+    parser = argparse.ArgumentParser(prog="repro-serve",
+                                     description=main_serve.__doc__)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p_run = sub.add_parser("run", help="boot the service")
+    p_run.add_argument("--host", default="127.0.0.1")
+    p_run.add_argument("--port", type=int, default=8337)
+    p_run.add_argument("--workers", type=int, default=None,
+                       help="pool size (default: REPRO_WORKERS, else 1)")
+    p_run.add_argument("--cache-dir", default=None,
+                       help="store root (default: the workflow cache)")
+    p_run.add_argument("--cache-max-bytes", type=int, default=None,
+                       help="LRU budget (default: REPRO_CACHE_MAX_BYTES)")
+    p_run.add_argument("--queue-limit", type=int, default=64)
+    p_run.add_argument("--tenant-rate", type=float, default=20.0,
+                       help="quota tokens/second per tenant")
+    p_run.add_argument("--tenant-burst", type=float, default=40.0)
+
+    p_load = sub.add_parser("load", help="cold/warm/coalesced load phases")
+    p_load.add_argument("target", help="HOST:PORT of a running service")
+    p_load.add_argument("experiment")
+    p_load.add_argument("--seed", type=int, default=0)
+    p_load.add_argument("--coalesce", type=int, default=4,
+                        help="concurrent clients in the coalesced phase")
+    p_load.add_argument("--json", action="store_true",
+                        help="print the raw report document")
+    args = parser.parse_args(argv)
+
+    if args.cmd == "run":
+        from repro.serve.service import ServeConfig, run_service
+
+        run_service(ServeConfig(
+            host=args.host, port=args.port, workers=args.workers,
+            cache_dir=args.cache_dir, cache_max_bytes=args.cache_max_bytes,
+            queue_limit=args.queue_limit, tenant_rate=args.tenant_rate,
+            tenant_burst=args.tenant_burst,
+        ))
+        return 0
+
+    # load
+    from repro.serve.client import format_load_report, run_load
+
+    host, _sep, port = args.target.rpartition(":")
+    if not host or not port.isdigit():
+        parser.error(f"target must be HOST:PORT, got {args.target!r}")
+    report = _asyncio.run(run_load(host, int(port), args.experiment,
+                                   seed=args.seed, coalesce=args.coalesce))
+    if args.json:
+        print(_json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_load_report(report))
+    ok = report["warm_identical"] and report["coalesce_identical"] \
+        and report["coalesce_statuses"] == [200]
     return 0 if ok else 1
 
 

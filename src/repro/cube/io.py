@@ -16,12 +16,18 @@ from typing import Union
 from repro.cube.profile import CubeProfile
 from repro.cube.systemtree import SystemTree
 
-__all__ = ["write_profile", "read_profile"]
+__all__ = ["write_profile", "read_profile", "profile_doc", "profile_from_doc"]
 
 
-def write_profile(profile: CubeProfile, path: Union[str, Path]) -> None:
-    """Write ``profile`` to ``path`` (gzipped JSON)."""
-    doc = {
+def profile_doc(profile: CubeProfile) -> dict:
+    """JSON document of a profile (the archive body, sans compression).
+
+    Also embedded verbatim in the workflow's canonical result
+    serialization (:func:`repro.experiments.workflow.serialize_result`),
+    so the encoding is value-exact: floats round-trip through JSON
+    ``repr`` bit-for-bit.
+    """
+    return {
         "format": "repro-cube-1",
         "mode": profile.mode,
         "meta": profile.meta,
@@ -34,11 +40,36 @@ def write_profile(profile: CubeProfile, path: Union[str, Path]) -> None:
             for m, cells in ((m, profile.cells(m)) for m in profile.metrics)
         },
     }
+
+
+def profile_from_doc(doc: dict) -> CubeProfile:
+    """Invert :func:`profile_doc`."""
+    if doc.get("format") != "repro-cube-1":
+        raise ValueError("not a repro cube profile document")
+    system = SystemTree(
+        [tuple(lt) for lt in doc["locations"]],
+        {int(k): v for k, v in doc.get("nodes_of_ranks", {}).items()},
+    )
+    profile = CubeProfile(system, doc["time_metrics"], mode=doc["mode"], meta=doc["meta"])
+    # intern callpaths in document order *before* filling severities, so
+    # the rebuilt calltree preserves the original path ordering (a
+    # round-trip is then byte-identical, which the serving layer's
+    # bit-identity guarantee rests on)
+    for p in doc["callpaths"]:
+        profile.calltree.intern(tuple(p))
+    for metric, triples in doc["severities"].items():
+        for cpid, loc, v in triples:
+            profile.add_id(metric, cpid, loc, v)
+    return profile
+
+
+def write_profile(profile: CubeProfile, path: Union[str, Path]) -> None:
+    """Write ``profile`` to ``path`` (gzipped JSON)."""
     from repro.measure.io import atomic_write_bytes
 
     buf = io.BytesIO()
     with gzip.GzipFile(fileobj=buf, mode="wb", mtime=0) as gz:
-        gz.write(json.dumps(doc).encode("utf-8"))
+        gz.write(json.dumps(profile_doc(profile)).encode("utf-8"))
     atomic_write_bytes(path, buf.getvalue())
 
 
@@ -46,15 +77,7 @@ def read_profile(path: Union[str, Path]) -> CubeProfile:
     """Read a profile written by :func:`write_profile`."""
     with gzip.open(Path(path), "rt", encoding="utf-8") as fh:
         doc = json.load(fh)
-    if doc.get("format") != "repro-cube-1":
-        raise ValueError(f"{path}: not a repro cube profile")
-    system = SystemTree(
-        [tuple(lt) for lt in doc["locations"]],
-        {int(k): v for k, v in doc.get("nodes_of_ranks", {}).items()},
-    )
-    profile = CubeProfile(system, doc["time_metrics"], mode=doc["mode"], meta=doc["meta"])
-    paths = [tuple(p) for p in doc["callpaths"]]
-    for metric, triples in doc["severities"].items():
-        for cpid, loc, v in triples:
-            profile.add(metric, paths[cpid], loc, v)
-    return profile
+    try:
+        return profile_from_doc(doc)
+    except ValueError:
+        raise ValueError(f"{path}: not a repro cube profile") from None

@@ -67,11 +67,14 @@ from repro import obs as _obs
 from repro.analysis import analyze_trace
 from repro.clocks import timestamp_trace
 from repro.cube import CubeProfile, read_profile, write_profile
+from repro.cube.io import profile_doc, profile_from_doc
 from repro.experiments.configs import EXPERIMENTS, make_app, make_cluster
 from repro.machine.noise import NoiseConfig, NoiseModel
 from repro.measure import MODES, Measurement
 from repro.measure.config import NOISY_MODES
 from repro.measure.io import atomic_write_text
+from repro.obs.provenance import canonical_json
+from repro.serve.store import ResultStore
 from repro.sim import CostModel, Engine
 from repro.util.rng import stream_seed
 
@@ -82,12 +85,21 @@ __all__ = [
     "preflight_lint",
     "run_experiment",
     "resolve_workers",
+    "cache_key",
+    "cache_store",
+    "serialize_result",
+    "deserialize_result",
+    "result_document",
     "clear_cache",
     "CACHE_VERSION",
+    "RESULT_FORMAT",
 ]
 
 #: bump to invalidate cached results after calibration/code changes
-CACHE_VERSION = 5
+CACHE_VERSION = 6
+
+#: format tag of the canonical served-result serialization
+RESULT_FORMAT = "repro-result-1"
 
 _CACHE_DIR = Path(__file__).resolve().parents[3] / ".results_cache"
 
@@ -376,56 +388,116 @@ def _run_campaign(
     spec = EXPERIMENTS[name]
     with _obs.span("experiment", experiment=name, seed=seed), \
             _obs.labels(experiment=name):
-        cache = _cache_path(name, seed)
-        if use_cache and cache.exists():
-            try:
-                result = _load(cache, name, seed)
-            except Exception:
-                _obs.counter("workflow.cache_corrupt").inc()
-                _quarantine(cache)
-            else:
-                _obs.counter("workflow.cache_hits").inc()
-                if session is not None and result.manifest is not None:
-                    session.add_manifest(result.manifest)
-                return result
-        _obs.counter("workflow.cache_misses").inc()
-
-        if preflight:
-            preflight_lint(name)
-
-        tasks: List[Tuple[str, int]] = [
-            (_REF, rep) for rep in range(spec.reps_ref)
-        ]
-        for mode in MODES:
-            tasks.extend((mode, rep) for rep in range(_reps_for(mode, spec)))
-
-        runs_dir = _runs_dir(name, seed)
-        payloads = {}
+        store = cache_store() if use_cache else None
+        lease = None
         if use_cache:
-            for task in tasks:
-                payload = _load_run(runs_dir, task)
-                if payload is not None:
-                    payloads[task] = payload
-        _obs.counter("workflow.checkpoint_hits").add(len(payloads))
+            store.sweep_staging()
+            cache = _cache_path(name, seed)
+            result = _load_cached(cache, name, seed, store, session)
+            if result is not None:
+                return result
+            # Cross-process single flight: concurrent campaigns racing
+            # on the same cache key must not all compute.  One takes the
+            # lease; the rest wait for its publish and load it.  A stale
+            # lease (holder died) is taken over, and a wait that ends
+            # without a loadable entry falls through to computing --
+            # duplicated work is the safe failure mode, the atomic
+            # publish keeps whichever copy lands last consistent.
+            lease = store.acquire(cache.name)
+            if lease is None:
+                if store.wait_for(cache.name):
+                    result = _load_cached(cache, name, seed, store, session)
+                    if result is not None:
+                        return result
+                lease = store.acquire(cache.name)
+        _obs.counter("workflow.cache_misses").inc()
+        try:
+            return _compute_campaign(
+                name, seed, spec, use_cache, verbose, preflight, workers,
+                session, task_timeout, max_task_attempts, retry_backoff,
+                store, lease)
+        finally:
+            if lease is not None:
+                lease.release()
 
-        pending = [t for t in tasks if t not in payloads]
-        _obs.counter("workflow.runs_executed").add(len(pending))
-        n_workers = min(resolve_workers(workers), max(1, len(pending)))
-        _obs.gauge("workflow.workers").set(n_workers)
-        if pending and n_workers > 1:
-            _run_parallel(name, seed, pending, payloads, runs_dir,
-                          use_cache, verbose, n_workers, session,
-                          task_timeout, max_task_attempts, retry_backoff)
-        else:
-            _run_serial(name, seed, pending, payloads, runs_dir, use_cache,
-                        verbose, max_task_attempts, retry_backoff)
 
-        return _assemble(name, seed, spec, payloads, use_cache, n_workers,
-                         session)
+def _load_cached(
+    cache: Path,
+    name: str,
+    seed: int,
+    store: ResultStore,
+    session: Optional["_obs.ObsSession"],
+) -> Optional[ExperimentResult]:
+    """Load the aggregate cache entry; quarantine corruption."""
+    if not cache.exists():
+        return None
+    try:
+        result = _load(cache, name, seed)
+    except Exception:
+        _obs.counter("workflow.cache_corrupt").inc()
+        _quarantine(cache)
+        return None
+    _obs.counter("workflow.cache_hits").inc()
+    store.touch(cache.name)
+    if session is not None and result.manifest is not None:
+        session.add_manifest(result.manifest)
+    return result
+
+
+def _compute_campaign(
+    name: str,
+    seed: int,
+    spec,
+    use_cache: bool,
+    verbose: bool,
+    preflight: bool,
+    workers: Optional[int],
+    session: Optional["_obs.ObsSession"],
+    task_timeout: Optional[float],
+    max_task_attempts: int,
+    retry_backoff: float,
+    store: Optional[ResultStore],
+    lease,
+) -> ExperimentResult:
+    heartbeat = lease.refresh if lease is not None else (lambda: None)
+    if preflight:
+        preflight_lint(name)
+
+    tasks: List[Tuple[str, int]] = [
+        (_REF, rep) for rep in range(spec.reps_ref)
+    ]
+    for mode in MODES:
+        tasks.extend((mode, rep) for rep in range(_reps_for(mode, spec)))
+
+    runs_dir = _runs_dir(name, seed)
+    payloads = {}
+    if use_cache:
+        for task in tasks:
+            payload = _load_run(runs_dir, task)
+            if payload is not None:
+                payloads[task] = payload
+    _obs.counter("workflow.checkpoint_hits").add(len(payloads))
+
+    pending = [t for t in tasks if t not in payloads]
+    _obs.counter("workflow.runs_executed").add(len(pending))
+    n_workers = min(resolve_workers(workers), max(1, len(pending)))
+    _obs.gauge("workflow.workers").set(n_workers)
+    if pending and n_workers > 1:
+        _run_parallel(name, seed, pending, payloads, runs_dir,
+                      use_cache, verbose, n_workers, session,
+                      task_timeout, max_task_attempts, retry_backoff,
+                      heartbeat)
+    else:
+        _run_serial(name, seed, pending, payloads, runs_dir, use_cache,
+                    verbose, max_task_attempts, retry_backoff, heartbeat)
+
+    return _assemble(name, seed, spec, payloads, use_cache, n_workers,
+                     session, store)
 
 
 def _run_serial(name, seed, pending, payloads, runs_dir, use_cache,
-                verbose, max_task_attempts, retry_backoff) -> None:
+                verbose, max_task_attempts, retry_backoff,
+                heartbeat=lambda: None) -> None:
     """Serial campaign path with bounded retry."""
     for task in pending:
         for attempt in range(1, max_task_attempts + 1):
@@ -440,6 +512,7 @@ def _run_serial(name, seed, pending, payloads, runs_dir, use_cache,
             else:
                 break
         payloads[task] = payload
+        heartbeat()
         if use_cache:
             _store_run(runs_dir, task, payload)
         if verbose:
@@ -448,7 +521,8 @@ def _run_serial(name, seed, pending, payloads, runs_dir, use_cache,
 
 def _run_parallel(name, seed, pending, payloads, runs_dir, use_cache,
                   verbose, n_workers, session, task_timeout,
-                  max_task_attempts, retry_backoff) -> None:
+                  max_task_attempts, retry_backoff,
+                  heartbeat=lambda: None) -> None:
     """Parallel campaign path: process pool under the supervisor.
 
     Fork inherits the experiment registry (including entries added at
@@ -471,6 +545,7 @@ def _run_parallel(name, seed, pending, payloads, runs_dir, use_cache,
 
         def harvest(task, payload, wdoc) -> None:
             payloads[task] = payload
+            heartbeat()
             if wdoc is not None:
                 session.merge_worker(wdoc)
                 _obs.counter("workflow.worker_runs", pid=wdoc["pid"]).inc()
@@ -539,6 +614,7 @@ def _assemble(
     use_cache: bool,
     n_workers: int,
     session: Optional["_obs.ObsSession"],
+    store: Optional[ResultStore] = None,
 ) -> ExperimentResult:
     """Reassemble payloads in canonical order into an ExperimentResult."""
     ref_runtimes: List[float] = []
@@ -578,9 +654,79 @@ def _assemble(
     if session is not None:
         session.add_manifest(result.manifest)
     if use_cache:
-        _store(result, _cache_path(name, seed))
+        cache = _cache_path(name, seed)
+        _store(result, cache)
         shutil.rmtree(_runs_dir(name, seed), ignore_errors=True)
+        # Honor the size budget *after* publishing: the freshest entry
+        # is protected, older least-recently-used ones make room.
+        (store if store is not None else cache_store()).evict(
+            protect=(cache.name,))
     return result
+
+
+# ---------------------------------------------------------------------------
+# canonical result serialization (the service's wire format)
+# ---------------------------------------------------------------------------
+
+
+def result_document(result: ExperimentResult) -> dict:
+    """JSON document capturing everything in an :class:`ExperimentResult`.
+
+    Profiles are embedded via :func:`repro.cube.io.profile_doc` (the
+    same encoding the disk cache uses, so values survive a cache round
+    trip bit-for-bit).  The manifest's hash-exempt ``environment`` block
+    is dropped: two bit-identical computations of the same manifest hash
+    must serialize to the same bytes even when produced under different
+    worker counts or interpreter builds.
+    """
+    manifest = {k: v for k, v in (result.manifest or {}).items()
+                if k != "environment"}
+    return {
+        "format": RESULT_FORMAT,
+        "name": result.name,
+        "seed": result.seed,
+        "ref_runtimes": result.ref_runtimes,
+        "ref_phases": result.ref_phases,
+        "runtimes": result.runtimes,
+        "phases": result.phases,
+        "profiles": {m: [profile_doc(p) for p in profs]
+                     for m, profs in result.profiles.items()},
+        "mean_profiles": {m: profile_doc(p)
+                          for m, p in result.mean_profiles.items()},
+        "manifest": manifest or None,
+    }
+
+
+def serialize_result(result: ExperimentResult) -> bytes:
+    """Canonical bytes of ``result`` (sorted keys, no whitespace).
+
+    This is the payload ``repro-serve`` returns: because the encoding is
+    canonical and every float round-trips exactly through JSON, a served
+    response is byte-identical to serializing a direct
+    :func:`run_experiment` call for the same manifest hash.
+    """
+    return (canonical_json(result_document(result)) + "\n").encode("utf-8")
+
+
+def deserialize_result(data: bytes) -> ExperimentResult:
+    """Invert :func:`serialize_result` (used by the service client)."""
+    doc = json.loads(data.decode("utf-8"))
+    if doc.get("format") != RESULT_FORMAT:
+        raise ValueError(f"not a {RESULT_FORMAT} document "
+                         f"(format={doc.get('format')!r})")
+    return ExperimentResult(
+        name=doc["name"],
+        seed=doc["seed"],
+        ref_runtimes=doc["ref_runtimes"],
+        ref_phases=doc["ref_phases"],
+        runtimes=doc["runtimes"],
+        phases={m: dict(v) for m, v in doc["phases"].items()},
+        profiles={m: [profile_from_doc(d) for d in docs]
+                  for m, docs in doc["profiles"].items()},
+        mean_profiles={m: profile_from_doc(d)
+                       for m, d in doc["mean_profiles"].items()},
+        manifest=doc.get("manifest"),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -588,8 +734,31 @@ def _assemble(
 # ---------------------------------------------------------------------------
 
 
+def cache_key(name: str, seed: int) -> str:
+    """Content address of one campaign's result in the shared store.
+
+    Derived from the experiment's provenance-manifest hash (which covers
+    the spec geometry, seed, clock modes and cache version), so the
+    service and ``run_experiment`` agree on the entry without sharing
+    any state beyond the cache directory; the human-readable
+    ``name``/``seed`` suffix is informational only.
+    """
+    return ResultStore.entry_name(
+        experiment_manifest(name, seed)["hash"], f"{name}-s{seed}")
+
+
+def cache_store(max_bytes: Optional[int] = None) -> ResultStore:
+    """The shared content-addressed store over the result cache dir.
+
+    ``max_bytes`` defaults to ``REPRO_CACHE_MAX_BYTES`` (unset =
+    unbounded).  Constructed per call so tests (and the service) can
+    repoint ``_CACHE_DIR``/the env between uses.
+    """
+    return ResultStore(_CACHE_DIR, max_bytes=max_bytes)
+
+
 def _cache_path(name: str, seed: int) -> Path:
-    return _CACHE_DIR / f"v{CACHE_VERSION}-{name}-s{seed}"
+    return cache_store().entry_path(cache_key(name, seed))
 
 
 def _runs_dir(name: str, seed: int) -> Path:

@@ -56,7 +56,67 @@ __all__ = [
     "read_manifest",
     "atomic_write_bytes",
     "atomic_write_text",
+    "archive_hash",
+    "archive_suffix",
+    "store_archive_bytes",
+    "iter_file_chunks",
 ]
+
+#: archive suffixes the upload path accepts (dispatch keys of
+#: :func:`read_trace`); ``.shards`` is a directory format and cannot be
+#: uploaded as one byte blob
+UPLOAD_SUFFIXES = (".trace.json.gz", ".json.gz", ".npz")
+
+
+def archive_hash(data: bytes) -> str:
+    """Content address of raw archive bytes (sha256 hex digest)."""
+    import hashlib
+
+    return hashlib.sha256(data).hexdigest()
+
+
+def archive_suffix(name: str) -> str:
+    """Validated archive suffix for an uploaded trace (``ValueError``
+    on anything :func:`read_trace` would not dispatch on)."""
+    for suffix in UPLOAD_SUFFIXES:
+        if name.endswith(suffix):
+            return suffix
+    raise ValueError(
+        f"unsupported trace archive suffix in {name!r}: expected one of "
+        f"{', '.join(UPLOAD_SUFFIXES)}")
+
+
+def store_archive_bytes(data: bytes, dest_dir: Union[str, Path],
+                        suffix: str = ".trace.json.gz",
+                        prefix: str = "") -> Tuple[str, Path]:
+    """Publish uploaded archive bytes content-addressed into ``dest_dir``.
+
+    The file lands as ``<prefix><sha256-prefix>-trace<suffix>`` via the
+    atomic write path, so concurrent identical uploads race benignly
+    (same bytes, same name).  Returns ``(full sha256 hash, path)``;
+    re-uploading existing content is a cheap no-op.
+    """
+    suffix = archive_suffix(f"x{suffix}")
+    digest = archive_hash(data)
+    dest_dir = Path(dest_dir)
+    dest_dir.mkdir(parents=True, exist_ok=True)
+    path = dest_dir / f"{prefix}{digest[:20]}-trace{suffix}"
+    if not path.exists():
+        atomic_write_bytes(path, data)
+        obs.counter("io.archives_uploaded").inc()
+        obs.counter("io.bytes_written", format="upload").add(len(data))
+    return digest, path
+
+
+def iter_file_chunks(path: Union[str, Path],
+                     chunk_size: int = 1 << 16):
+    """Stream a file's bytes in bounded chunks (archive downloads)."""
+    with open(path, "rb") as fh:
+        while True:
+            chunk = fh.read(chunk_size)
+            if not chunk:
+                return
+            yield chunk
 
 
 def atomic_write_bytes(path: Union[str, Path], data: bytes) -> None:

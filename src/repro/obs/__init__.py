@@ -21,6 +21,7 @@ Typical use::
 from repro.obs.export import (
     CHROME_REQUIRED_KEYS,
     metrics_table,
+    prometheus_text,
     span_table,
     summary_text,
     to_chrome,
@@ -91,6 +92,7 @@ __all__ = [
     "span_table",
     "metrics_table",
     "summary_text",
+    "prometheus_text",
     "CHROME_REQUIRED_KEYS",
     "MANIFEST_FORMAT",
     "build_manifest",

@@ -21,6 +21,7 @@ __all__ = [
     "span_table",
     "metrics_table",
     "summary_text",
+    "prometheus_text",
     "trace_chrome_events",
     "write_trace_chrome",
     "CHROME_REQUIRED_KEYS",
@@ -238,6 +239,60 @@ def metrics_table(doc: Mapping) -> str:
         return "(no metrics recorded)"
     width = max(len(k) for k, _ in rows)
     return "\n".join(f"{k:<{width}}  {v}" for k, v in rows)
+
+
+def _prom_name(name: str) -> str:
+    """Registry names are dotted; Prometheus wants ``[a-zA-Z0-9_:]``."""
+    return "".join(c if c.isalnum() or c in "_:" else "_" for c in name)
+
+
+def _prom_labels(labels: Mapping[str, str], extra: str = "") -> str:
+    parts = [f'{_prom_name(k)}="{v}"' for k, v in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def prometheus_text(doc: Mapping) -> str:
+    """Prometheus exposition-format rendering of an obs snapshot.
+
+    Operates on the same ``repro-obs-1`` document as every other export,
+    so the service's ``/metrics`` endpoint and offline archives render
+    identically.  Dotted registry names map to underscored Prometheus
+    names (``serve.cache_hits`` -> ``serve_cache_hits``); histograms
+    emit cumulative ``_bucket`` series plus ``_sum``/``_count``.
+    """
+    metrics = doc.get("metrics", {})
+    lines: List[str] = []
+    typed: set = set()
+
+    def header(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for row in metrics.get("counters", []):
+        name = _prom_name(row["name"])
+        header(name, "counter")
+        lines.append(f"{name}{_prom_labels(row['labels'])} {row['value']:g}")
+    for row in metrics.get("gauges", []):
+        name = _prom_name(row["name"])
+        header(name, "gauge")
+        lines.append(f"{name}{_prom_labels(row['labels'])} {row['value']:g}")
+    for row in metrics.get("histograms", []):
+        name = _prom_name(row["name"])
+        header(name, "histogram")
+        labels = row["labels"]
+        cum = 0
+        for bound, count in zip(row["bounds"], row["counts"]):
+            cum += count
+            le = 'le="%g"' % bound
+            lines.append(f"{name}_bucket{_prom_labels(labels, le)} {cum}")
+        inf = 'le="+Inf"'
+        lines.append(f"{name}_bucket{_prom_labels(labels, inf)} {row['count']}")
+        lines.append(f"{name}_sum{_prom_labels(labels)} {row['sum']:g}")
+        lines.append(f"{name}_count{_prom_labels(labels)} {row['count']}")
+    return "\n".join(lines) + "\n"
 
 
 def _experiment_blocks(doc: Mapping) -> "OrderedDict[str, List[Tuple[str, str]]]":

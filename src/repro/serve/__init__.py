@@ -1,0 +1,64 @@
+"""repro.serve: the analysis service (``repro-serve``).
+
+An asyncio HTTP service (stdlib only) that accepts experiment configs
+and trace-archive analysis requests and serves results out of a
+content-addressed, size-bounded LRU disk cache shared with
+:func:`repro.experiments.workflow.run_experiment`:
+
+* :mod:`repro.serve.store` -- the shared :class:`ResultStore`:
+  content-addressed entries keyed on :mod:`repro.obs.provenance`
+  manifest hashes, atomic writes, CRC-checked blobs with quarantine,
+  max-bytes LRU eviction, lock-file leases (cross-process single
+  flight) and staging-dir sweeping.
+* :mod:`repro.serve.quota` -- per-tenant token-bucket rate limits.
+* :mod:`repro.serve.jobs` -- the job functions executed inside pool
+  workers (experiment campaigns and trace analyses).
+* :mod:`repro.serve.service` -- the HTTP service itself: single-flight
+  request coalescing, adaptive batching over the process pool,
+  backpressure (bounded queue, 429/503 + Retry-After, load shedding),
+  ``/healthz`` and ``/metrics``.
+* :mod:`repro.serve.client` -- a minimal asyncio HTTP client and the
+  load generator behind ``repro-serve load``.
+
+Submodules import :mod:`repro.experiments.workflow` (and vice versa:
+the workflow uses the store), so everything heavier than the store is
+re-exported lazily to keep the import graph acyclic.
+
+See ``docs/serving.md``.
+"""
+
+from repro.serve.store import ResultStore, StoreLease, resolve_cache_max_bytes
+
+__all__ = [
+    "ResultStore",
+    "StoreLease",
+    "resolve_cache_max_bytes",
+    "ServeConfig",
+    "AnalysisService",
+    "ServeClient",
+    "run_load",
+    "format_load_report",
+    "run_service",
+    "TokenBucket",
+    "QuotaManager",
+]
+
+_LAZY = {
+    "ServeConfig": "repro.serve.service",
+    "AnalysisService": "repro.serve.service",
+    "run_service": "repro.serve.service",
+    "ServeClient": "repro.serve.client",
+    "run_load": "repro.serve.client",
+    "format_load_report": "repro.serve.client",
+    "TokenBucket": "repro.serve.quota",
+    "QuotaManager": "repro.serve.quota",
+}
+
+
+def __getattr__(name):
+    mod = _LAZY.get(name)
+    if mod is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(mod), name)

@@ -1,0 +1,195 @@
+"""Minimal asyncio HTTP client + load generator for `repro-serve`.
+
+Stdlib-only (``asyncio.open_connection``; one request per connection --
+the service supports keep-alive, the load generator deliberately pays
+the connection cost so its latencies reflect a cold client).  The load
+generator drives the three phases the serving design is about and
+reports what each phase proves:
+
+* **cold** -- first request computes through the process pool;
+* **warm** -- repeats answer from cache without touching the pool, and
+  the bytes are identical to the cold response (content addressing);
+* **coalesced** -- K concurrent requests for one new key execute
+  exactly one computation (single flight).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Dict, Optional, Tuple
+
+__all__ = ["HttpResponse", "ServeClient", "run_load"]
+
+
+class HttpResponse:
+    """Status + headers + body of one exchange."""
+
+    __slots__ = ("status", "headers", "body")
+
+    def __init__(self, status: int, headers: Dict[str, str],
+                 body: bytes) -> None:
+        self.status = status
+        self.headers = headers
+        self.body = body
+
+    def json(self) -> dict:
+        return json.loads(self.body.decode("utf-8"))
+
+    def __repr__(self) -> str:
+        return f"HttpResponse({self.status}, {len(self.body)} bytes)"
+
+
+async def http_request(host: str, port: int, method: str, path: str,
+                       body: bytes = b"",
+                       headers: Optional[Dict[str, str]] = None,
+                       timeout: float = 600.0) -> HttpResponse:
+    """One HTTP/1.1 exchange on a fresh connection."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        head = [f"{method} {path} HTTP/1.1",
+                f"Host: {host}:{port}",
+                f"Content-Length: {len(body)}",
+                "Connection: close"]
+        head.extend(f"{k}: {v}" for k, v in (headers or {}).items())
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+        writer.write(body)
+        await writer.drain()
+
+        async def read_all() -> HttpResponse:
+            status_line = await reader.readline()
+            status = int(status_line.decode("latin-1").split()[1])
+            resp_headers: Dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if not line or line in (b"\r\n", b"\n"):
+                    break
+                name, _sep, value = line.decode("latin-1").partition(":")
+                resp_headers[name.strip().lower()] = value.strip()
+            length = int(resp_headers.get("content-length", "0") or "0")
+            payload = await reader.readexactly(length) if length \
+                else await reader.read()
+            return HttpResponse(status, resp_headers, payload)
+
+        return await asyncio.wait_for(read_all(), timeout=timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, OSError):
+            pass
+
+
+class ServeClient:
+    """Typed wrapper over :func:`http_request` for the service routes."""
+
+    def __init__(self, host: str, port: int, tenant: str = "anonymous",
+                 timeout: float = 600.0) -> None:
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout = timeout
+
+    async def _call(self, method: str, path: str, body: bytes = b"",
+                    headers: Optional[Dict[str, str]] = None) -> HttpResponse:
+        hdrs = {"X-Tenant": self.tenant}
+        hdrs.update(headers or {})
+        return await http_request(self.host, self.port, method, path,
+                                  body=body, headers=hdrs,
+                                  timeout=self.timeout)
+
+    async def healthz(self) -> dict:
+        return (await self._call("GET", "/healthz")).json()
+
+    async def metrics(self, fmt: str = "") -> HttpResponse:
+        path = "/metrics" + (f"?format={fmt}" if fmt else "")
+        return await self._call("GET", path)
+
+    async def experiment(self, name: str, seed: int = 0) -> HttpResponse:
+        body = json.dumps({"name": name, "seed": seed}).encode("utf-8")
+        return await self._call("POST", "/v1/experiment", body=body)
+
+    async def upload_trace(self, data: bytes,
+                           name: str = "trace.trace.json.gz") -> dict:
+        resp = await self._call("PUT", "/v1/traces", body=data,
+                                headers={"X-Archive-Name": name})
+        if resp.status != 201:
+            raise RuntimeError(f"upload failed ({resp.status}): "
+                               f"{resp.body[:200]!r}")
+        return resp.json()
+
+    async def analyze(self, op: str, trace: str,
+                      params: Optional[dict] = None,
+                      trace_b: Optional[str] = None) -> HttpResponse:
+        req: dict = {"op": op, "trace": trace, "params": params or {}}
+        if trace_b is not None:
+            req["trace_b"] = trace_b
+        return await self._call("POST", "/v1/analyze",
+                                body=json.dumps(req).encode("utf-8"))
+
+
+async def _timed(coro) -> Tuple[HttpResponse, float]:
+    t0 = time.perf_counter()
+    resp = await coro
+    return resp, time.perf_counter() - t0
+
+
+async def run_load(host: str, port: int, name: str, seed: int = 0,
+                   coalesce: int = 4, tenant: str = "load") -> dict:
+    """Cold / warm / coalesced load phases against one experiment.
+
+    Returns a report dict (phase latencies, cache tiers observed, and
+    the identity checks) -- the CLI and the smoke example render it.
+    """
+    client = ServeClient(host, port, tenant=tenant)
+
+    cold, cold_s = await _timed(client.experiment(name, seed))
+    if cold.status != 200:
+        raise RuntimeError(f"cold request failed ({cold.status}): "
+                           f"{cold.body[:300]!r}")
+
+    warm, warm_s = await _timed(client.experiment(name, seed))
+    if warm.status != 200:
+        raise RuntimeError(f"warm request failed ({warm.status})")
+
+    t0 = time.perf_counter()
+    burst = await asyncio.gather(
+        *(client.experiment(name, seed + 1) for _ in range(coalesce)))
+    coalesce_s = time.perf_counter() - t0
+    statuses = sorted({r.status for r in burst})
+    bodies = {r.body for r in burst if r.status == 200}
+
+    return {
+        "experiment": name,
+        "seed": seed,
+        "cold_seconds": cold_s,
+        "cold_cache": cold.headers.get("x-repro-cache", ""),
+        "warm_seconds": warm_s,
+        "warm_cache": warm.headers.get("x-repro-cache", ""),
+        "warm_identical": warm.body == cold.body,
+        "coalesce_clients": coalesce,
+        "coalesce_seconds": coalesce_s,
+        "coalesce_statuses": statuses,
+        "coalesce_identical": len(bodies) == 1,
+        "speedup_cold_over_warm": (cold_s / warm_s) if warm_s > 0 else 0.0,
+    }
+
+
+def format_load_report(report: dict) -> str:
+    """Human rendering of a :func:`run_load` report."""
+    lines = [
+        f"== repro-serve load: {report['experiment']} "
+        f"seed={report['seed']} ==",
+        f"cold      {report['cold_seconds'] * 1e3:9.1f} ms  "
+        f"cache={report['cold_cache'] or 'miss'}",
+        f"warm      {report['warm_seconds'] * 1e3:9.1f} ms  "
+        f"cache={report['warm_cache']}  "
+        f"identical={report['warm_identical']}",
+        f"coalesced {report['coalesce_seconds'] * 1e3:9.1f} ms  "
+        f"clients={report['coalesce_clients']}  "
+        f"statuses={report['coalesce_statuses']}  "
+        f"identical={report['coalesce_identical']}",
+        f"speedup cold/warm: {report['speedup_cold_over_warm']:.1f}x",
+    ]
+    return "\n".join(lines)

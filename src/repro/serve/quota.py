@@ -1,0 +1,89 @@
+"""Per-tenant token-bucket quotas for the analysis service.
+
+Classic token bucket: a tenant's bucket holds up to ``burst`` tokens and
+refills at ``rate`` tokens/second; each admitted request spends one
+token (expensive requests may be charged more via ``cost``).  An empty
+bucket rejects with the exact time until the next token -- the service
+surfaces that as ``Retry-After`` on a 429, so well-behaved clients
+back off by just the right amount instead of hammering.
+
+Buckets are created lazily per tenant and refilled on access (no timer
+task); the monotonic clock makes the arithmetic immune to wall-clock
+steps.  ``time_fn`` is injectable so tests can drive time by hand.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, Dict, Tuple
+
+__all__ = ["TokenBucket", "QuotaManager"]
+
+
+class TokenBucket:
+    """One tenant's refillable budget."""
+
+    __slots__ = ("rate", "burst", "tokens", "_last", "_time")
+
+    def __init__(self, rate: float, burst: float,
+                 time_fn: Callable[[], float] = time.monotonic) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ValueError(f"rate and burst must be > 0, "
+                             f"got rate={rate}, burst={burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self._time = time_fn
+        self._last = time_fn()
+
+    def _refill(self) -> None:
+        now = self._time()
+        self.tokens = min(self.burst, self.tokens + (now - self._last) * self.rate)
+        self._last = now
+
+    def admit(self, cost: float = 1.0) -> Tuple[bool, float]:
+        """Spend ``cost`` tokens if available.
+
+        Returns ``(admitted, retry_after_seconds)``; ``retry_after`` is
+        0 when admitted, else the time until ``cost`` tokens exist.
+        """
+        self._refill()
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return True, 0.0
+        return False, (cost - self.tokens) / self.rate
+
+
+class QuotaManager:
+    """Lazily-created token buckets, one per tenant name."""
+
+    def __init__(self, rate: float, burst: float,
+                 time_fn: Callable[[], float] = time.monotonic) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._time = time_fn
+        self._buckets: Dict[str, TokenBucket] = {}
+
+    def bucket(self, tenant: str) -> TokenBucket:
+        b = self._buckets.get(tenant)
+        if b is None:
+            b = self._buckets[tenant] = TokenBucket(
+                self.rate, self.burst, time_fn=self._time)
+        return b
+
+    def admit(self, tenant: str, cost: float = 1.0) -> Tuple[bool, float]:
+        return self.bucket(tenant).admit(cost)
+
+    @staticmethod
+    def retry_after_header(retry_after: float) -> str:
+        """``Retry-After`` is whole seconds; always advise at least 1."""
+        return str(max(1, math.ceil(retry_after)))
+
+    def snapshot(self) -> Dict[str, float]:
+        """Current token levels per tenant (health endpoint)."""
+        out: Dict[str, float] = {}
+        for tenant, bucket in self._buckets.items():
+            bucket._refill()
+            out[tenant] = bucket.tokens
+        return out
