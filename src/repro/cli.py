@@ -20,6 +20,8 @@
 * ``repro-serve``    -- asyncio analysis service over the shared
   content-addressed result cache: single-flight coalescing, adaptive
   batching, backpressure, quotas (see ``docs/serving.md``).
+* ``repro-ingest``   -- hardened ingestion of untrusted foreign traces:
+  convert, replay, and fuzz (see ``docs/ingest.md``).
 """
 
 from __future__ import annotations
@@ -30,7 +32,7 @@ from typing import List, Optional
 
 __all__ = ["main_run", "main_analyze", "main_score", "main_report", "main_lint",
            "main_bench", "main_obs", "main_faults", "main_causal",
-           "main_serve"]
+           "main_serve", "main_ingest"]
 
 
 def main_run(argv: Optional[List[str]] = None) -> int:
@@ -960,3 +962,143 @@ def main_serve(argv: Optional[List[str]] = None) -> int:
 
 if __name__ == "__main__":  # pragma: no cover
     sys.exit(main_report())
+
+
+def main_ingest(argv: Optional[List[str]] = None) -> int:
+    """Hardened ingestion of untrusted foreign traces (``docs/ingest.md``).
+
+    ``repro-ingest convert INPUT`` parses/salvages a Chrome trace-event
+    JSON or ``repro-commops-1`` file under hard resource caps, prints
+    the ingest report and (for Chrome inputs) writes a canonical trace
+    archive; rejected inputs are quarantined as ``*.corrupt-N``.
+    ``repro-ingest replay INPUT`` additionally replays the result --
+    logical-clock finals for traces, a full engine run for comm-op
+    programs.  ``repro-ingest fuzz`` runs the seeded corpus-mutation
+    fuzzer asserting the parse/repair/reject contract.
+
+    Exit status: 0 accepted, 2 rejected, 1 contract violation (fuzz).
+    """
+    import json as _json
+
+    parser = argparse.ArgumentParser(prog="repro-ingest",
+                                     description=main_ingest.__doc__)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    def add_common(p):
+        p.add_argument("input", help="foreign trace file (.json/.json.gz)")
+        p.add_argument("--format", choices=("chrome", "commops"),
+                       default=None, help="skip format sniffing")
+        p.add_argument("--no-quarantine", action="store_true",
+                       help="leave rejected inputs in place")
+        p.add_argument("--max-bytes", type=int, default=None)
+        p.add_argument("--max-events", type=int, default=None)
+        p.add_argument("--timeout", type=float, default=None,
+                       help="wall-clock cap in seconds")
+        p.add_argument("--report", default=None,
+                       help="write the JSON ingest report here")
+
+    p_conv = sub.add_parser("convert", help="parse/salvage + archive")
+    add_common(p_conv)
+    p_conv.add_argument("-o", "--output", default=None,
+                        help="canonical archive path "
+                             "(default: INPUT.ingested.trace.json.gz)")
+
+    p_rep = sub.add_parser("replay", help="ingest + replay")
+    add_common(p_rep)
+    p_rep.add_argument("--mode", default=None,
+                       help="clock/measurement mode (default: the "
+                            "trace's own; 'tsc' for programs)")
+    p_rep.add_argument("--seed", type=int, default=1)
+
+    p_fuzz = sub.add_parser("fuzz", help="corpus-mutation fuzzer")
+    p_fuzz.add_argument("-n", "--n-per-corpus", type=int, default=200)
+    p_fuzz.add_argument("--seed", type=int, default=0)
+    p_fuzz.add_argument("--json", action="store_true",
+                        help="print machine-readable stats")
+
+    args = parser.parse_args(argv)
+
+    if args.cmd == "fuzz":
+        from repro.ingest.fuzz import run_fuzz
+
+        stats = run_fuzz(n_per_corpus=args.n_per_corpus, seed=args.seed,
+                         progress=lambda msg: print(msg, file=sys.stderr))
+        if args.json:
+            print(_json.dumps({
+                "n_inputs": stats.n_inputs,
+                "accepted": stats.accepted,
+                "repaired": stats.repaired,
+                "rejected": stats.rejected,
+                "rule_counts": stats.rule_counts,
+                "failures": [f.reason for f in stats.failures],
+            }, indent=2, sort_keys=True))
+        else:
+            print(stats.format())
+        return 0 if stats.ok else 1
+
+    from repro.ingest import IngestError, IngestLimits, ingest_file
+
+    kw = {}
+    if args.max_bytes is not None:
+        kw["max_bytes"] = args.max_bytes
+    if args.max_events is not None:
+        kw["max_events"] = args.max_events
+    if args.timeout is not None:
+        kw["timeout_seconds"] = args.timeout
+    limits = IngestLimits(**kw) if kw else IngestLimits()
+
+    def emit(report):
+        print(report.format())
+        if args.report:
+            with open(args.report, "w", encoding="utf-8") as fh:
+                _json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+                fh.write("\n")
+
+    try:
+        result = ingest_file(args.input, fmt=args.format, limits=limits,
+                             quarantine=not args.no_quarantine)
+    except IngestError as exc:
+        emit(exc.report)
+        if exc.report.quarantine_path:
+            print(f"quarantined: {exc.report.quarantine_path}",
+                  file=sys.stderr)
+        return 2
+    emit(result.report)
+
+    if args.cmd == "convert":
+        if result.kind == "trace":
+            from repro.measure import write_trace
+
+            out = args.output or f"{args.input}.ingested.trace.json.gz"
+            write_trace(result.trace, out)
+            print(f"wrote {out}")
+        else:
+            from repro.ingest.commops import commops_doc
+
+            out = args.output or f"{args.input}.ingested.commops.json"
+            with open(out, "w", encoding="utf-8") as fh:
+                _json.dump(commops_doc(result.program), fh)
+                fh.write("\n")
+            print(f"wrote {out}")
+        return 0
+
+    # replay
+    if result.kind == "trace":
+        from repro.ingest.replay import replay_clock_finals
+
+        finals = replay_clock_finals(result.trace, mode=args.mode)
+        mode = args.mode or result.trace.mode
+        print(f"replayed {result.trace.n_locations} location(s) "
+              f"under {mode}:")
+        for loc, final in enumerate(finals):
+            rank, thread = result.trace.locations[loc]
+            print(f"  rank {rank} thread {thread}: final={final:.9g}")
+    else:
+        from repro.ingest.replay import replay_program
+
+        sim = replay_program(result.program, mode=args.mode,
+                             seed=args.seed)
+        print(f"replayed {result.program.n_ranks}-rank program "
+              f"({result.program.n_ops} op(s)): "
+              f"runtime={sim.runtime:.9g}s")
+    return 0

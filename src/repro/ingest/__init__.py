@@ -1,0 +1,31 @@
+"""Hardened ingestion of untrusted real-world traces.
+
+Everything produced outside this process is hostile until proven
+otherwise: the pipeline parses foreign Chrome trace-event JSON and
+``repro-commops-1`` comm-op logs under hard resource caps, repairs what
+it can (recording every repair as an ING diagnostic in an
+:class:`IngestReport`), quarantines what it cannot, and only ever hands
+the rest of the system traces that pass the sanitizer and programs that
+pass the linter.  See ``docs/ingest.md``.
+"""
+
+from repro.ingest.limits import IngestBudget, IngestCapError, IngestLimits
+from repro.ingest.pipeline import (
+    IngestResult,
+    ingest_bytes,
+    ingest_file,
+    sniff_format,
+)
+from repro.ingest.report import IngestError, IngestReport
+
+__all__ = [
+    "IngestBudget",
+    "IngestCapError",
+    "IngestLimits",
+    "IngestResult",
+    "IngestError",
+    "IngestReport",
+    "ingest_bytes",
+    "ingest_file",
+    "sniff_format",
+]

@@ -1,0 +1,489 @@
+"""Tolerant Chrome trace-event parser.
+
+Two reconstruction paths out of one record stream:
+
+* **Lossless** -- the input carries the ``repro-chrome-raw-1`` sidecar
+  that :func:`repro.obs.export.trace_chrome_events` embeds with
+  ``embed_raw=True``: a ``repro_trace`` metadata header (mode, location
+  table, region table) plus one ``cat:"repro.raw"`` instant per engine
+  event.  Every field is validated against the aux/delta conventions of
+  :mod:`repro.measure.columnar`; the rebuilt :class:`PendingTrace` is
+  bit-identical to the original archive when the input is undamaged.
+* **Foreign** -- any other Chrome trace (``X`` complete events and
+  ``B``/``E`` duration pairs, as produced by browsers, TensorFlow,
+  ``chrome://tracing`` exporters...).  Intervals are normalised into a
+  properly nested ENTER/LEAVE forest per ``(pid, tid)`` location,
+  microseconds become seconds, and the trace is labelled mode ``tsc``
+  (foreign timestamps are physical; no logical counters survive export).
+
+The record *scanner* never trusts the container: strict ``json.loads``
+first, then a string-aware balanced-brace walk that skips damaged
+chunks (ING003) and detects a truncated tail (ING004).  A corrupt raw
+sidecar degrades to the foreign path instead of rejecting -- the visible
+events are usually still salvageable.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import List, Optional, Tuple
+
+from repro.ingest.limits import IngestBudget
+from repro.ingest.report import IngestReport
+from repro.ingest.salvage import PendingTrace
+from repro.measure.config import MODES
+from repro.obs.export import CHROME_RAW_FORMAT
+from repro.sim.events import (
+    BURST,
+    COLL_END,
+    ENTER,
+    EVENT_NAMES,
+    FAULT,
+    FORK,
+    JOIN,
+    LEAVE,
+    MPI_RECV,
+    MPI_SEND,
+    OBAR_ENTER,
+    OBAR_LEAVE,
+    RESTART,
+    TEAM_BEGIN,
+    EMPTY_DELTA,
+    Ev,
+    RegionRegistry,
+    WorkDelta,
+)
+
+__all__ = ["parse_chrome"]
+
+_NAME_TO_ETYPE = {name: et for et, name in EVENT_NAMES.items()}
+_PAIR_AUX = (MPI_SEND, COLL_END, OBAR_LEAVE, RESTART)
+_SCALAR_AUX = (MPI_RECV, FORK, JOIN, TEAM_BEGIN, FAULT)
+_DELTA_FIELDS = ("omp_iters", "bb", "stmt", "instr", "burst_calls",
+                 "omp_calls")
+_US = 1e-6  # Chrome timestamps are microseconds
+
+
+class _SidecarCorrupt(Exception):
+    """The embedded raw sidecar is unusable; fall back to visible events."""
+
+
+def _is_num(x) -> bool:
+    return isinstance(x, (int, float)) and not isinstance(x, bool) \
+        and math.isfinite(x)
+
+
+def _is_int(x) -> bool:
+    return isinstance(x, int) and not isinstance(x, bool)
+
+
+# -- record extraction ---------------------------------------------------
+
+def _scan_objects(text: str, start: int, report: IngestReport,
+                  budget: IngestBudget) -> List[dict]:
+    """Walk ``text`` from ``start`` collecting top-level ``{...}`` objects.
+
+    String-aware: braces inside JSON strings do not count.  A chunk that
+    fails to parse is dropped (counted, one ING003 diagnostic at the
+    end); hitting EOF inside an object marks the tail truncated (ING004).
+    Stops at the ``]`` that closes the enclosing array, when present.
+    """
+    records: List[dict] = []
+    bad = 0
+    truncated = False
+    i, n = start, len(text)
+    while i < n:
+        c = text[i]
+        if c == "]":
+            break
+        if c != "{":
+            i += 1
+            continue
+        # balanced walk from the opening brace
+        depth = 0
+        in_str = False
+        esc = False
+        j = i
+        end = -1
+        while j < n:
+            ch = text[j]
+            if in_str:
+                if esc:
+                    esc = False
+                elif ch == "\\":
+                    esc = True
+                elif ch == '"':
+                    in_str = False
+            elif ch == '"':
+                in_str = True
+            elif ch == "{":
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+                if depth == 0:
+                    end = j + 1
+                    break
+            j += 1
+        if end < 0:
+            truncated = True
+            break
+        try:
+            obj = json.loads(text[i:end])
+        except ValueError:
+            obj = None
+        if isinstance(obj, dict):
+            records.append(obj)
+            budget.charge_events(1)
+        else:
+            bad += 1
+        i = end
+    if bad:
+        report.n_dropped += bad
+        report.repair("ING003",
+                      f"dropped {bad} unparseable record(s) during "
+                      f"tolerant scan")
+    if truncated:
+        report.repair("ING004",
+                      "input ends mid-record; truncated tail discarded")
+    return records
+
+
+def _extract_records(text: str, report: IngestReport,
+                     budget: IngestBudget) -> List[dict]:
+    """All record dicts in ``text``, tolerating a damaged container."""
+    try:
+        doc = json.loads(text)
+    except ValueError:
+        doc = None
+    if doc is not None:
+        if isinstance(doc, dict):
+            events = doc.get("traceEvents")
+        elif isinstance(doc, list):
+            events = doc
+        else:
+            events = None
+        if not isinstance(events, list):
+            report.reject("ING002",
+                          "valid JSON but not a Chrome trace (no "
+                          "traceEvents array)")
+            raise ValueError("not a chrome trace container")
+        records = []
+        bad = 0
+        for rec in events:
+            if isinstance(rec, dict):
+                records.append(rec)
+                budget.charge_events(1)
+            else:
+                bad += 1
+        if bad:
+            report.n_dropped += bad
+            report.repair("ING003",
+                          f"dropped {bad} non-object record(s)")
+        return records
+
+    # container damaged: scan for records inside the traceEvents array,
+    # a bare array, or concatenated / line-delimited objects
+    key = text.find('"traceEvents"')
+    if key >= 0:
+        start = text.find("[", key)
+        if start >= 0:
+            return _scan_objects(text, start + 1, report, budget)
+    stripped = text.lstrip()
+    if stripped.startswith("["):
+        offset = len(text) - len(stripped)
+        return _scan_objects(text, offset + 1, report, budget)
+    if stripped.startswith("{"):
+        return _scan_objects(text, len(text) - len(stripped), report,
+                             budget)
+    report.reject("ING002", "input is neither valid JSON nor a "
+                            "recognizable Chrome trace fragment")
+    raise ValueError("unrecognized container")
+
+
+# -- lossless reconstruction from the repro.raw sidecar ------------------
+
+def _validate_header(args: dict, budget: IngestBudget):
+    """Decode the ``repro_trace`` header; :class:`_SidecarCorrupt` if bad."""
+    if not isinstance(args, dict):
+        raise _SidecarCorrupt("header args is not an object")
+    if args.get("format") != CHROME_RAW_FORMAT:
+        raise _SidecarCorrupt(
+            f"unknown sidecar format {args.get('format')!r}")
+    mode = args.get("mode")
+    if not isinstance(mode, str) or mode not in MODES:
+        raise _SidecarCorrupt(f"unknown mode {mode!r}")
+    locs = args.get("locations")
+    if not isinstance(locs, list):
+        raise _SidecarCorrupt("locations is not a list")
+    budget.check_locations(len(locs))
+    locations: List[Tuple[int, int]] = []
+    for entry in locs:
+        if (not isinstance(entry, (list, tuple)) or len(entry) != 2
+                or not _is_int(entry[0]) or not _is_int(entry[1])
+                or entry[0] < 0 or entry[1] < 0):
+            raise _SidecarCorrupt(f"bad location entry {entry!r}")
+        locations.append((entry[0], entry[1]))
+    if len(set(locations)) != len(locations):
+        raise _SidecarCorrupt("duplicate (rank, thread) location")
+    names = args.get("regions")
+    paradigms = args.get("paradigms")
+    if (not isinstance(names, list) or not isinstance(paradigms, list)
+            or len(names) != len(paradigms)):
+        raise _SidecarCorrupt("region/paradigm tables malformed")
+    budget.check_regions(len(names))
+    regions = RegionRegistry()
+    for name, paradigm in zip(names, paradigms):
+        if not isinstance(name, str) or not isinstance(paradigm, str):
+            raise _SidecarCorrupt("non-string region entry")
+        if regions.intern(name, paradigm) != len(regions) - 1:
+            raise _SidecarCorrupt(f"duplicate region name {name!r}")
+    runtime = args.get("runtime")
+    if not _is_num(runtime) or runtime < 0:
+        runtime = 0.0
+    return mode, regions, locations, float(runtime)
+
+
+def _decode_raw_event(args: dict, n_locs: int, n_regions: int):
+    """One ``cat:"repro.raw"`` record -> ``(loc, Ev)``, or ``None`` if bad."""
+    if not isinstance(args, dict):
+        return None
+    loc = args.get("loc")
+    et = args.get("etype")
+    region = args.get("region")
+    t = args.get("t")
+    if (not _is_int(loc) or not 0 <= loc < n_locs
+            or not _is_int(et) or et not in EVENT_NAMES
+            or not _is_int(region) or not -1 <= region < n_regions
+            or not _is_num(t)):
+        return None
+    t_enter = args.get("t_enter", 0.0)
+    if not _is_num(t_enter):
+        return None
+    aux = args.get("aux")
+    if et in _PAIR_AUX:
+        if (not isinstance(aux, (list, tuple)) or len(aux) != 2
+                or not _is_int(aux[0]) or not _is_int(aux[1])):
+            return None
+        aux = (aux[0], aux[1])
+    elif et in _SCALAR_AUX:
+        if not _is_int(aux):
+            return None
+    elif aux is not None:
+        return None
+    delta = args.get("delta")
+    if delta is None:
+        wd = EMPTY_DELTA
+    else:
+        if not isinstance(delta, dict):
+            return None
+        kw = {}
+        for k, v in delta.items():
+            if k not in _DELTA_FIELDS or not _is_num(v) or v < 0:
+                return None
+            kw[k] = float(v)
+        wd = WorkDelta(**kw) if kw else EMPTY_DELTA
+    return loc, Ev(et, region, float(t), wd, aux, float(t_enter))
+
+
+def _reconstruct_lossless(header_args: dict, raw_records: List[dict],
+                          report: IngestReport,
+                          budget: IngestBudget) -> PendingTrace:
+    mode, regions, locations, runtime = _validate_header(header_args,
+                                                         budget)
+    events: List[List[Ev]] = [[] for _ in locations]
+    bad = 0
+    for rec in raw_records:
+        decoded = _decode_raw_event(rec.get("args"), len(locations),
+                                    len(regions))
+        if decoded is None:
+            bad += 1
+            continue
+        loc, ev = decoded
+        events[loc].append(ev)
+    if raw_records and bad == len(raw_records):
+        raise _SidecarCorrupt("every raw record is malformed")
+    if bad:
+        report.n_dropped += bad
+        report.repair("ING003",
+                      f"dropped {bad} malformed raw record(s)")
+    report.n_records += len(raw_records) - bad
+    return PendingTrace(mode=mode, regions=regions, locations=locations,
+                        events=events, runtime=runtime)
+
+
+# -- foreign reconstruction from visible X / B / E events ----------------
+
+def _collect_intervals(records: List[dict], report: IngestReport):
+    """Group usable duration events into per-``(pid, tid)`` intervals.
+
+    Returns ``{(pid, tid): [(t0, t1, name), ...]}`` in seconds.  ``B``
+    events are closed by the next ``E`` on the same location (Chrome
+    semantics: ``E`` closes the innermost open slice); stray ``E`` s are
+    dropped, unclosed ``B`` s are closed at the location's last
+    timestamp and counted as an ING009 repair.
+    """
+    intervals = {}
+    open_b = {}
+    last_ts = {}
+    bad = 0
+    stray_e = 0
+    unclosed = 0
+    for rec in records:
+        ph = rec.get("ph")
+        if ph not in ("X", "B", "E"):
+            continue  # metadata, counters, instants: valid but not trace
+        ts = rec.get("ts")
+        pid = rec.get("pid", 0)
+        tid = rec.get("tid", 0)
+        if not _is_num(ts) or not _is_int(pid) or not _is_int(tid):
+            bad += 1
+            continue
+        key = (pid, tid)
+        t0 = ts * _US
+        last_ts[key] = max(last_ts.get(key, t0), t0)
+        if ph == "X":
+            dur = rec.get("dur", 0.0)
+            name = rec.get("name")
+            if not _is_num(dur) or dur < 0 or not isinstance(name, str):
+                bad += 1
+                continue
+            t1 = t0 + dur * _US
+            intervals.setdefault(key, []).append((t0, t1, name))
+            last_ts[key] = max(last_ts[key], t1)
+        elif ph == "B":
+            name = rec.get("name")
+            if not isinstance(name, str):
+                bad += 1
+                continue
+            open_b.setdefault(key, []).append((t0, name))
+        else:  # "E"
+            stack = open_b.get(key)
+            if not stack:
+                stray_e += 1
+                continue
+            t0_open, name = stack.pop()
+            intervals.setdefault(key, []).append(
+                (t0_open, max(t0, t0_open), name))
+    for key, stack in open_b.items():
+        while stack:
+            t0_open, name = stack.pop()
+            t1 = max(last_ts.get(key, t0_open), t0_open)
+            intervals.setdefault(key, []).append((t0_open, t1, name))
+            unclosed += 1
+    if bad:
+        report.n_dropped += bad
+        report.repair("ING003",
+                      f"dropped {bad} malformed duration event(s)")
+    if stray_e:
+        report.n_dropped += stray_e
+        report.repair("ING009",
+                      f"dropped {stray_e} 'E' event(s) with no open 'B'")
+    if unclosed:
+        report.repair("ING009",
+                      f"closed {unclosed} unterminated 'B' event(s) at "
+                      f"the location's last timestamp")
+    return intervals
+
+
+def _nest_intervals(pairs, regions: RegionRegistry, report: IngestReport,
+                    loc: int) -> List[Ev]:
+    """Turn possibly-overlapping intervals into a nested ENTER/LEAVE list.
+
+    Sorted by ``(t0, -t1)`` so an enclosing interval precedes its
+    children; a child overhanging its parent is clamped to the parent's
+    end (one ING009 diagnostic per location, occurrences counted).
+    """
+    pairs = sorted(pairs, key=lambda p: (p[0], -p[1]))
+    out: List[Ev] = []
+    stack: List[Tuple[int, float]] = []  # (region id, t_end)
+    clamped = 0
+
+    def pop_until(t: float) -> None:
+        while stack and stack[-1][1] <= t:
+            rid, t_end = stack.pop()
+            out.append(Ev(LEAVE, rid, t_end))
+
+    for t0, t1, name in pairs:
+        pop_until(t0)
+        if stack and t1 > stack[-1][1]:
+            t1 = stack[-1][1]
+            clamped += 1
+        rid = regions.intern(name)
+        out.append(Ev(ENTER, rid, t0))
+        stack.append((rid, max(t1, t0)))
+    pop_until(math.inf)
+    if clamped:
+        report.repair(
+            "ING009",
+            f"clamped {clamped} overlapping interval(s) to proper "
+            f"nesting", location=loc)
+    return out
+
+
+def _reconstruct_foreign(records: List[dict], report: IngestReport,
+                         budget: IngestBudget) -> PendingTrace:
+    intervals = _collect_intervals(records, report)
+    if not intervals:
+        report.reject("ING002", "input contains no usable trace events")
+        raise ValueError("no trace events")
+    keys = sorted(intervals)
+    budget.check_locations(len(keys))
+    pids = sorted({pid for pid, _tid in keys})
+    rank_of = {pid: i for i, pid in enumerate(pids)}
+    locations: List[Tuple[int, int]] = []
+    for pid in pids:
+        tids = sorted(tid for p, tid in keys if p == pid)
+        for thread, _tid in enumerate(tids):
+            locations.append((rank_of[pid], thread))
+    loc_of = {}
+    for pid in pids:
+        tids = sorted(tid for p, tid in keys if p == pid)
+        for thread, tid in enumerate(tids):
+            loc_of[(pid, tid)] = locations.index((rank_of[pid], thread))
+    regions = RegionRegistry()
+    events: List[List[Ev]] = [[] for _ in locations]
+    runtime = 0.0
+    for key in keys:
+        loc = loc_of[key]
+        evs = _nest_intervals(intervals[key], regions, report, loc)
+        budget.check_regions(len(regions))
+        events[loc] = evs
+        if evs:
+            runtime = max(runtime, evs[-1].t)
+        report.n_records += len(intervals[key])
+    return PendingTrace(mode="tsc", regions=regions, locations=locations,
+                        events=events, runtime=runtime)
+
+
+# -- entry point ---------------------------------------------------------
+
+def parse_chrome(text: str, report: IngestReport,
+                 budget: IngestBudget) -> PendingTrace:
+    """Parse Chrome trace-event JSON into a :class:`PendingTrace`.
+
+    Prefers the lossless ``repro.raw`` sidecar when present and intact;
+    otherwise reconstructs from visible duration events.  Raises
+    ``ValueError`` after recording an ING rejection when nothing usable
+    remains.
+    """
+    records = _extract_records(text, report, budget)
+    header: Optional[dict] = None
+    raw: List[dict] = []
+    visible: List[dict] = []
+    for rec in records:
+        if rec.get("cat") == "repro.raw":
+            raw.append(rec)
+        elif (rec.get("name") == "repro_trace"
+                and rec.get("cat") == "repro.meta" and header is None):
+            header = rec.get("args")
+        else:
+            visible.append(rec)
+    if header is not None:
+        try:
+            return _reconstruct_lossless(header, raw, report, budget)
+        except _SidecarCorrupt as exc:
+            report.repair("ING003",
+                          f"embedded raw sidecar unusable ({exc}); "
+                          f"reconstructing from visible events")
+    return _reconstruct_foreign(visible, report, budget)

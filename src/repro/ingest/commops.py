@@ -1,0 +1,531 @@
+"""Comm-op schema: dumpi/param-style MPI op lists -> replayable programs.
+
+The ``repro-commops-1`` schema is a minimal interchange format for the
+kind of per-rank operation logs that MPI trace converters (dumpi,
+ipm, param benchmarks) emit: one record per operation, each naming its
+rank, op kind, and the few fields the simulator needs.  Two container
+layouts are accepted:
+
+* a single JSON document ``{"format": "repro-commops-1", "n_ranks": N,
+  "ops": [...]}``
+* JSON lines: a header object on line one, one op object per line after
+
+Ops: ``enter``/``leave`` (region), ``compute`` (seconds or units),
+``send``/``isend``/``recv``/``irecv`` (peer, tag, bytes; ``"any"`` peer
+on receives maps to ``MPI_ANY_SOURCE``), ``wait``/``waitall`` (implicit
+request queue, oldest-first), ``allreduce``/``alltoall``/``allgather``/
+``bcast``/``reduce``/``barrier``.
+
+Salvage normalises the per-rank sequences until the whole set is
+*replayable*: region stacks balanced (ING009), request discipline
+repaired (ING006), unmatched point-to-point traffic trimmed (ING006),
+and collective sequences truncated to the longest prefix all ranks
+agree on (ING007).  The accept gate is the static program linter
+(:func:`repro.verify.lint_program`) -- a salvaged op set that still
+deadlocks or mismatches is rejected with ING013.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.ingest.limits import IngestBudget
+from repro.ingest.report import IngestReport
+from repro.sim.actions import (
+    ANY_SOURCE,
+    Allgather,
+    Allreduce,
+    Alltoall,
+    Barrier,
+    Bcast,
+    Compute,
+    Enter,
+    Irecv,
+    Isend,
+    Leave,
+    Recv,
+    Reduce,
+    Send,
+    Wait,
+    Waitall,
+)
+from repro.sim.kernels import KernelSpec
+from repro.sim.program import Program
+
+__all__ = ["COMMOPS_FORMAT", "ReplayProgram", "parse_commops",
+           "commops_doc"]
+
+COMMOPS_FORMAT = "repro-commops-1"
+
+#: kernel backing ``compute`` ops; ``seconds`` are converted to units of
+#: this spec (1 unit ~ 1 us of balanced flop/byte work on the test
+#: cluster -- the exact rate does not matter, only that it is fixed)
+INGEST_KERNEL = KernelSpec.balanced(
+    "ingest_compute", flops_per_unit=2.0e3, bytes_per_unit=1.6e4)
+_UNITS_PER_SECOND = 1.0e6
+
+_P2P_OPS = ("send", "isend", "recv", "irecv")
+_COLLECTIVES = ("allreduce", "alltoall", "allgather", "bcast", "reduce",
+                "barrier")
+_KNOWN_OPS = (("enter", "leave", "compute", "wait", "waitall")
+              + _P2P_OPS + _COLLECTIVES)
+
+
+def _is_num(x) -> bool:
+    return isinstance(x, (int, float)) and not isinstance(x, bool) \
+        and math.isfinite(x)
+
+
+def _is_int(x) -> bool:
+    return isinstance(x, int) and not isinstance(x, bool)
+
+
+# -- parsing -------------------------------------------------------------
+
+def _extract(text: str, report: IngestReport,
+             budget: IngestBudget) -> Tuple[Optional[dict], List[dict]]:
+    """Return ``(header, op_records)`` tolerating container damage."""
+    try:
+        doc = json.loads(text)
+    except ValueError:
+        doc = None
+    if isinstance(doc, dict) and isinstance(doc.get("ops"), list):
+        ops = []
+        bad = 0
+        for rec in doc["ops"]:
+            if isinstance(rec, dict):
+                ops.append(rec)
+                budget.charge_events(1)
+            else:
+                bad += 1
+        if bad:
+            report.n_dropped += bad
+            report.repair("ING003", f"dropped {bad} non-object op(s)")
+        return doc, ops
+
+    # JSON lines, or a damaged single document: per-line parse with a
+    # balanced-brace rescue for the truncated tail
+    header: Optional[dict] = None
+    ops: List[dict] = []
+    bad = 0
+    truncated = False
+    lines = text.splitlines()
+    for idx, line in enumerate(lines):
+        line = line.strip().rstrip(",")
+        if not line or line in ("[", "]", "{", "}"):
+            continue
+        try:
+            obj = json.loads(line)
+        except ValueError:
+            if idx == len(lines) - 1:
+                truncated = True
+            else:
+                bad += 1
+            continue
+        if not isinstance(obj, dict):
+            bad += 1
+            continue
+        if obj.get("format") == COMMOPS_FORMAT and header is None:
+            header = obj
+        elif "op" in obj:
+            ops.append(obj)
+            budget.charge_events(1)
+        else:
+            bad += 1
+    if bad:
+        report.n_dropped += bad
+        report.repair("ING003",
+                      f"dropped {bad} unparseable line(s)")
+    if truncated:
+        report.repair("ING004",
+                      "input ends mid-record; truncated tail discarded")
+    if not ops and header is None:
+        # last resort: balanced-brace rescue over the whole text (covers
+        # a damaged pretty-printed document, where no single line parses)
+        from repro.ingest.chrome import _scan_objects
+
+        for obj in _scan_objects(text, 0, report, budget):
+            if obj.get("format") == COMMOPS_FORMAT and header is None:
+                header = obj
+            elif "op" in obj:
+                ops.append(obj)
+    if not ops and header is None:
+        report.reject("ING002", "no comm-op records found")
+        raise ValueError("not a commops document")
+    return header, ops
+
+
+def _decode_op(rec: dict, n_ranks: int) -> Optional[Tuple[int, tuple]]:
+    """Validate one op record -> ``(rank, normalized_op)`` or ``None``."""
+    rank = rec.get("rank")
+    kind = rec.get("op")
+    if (not _is_int(rank) or not 0 <= rank < n_ranks
+            or kind not in _KNOWN_OPS):
+        return None
+    if kind in ("enter", "leave"):
+        region = rec.get("region")
+        if kind == "leave" and region is None:
+            return rank, (kind, None)
+        if not isinstance(region, str) or not region:
+            return None
+        return rank, (kind, region)
+    if kind == "compute":
+        units = rec.get("units")
+        if units is None and _is_num(rec.get("seconds")):
+            units = rec["seconds"] * _UNITS_PER_SECOND
+        if not _is_num(units) or units < 0:
+            return None
+        return rank, (kind, float(units))
+    if kind in _P2P_OPS:
+        peer = rec.get("peer")
+        tag = rec.get("tag", 0)
+        if kind in ("recv", "irecv") and peer == "any":
+            peer = ANY_SOURCE
+        if not _is_int(tag) or tag < 0:
+            return None
+        if not _is_int(peer) or peer >= n_ranks or (
+                peer < 0 and peer != ANY_SOURCE):
+            return None
+        if peer == ANY_SOURCE and kind in ("send", "isend"):
+            return None
+        nbytes = rec.get("bytes", 8.0)
+        if not _is_num(nbytes) or nbytes < 0:
+            return None
+        return rank, (kind, peer, tag, float(nbytes))
+    if kind in ("wait", "waitall"):
+        return rank, (kind,)
+    # collectives
+    nbytes = rec.get("bytes", 8.0)
+    if not _is_num(nbytes) or nbytes < 0:
+        return None
+    root = rec.get("root", 0)
+    if not _is_int(root) or not 0 <= root < n_ranks:
+        root = 0
+    return rank, (kind, root, float(nbytes))
+
+
+# -- salvage -------------------------------------------------------------
+
+def _balance_regions(ops: List[tuple], report: IngestReport,
+                     rank: int) -> List[tuple]:
+    out: List[tuple] = []
+    stack: List[str] = []
+    dropped = 0
+    for op in ops:
+        if op[0] == "enter":
+            stack.append(op[1])
+            out.append(op)
+        elif op[0] == "leave":
+            if not stack:
+                dropped += 1
+                continue
+            top = stack.pop()
+            if op[1] is not None and op[1] != top:
+                # close with the region actually open
+                out.append(("leave", top))
+                continue
+            out.append(("leave", top))
+        else:
+            out.append(op)
+    synthesized = len(stack)
+    while stack:
+        out.append(("leave", stack.pop()))
+    if dropped or synthesized:
+        report.repair(
+            "ING009",
+            f"dropped {dropped} stray leave(s), synthesized "
+            f"{synthesized} missing leave(s)", rank=rank)
+    return out
+
+
+def _repair_requests(ops: List[tuple], report: IngestReport,
+                     rank: int) -> List[tuple]:
+    out: List[tuple] = []
+    outstanding = 0
+    dropped_waits = 0
+    for op in ops:
+        if op[0] in ("isend", "irecv"):
+            outstanding += 1
+            out.append(op)
+        elif op[0] == "wait":
+            if outstanding == 0:
+                dropped_waits += 1
+                continue
+            outstanding -= 1
+            out.append(op)
+        elif op[0] == "waitall":
+            outstanding = 0
+            out.append(op)
+        else:
+            out.append(op)
+    synthesized = 0
+    if outstanding:
+        out.append(("waitall",))
+        synthesized = outstanding
+    if dropped_waits or synthesized:
+        report.repair(
+            "ING006",
+            f"dropped {dropped_waits} wait(s) with no outstanding "
+            f"request, flushed {synthesized} trailing request(s) with "
+            f"a synthesized waitall", rank=rank)
+    return out
+
+
+def _trim_unmatched_p2p(rank_ops: List[List[tuple]],
+                        report: IngestReport) -> None:
+    """Drop excess sends/recvs so every channel's counts agree.
+
+    Named traffic is matched per ``(src, dst, tag)`` channel; leftover
+    sends may feed wildcard receives on their destination (per
+    ``(dst, tag)``).  Excess operations are dropped from the *tail* of
+    each rank's sequence (damage usually truncates tails).
+    """
+    sends: Dict[tuple, int] = {}
+    recvs: Dict[tuple, int] = {}
+    wild: Dict[tuple, int] = {}
+    for rank, ops in enumerate(rank_ops):
+        for op in ops:
+            if op[0] in ("send", "isend"):
+                sends[(rank, op[1], op[2])] = \
+                    sends.get((rank, op[1], op[2]), 0) + 1
+            elif op[0] in ("recv", "irecv"):
+                if op[1] == ANY_SOURCE:
+                    wild[(rank, op[2])] = wild.get((rank, op[2]), 0) + 1
+                else:
+                    recvs[(op[1], rank, op[2])] = \
+                        recvs.get((op[1], rank, op[2]), 0) + 1
+
+    drop_send: Dict[tuple, int] = {}
+    drop_recv: Dict[tuple, int] = {}
+    drop_wild: Dict[tuple, int] = {}
+    spare: Dict[tuple, int] = {}  # sends left for wildcards, per (dst, tag)
+    for chan, n_send in sends.items():
+        src, dst, tag = chan
+        n_recv = recvs.get(chan, 0)
+        if n_send > n_recv:
+            spare[(dst, tag)] = spare.get((dst, tag), 0) + n_send - n_recv
+    for chan, n_recv in recvs.items():
+        n_send = sends.get(chan, 0)
+        if n_recv > n_send:
+            drop_recv[chan] = n_recv - n_send
+    for key, n_wild in wild.items():
+        supply = spare.get(key, 0)
+        if n_wild > supply:
+            drop_wild[key] = n_wild - supply
+        else:
+            spare[key] = supply - n_wild
+    for key, leftover in spare.items():
+        dst, tag = key
+        # distribute the drop over the sending channels of this (dst, tag)
+        for chan in sorted(sends):
+            if leftover <= 0:
+                break
+            if chan[1] != dst or chan[2] != tag:
+                continue
+            excess = sends[chan] - recvs.get(chan, 0) \
+                - drop_send.get(chan, 0)
+            take = min(excess, leftover)
+            if take > 0:
+                drop_send[chan] = drop_send.get(chan, 0) + take
+                leftover -= take
+
+    total = sum(drop_send.values()) + sum(drop_recv.values()) \
+        + sum(drop_wild.values())
+    if not total:
+        return
+    for rank, ops in enumerate(rank_ops):
+        kept: List[tuple] = []
+        for op in reversed(ops):
+            if op[0] in ("send", "isend"):
+                chan = (rank, op[1], op[2])
+                if drop_send.get(chan, 0) > 0:
+                    drop_send[chan] -= 1
+                    continue
+            elif op[0] in ("recv", "irecv"):
+                if op[1] == ANY_SOURCE:
+                    key = (rank, op[2])
+                    if drop_wild.get(key, 0) > 0:
+                        drop_wild[key] -= 1
+                        continue
+                else:
+                    chan = (op[1], rank, op[2])
+                    if drop_recv.get(chan, 0) > 0:
+                        drop_recv[chan] -= 1
+                        continue
+            kept.append(op)
+        kept.reverse()
+        rank_ops[rank] = kept
+    report.repair("ING006",
+                  f"dropped {total} unmatched point-to-point op(s)")
+
+
+def _truncate_collectives(rank_ops: List[List[tuple]],
+                          report: IngestReport) -> None:
+    """Keep the longest collective prefix every rank agrees on (ING007)."""
+    seqs = [[op for op in ops if op[0] in _COLLECTIVES]
+            for ops in rank_ops]
+    if not seqs:
+        return
+    depth = 0
+    limit = min(len(s) for s in seqs)
+    while depth < limit:
+        sig = {(s[depth][0], s[depth][1]) for s in seqs}
+        if len(sig) != 1:
+            break
+        depth += 1
+    dropped = sum(len(s) - depth for s in seqs)
+    if not dropped:
+        return
+    for rank, ops in enumerate(rank_ops):
+        kept: List[tuple] = []
+        seen = 0
+        for op in ops:
+            if op[0] in _COLLECTIVES:
+                seen += 1
+                if seen > depth:
+                    continue
+            kept.append(op)
+        rank_ops[rank] = kept
+    report.repair(
+        "ING007",
+        f"truncated collective sequences to a common prefix of "
+        f"{depth} (dropped {dropped} op(s))")
+
+
+# -- the replayable program ---------------------------------------------
+
+class ReplayProgram(Program):
+    """A :class:`~repro.sim.program.Program` driven by ingested op lists."""
+
+    def __init__(self, rank_ops: List[List[tuple]],
+                 name: str = "ingested"):
+        self.name = name
+        self.n_ranks = len(rank_ops)
+        self.threads_per_rank = 1
+        self.rank_ops = rank_ops
+        self.working_set_bytes = 1 << 20
+
+    @property
+    def n_ops(self) -> int:
+        return sum(len(ops) for ops in self.rank_ops)
+
+    def make_rank(self, ctx):
+        pending: List[int] = []
+        for op in self.rank_ops[ctx.rank]:
+            kind = op[0]
+            if kind == "enter":
+                yield Enter(op[1])
+            elif kind == "leave":
+                yield Leave(op[1])
+            elif kind == "compute":
+                yield Compute(INGEST_KERNEL, op[1])
+            elif kind == "send":
+                yield Send(dest=op[1], tag=op[2], nbytes=op[3])
+            elif kind == "isend":
+                pending.append((yield Isend(dest=op[1], tag=op[2],
+                                            nbytes=op[3])))
+            elif kind == "recv":
+                yield Recv(source=op[1], tag=op[2])
+            elif kind == "irecv":
+                pending.append((yield Irecv(source=op[1], tag=op[2])))
+            elif kind == "wait":
+                yield Wait(pending.pop(0))
+            elif kind == "waitall":
+                yield Waitall(tuple(pending))
+                pending.clear()
+            elif kind == "allreduce":
+                yield Allreduce(nbytes=op[2])
+            elif kind == "alltoall":
+                yield Alltoall(nbytes_per_pair=op[2])
+            elif kind == "allgather":
+                yield Allgather(nbytes_per_rank=op[2])
+            elif kind == "bcast":
+                yield Bcast(root=op[1], nbytes=op[2])
+            elif kind == "reduce":
+                yield Reduce(root=op[1], nbytes=op[2])
+            elif kind == "barrier":
+                yield Barrier()
+
+
+def commops_doc(program: ReplayProgram) -> dict:
+    """The normalized ``repro-commops-1`` document for ``program``."""
+    ops = []
+    for rank, rank_ops in enumerate(program.rank_ops):
+        for op in rank_ops:
+            rec = {"rank": rank, "op": op[0]}
+            if op[0] in ("enter", "leave"):
+                rec["region"] = op[1]
+            elif op[0] == "compute":
+                rec["units"] = op[1]
+            elif op[0] in _P2P_OPS:
+                rec["peer"] = "any" if op[1] == ANY_SOURCE else op[1]
+                rec["tag"] = op[2]
+                rec["bytes"] = op[3]
+            elif op[0] in _COLLECTIVES:
+                rec["root"] = op[1]
+                rec["bytes"] = op[2]
+            ops.append(rec)
+    return {"format": COMMOPS_FORMAT, "n_ranks": program.n_ranks,
+            "ops": ops}
+
+
+# -- entry point ---------------------------------------------------------
+
+def parse_commops(text: str, report: IngestReport,
+                  budget: IngestBudget) -> ReplayProgram:
+    """Parse and salvage a comm-op document into a lintable program.
+
+    The returned program has NOT passed the lint gate yet; the pipeline
+    runs :func:`repro.verify.lint_program` and rejects with ING013 when
+    the salvaged op set is still not replayable.
+    """
+    header, records = _extract(text, report, budget)
+
+    n_ranks = None
+    if header is not None and _is_int(header.get("n_ranks")) \
+            and header["n_ranks"] > 0:
+        n_ranks = header["n_ranks"]
+    if n_ranks is None:
+        seen = [r.get("rank") for r in records]
+        ranks = [r for r in seen if _is_int(r) and r >= 0]
+        if not ranks:
+            report.reject("ING002",
+                          "cannot determine the rank count (no header, "
+                          "no usable rank fields)")
+            raise ValueError("rank count unknown")
+        n_ranks = max(ranks) + 1
+        report.repair("ING003",
+                      f"header missing or damaged; inferred "
+                      f"n_ranks={n_ranks} from op records")
+    budget.check_ranks(n_ranks)
+
+    rank_ops: List[List[tuple]] = [[] for _ in range(n_ranks)]
+    bad = 0
+    for rec in records:
+        decoded = _decode_op(rec, n_ranks)
+        if decoded is None:
+            bad += 1
+            continue
+        rank, op = decoded
+        rank_ops[rank].append(op)
+    if bad:
+        report.n_dropped += bad
+        report.repair("ING003", f"dropped {bad} malformed op(s)")
+    report.n_records += len(records) - bad
+    if all(not ops for ops in rank_ops):
+        report.reject("ING002", "no usable comm-op records remain")
+        raise ValueError("no usable ops")
+
+    budget.check_deadline()
+    for rank in range(n_ranks):
+        rank_ops[rank] = _balance_regions(rank_ops[rank], report, rank)
+        rank_ops[rank] = _repair_requests(rank_ops[rank], report, rank)
+    _trim_unmatched_p2p(rank_ops, report)
+    _truncate_collectives(rank_ops, report)
+    # trimming p2p can strand waits again (their request was dropped)
+    for rank in range(n_ranks):
+        rank_ops[rank] = _repair_requests(rank_ops[rank], report, rank)
+    budget.check_deadline()
+    return ReplayProgram(rank_ops)

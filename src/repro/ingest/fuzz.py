@@ -1,0 +1,336 @@
+"""Seeded corpus-mutation fuzzer for the ingestion pipeline.
+
+The harness asserts the pipeline's contract on every mutated input:
+*parse*, *repair-with-report*, or *reject-with-diagnostic* -- never an
+uncaught exception, never a hang (a short wall-clock deadline is part of
+the limits under test), and never an accepted trace the sanitizer
+rejects.  Fully deterministic: the corpus is generated from fixed
+engine runs and every mutation is drawn from a seeded PRNG, so a
+failing seed reproduces exactly.
+
+Run via ``repro-ingest fuzz`` or :func:`run_fuzz` directly; the bounded
+default budget also runs inside the test suite and CI.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.ingest.limits import IngestLimits
+from repro.ingest.pipeline import IngestError, ingest_bytes
+from repro.verify.sanitizer import sanitize_raw
+from repro.verify.rules import RULES, Severity
+
+__all__ = ["FuzzFailure", "FuzzStats", "build_corpus", "mutate",
+           "run_fuzz", "MUTATORS"]
+
+#: limits used while fuzzing: small enough that cap handling is
+#: exercised and a hang is caught quickly, large enough that the corpus
+#: itself is accepted unmutated
+FUZZ_LIMITS = IngestLimits(
+    max_bytes=8 * 1024 * 1024,
+    max_events=200_000,
+    max_locations=256,
+    max_regions=4096,
+    max_ranks=256,
+    timeout_seconds=20.0,
+)
+
+
+@dataclass
+class FuzzFailure:
+    """One contract violation (kept for the report; fails the run)."""
+
+    seed: int
+    corpus: str
+    mutator: str
+    reason: str
+    blob_head: bytes
+
+
+@dataclass
+class FuzzStats:
+    """Tally of one fuzzing run."""
+
+    n_inputs: int = 0
+    accepted: int = 0
+    repaired: int = 0
+    rejected: int = 0
+    failures: List[FuzzFailure] = field(default_factory=list)
+    rule_counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def format(self) -> str:
+        lines = [
+            f"fuzz: {self.n_inputs} input(s) -> {self.accepted} accepted "
+            f"clean, {self.repaired} repaired, {self.rejected} rejected, "
+            f"{len(self.failures)} contract violation(s)"
+        ]
+        for rid in sorted(self.rule_counts):
+            lines.append(f"  {rid}: {self.rule_counts[rid]}")
+        for f in self.failures[:10]:
+            lines.append(f"  FAIL seed={f.seed} corpus={f.corpus} "
+                         f"mutator={f.mutator}: {f.reason}")
+        return "\n".join(lines)
+
+
+# -- corpus --------------------------------------------------------------
+
+def _engine_trace():
+    from repro.machine.noise import NoiseModel, ZeroNoise
+    from repro.machine.presets import small_test_cluster
+    from repro.measure import Measurement
+    from repro.miniapps.minife import MiniFE, MiniFEConfig
+    from repro.sim import CostModel
+    from repro.sim.engine import Engine
+
+    cluster = small_test_cluster(cores_per_numa=8, numa_per_socket=2)
+    program = MiniFE(MiniFEConfig.tiny(nx=16, cg_iters=2))
+    cost = CostModel(cluster, noise=NoiseModel(ZeroNoise(), seed=1))
+    engine = Engine(program, cluster, cost,
+                    measurement=Measurement("lt1"))
+    return engine.run().trace
+
+
+def build_corpus() -> List[Tuple[str, bytes]]:
+    """Deterministic seed inputs: one per format/container variant."""
+    from repro.obs.export import trace_chrome_events
+
+    trace = _engine_trace()
+    lossless = json.dumps(
+        {"traceEvents": list(trace_chrome_events(trace,
+                                                 embed_raw=True))}).encode()
+    foreign = json.dumps(
+        {"traceEvents": list(trace_chrome_events(trace))}).encode()
+
+    ops = []
+    for rank in range(4):
+        peer = rank ^ 1
+        ops += [
+            {"rank": rank, "op": "enter", "region": "step"},
+            {"rank": rank, "op": "compute", "seconds": 1e-4},
+            {"rank": rank, "op": "isend", "peer": peer, "tag": 7,
+             "bytes": 4096},
+            {"rank": rank, "op": "irecv", "peer": peer, "tag": 7},
+            {"rank": rank, "op": "waitall"},
+            {"rank": rank, "op": "allreduce", "bytes": 8},
+            {"rank": rank, "op": "leave", "region": "step"},
+            {"rank": rank, "op": "barrier"},
+        ]
+    commops_doc = json.dumps(
+        {"format": "repro-commops-1", "n_ranks": 4, "ops": ops}).encode()
+    header = json.dumps({"format": "repro-commops-1", "n_ranks": 4})
+    commops_lines = "\n".join(
+        [header] + [json.dumps(op) for op in ops]).encode()
+
+    return [
+        ("chrome-lossless", lossless),
+        ("chrome-foreign", foreign),
+        ("commops-doc", commops_doc),
+        ("commops-lines", commops_lines),
+    ]
+
+
+# -- mutators ------------------------------------------------------------
+
+def _mut_truncate(data: bytes, rng: random.Random) -> bytes:
+    if len(data) < 2:
+        return data
+    return data[:rng.randrange(1, len(data))]
+
+
+def _mut_bitflip(data: bytes, rng: random.Random) -> bytes:
+    if not data:
+        return data
+    out = bytearray(data)
+    for _ in range(rng.randrange(1, 9)):
+        i = rng.randrange(len(out))
+        out[i] ^= 1 << rng.randrange(8)
+    return bytes(out)
+
+
+def _lines(data: bytes) -> List[bytes]:
+    return data.split(b"\n") if b"\n" in data else data.split(b",")
+
+
+def _mut_drop_chunk(data: bytes, rng: random.Random) -> bytes:
+    parts = _lines(data)
+    if len(parts) < 2:
+        return data
+    del parts[rng.randrange(len(parts))]
+    sep = b"\n" if b"\n" in data else b","
+    return sep.join(parts)
+
+
+def _mut_duplicate_chunk(data: bytes, rng: random.Random) -> bytes:
+    parts = _lines(data)
+    if len(parts) < 2:
+        return data
+    i = rng.randrange(len(parts))
+    parts.insert(i, parts[i])
+    sep = b"\n" if b"\n" in data else b","
+    return sep.join(parts)
+
+
+def _mut_shuffle_chunks(data: bytes, rng: random.Random) -> bytes:
+    parts = _lines(data)
+    if len(parts) < 3:
+        return data
+    i = rng.randrange(len(parts) - 1)
+    parts[i], parts[i + 1] = parts[i + 1], parts[i]
+    sep = b"\n" if b"\n" in data else b","
+    return sep.join(parts)
+
+
+def _mut_splice_junk(data: bytes, rng: random.Random) -> bytes:
+    junk = rng.choice([b"\x00\x01\x02", b"}{", b'"unterminated',
+                       b"NaN,", b"\xff\xfe\xfd", b"]]]]"])
+    i = rng.randrange(len(data) + 1)
+    return data[:i] + junk + data[i:]
+
+
+def _mut_rename_key(data: bytes, rng: random.Random) -> bytes:
+    victims = [b'"ts"', b'"ph"', b'"rank"', b'"op"', b'"loc"',
+               b'"etype"', b'"traceEvents"', b'"format"', b'"aux"']
+    present = [v for v in victims if v in data]
+    if not present:
+        return data
+    v = rng.choice(present)
+    return data.replace(v, b'"zz' + v[1:], rng.randrange(1, 4))
+
+
+def _mut_perturb_number(data: bytes, rng: random.Random) -> bytes:
+    # find a digit run and replace it with a hostile number
+    digits = [i for i, b in enumerate(data[:65536])
+              if 0x30 <= b <= 0x39]
+    if not digits:
+        return data
+    i = rng.choice(digits)
+    j = i
+    while j < len(data) and 0x30 <= data[j] <= 0x39:
+        j += 1
+    repl = rng.choice([b"-1", b"999999999999999999999", b"1e308",
+                       b"0", b"42"])
+    return data[:i] + repl + data[j:]
+
+
+def _mut_gzip_wrap(data: bytes, rng: random.Random) -> bytes:
+    blob = gzip.compress(data)
+    if rng.random() < 0.5 and len(blob) > 8:
+        blob = blob[:rng.randrange(4, len(blob))]  # truncated gzip
+    return blob
+
+
+def _mut_empty(data: bytes, rng: random.Random) -> bytes:
+    return rng.choice([b"", b"{}", b"[]", b"null",
+                       b'{"traceEvents": []}'])
+
+
+def _mut_identity(data: bytes, rng: random.Random) -> bytes:
+    return data
+
+
+MUTATORS: List[Tuple[str, Callable[[bytes, random.Random], bytes]]] = [
+    ("identity", _mut_identity),
+    ("truncate", _mut_truncate),
+    ("bitflip", _mut_bitflip),
+    ("drop-chunk", _mut_drop_chunk),
+    ("dup-chunk", _mut_duplicate_chunk),
+    ("swap-chunks", _mut_shuffle_chunks),
+    ("splice-junk", _mut_splice_junk),
+    ("rename-key", _mut_rename_key),
+    ("perturb-number", _mut_perturb_number),
+    ("gzip-wrap", _mut_gzip_wrap),
+    ("empty", _mut_empty),
+]
+
+
+def mutate(data: bytes, seed: int) -> Tuple[str, bytes]:
+    """Apply 1-3 seeded mutations; returns ``(mutator_names, blob)``."""
+    rng = random.Random(seed)
+    names = []
+    for _ in range(rng.randrange(1, 4)):
+        name, fn = rng.choice(MUTATORS)
+        data = fn(data, rng)
+        names.append(name)
+    return "+".join(names), data
+
+
+# -- harness -------------------------------------------------------------
+
+def _check_one(corpus_name: str, mutator: str, blob: bytes, seed: int,
+               stats: FuzzStats,
+               limits: IngestLimits) -> Optional[FuzzFailure]:
+    stats.n_inputs += 1
+    try:
+        result = ingest_bytes(blob, name=f"fuzz-{seed}", limits=limits)
+    except IngestError as exc:
+        stats.rejected += 1
+        errors = [d for d in exc.report.rejections
+                  if d.rule_id.startswith("ING")
+                  and RULES[d.rule_id].severity == Severity.ERROR]
+        for d in exc.report.rejections + exc.report.repairs:
+            stats.rule_counts[d.rule_id] = \
+                stats.rule_counts.get(d.rule_id, 0) + 1
+        if not errors:
+            return FuzzFailure(seed, corpus_name, mutator,
+                               "rejection without an ING error "
+                               "diagnostic", blob[:64])
+        return None
+    except Exception as exc:  # noqa: BLE001 -- this IS the bug detector
+        return FuzzFailure(seed, corpus_name, mutator,
+                           f"uncaught {type(exc).__name__}: {exc}",
+                           blob[:64])
+    if result.report.repairs:
+        stats.repaired += 1
+    else:
+        stats.accepted += 1
+    for d in result.report.repairs:
+        stats.rule_counts[d.rule_id] = \
+            stats.rule_counts.get(d.rule_id, 0) + 1
+    if result.kind == "trace":
+        residual = [d for d in sanitize_raw(result.trace)
+                    if RULES[d.rule_id].severity == Severity.ERROR]
+        if residual:
+            return FuzzFailure(
+                seed, corpus_name, mutator,
+                f"accepted trace fails the sanitizer: "
+                f"[{residual[0].rule_id}] {residual[0].message}",
+                blob[:64])
+    return None
+
+
+def run_fuzz(n_per_corpus: int = 200, seed: int = 0,
+             limits: Optional[IngestLimits] = None,
+             corpus: Optional[List[Tuple[str, bytes]]] = None,
+             progress: Optional[Callable[[str], None]] = None) -> FuzzStats:
+    """Fuzz every corpus entry with ``n_per_corpus`` seeded mutations.
+
+    Returns the tally; ``stats.ok`` is the pass/fail verdict.  The same
+    ``(seed, n_per_corpus)`` always replays the same inputs.
+    """
+    limits = limits or FUZZ_LIMITS
+    corpus = corpus if corpus is not None else build_corpus()
+    stats = FuzzStats()
+    for corpus_name, base in corpus:
+        for k in range(n_per_corpus):
+            case_seed = (seed * 1_000_003
+                         + zlib.crc32(corpus_name.encode()) % 65536
+                         + k * 7919)
+            mutator, blob = mutate(base, case_seed)
+            failure = _check_one(corpus_name, mutator, blob, case_seed,
+                                 stats, limits)
+            if failure is not None:
+                stats.failures.append(failure)
+        if progress is not None:
+            progress(f"{corpus_name}: {stats.n_inputs} done, "
+                     f"{len(stats.failures)} failure(s)")
+    return stats

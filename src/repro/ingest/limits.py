@@ -1,0 +1,102 @@
+"""Hard resource caps for untrusted-trace ingestion.
+
+Every ingestion run operates under an :class:`IngestLimits` contract: a
+byte cap checked before any parsing, event/location/region/rank caps
+charged while parsing, and a wall-clock deadline polled between records
+and between salvage passes.  Violations raise :class:`IngestCapError`,
+which the pipeline converts into a structured rejection (ING001 for
+resource caps, ING010 for the timeout) -- hostile input can make the
+pipeline *refuse*, never hang or exhaust memory.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+__all__ = ["IngestLimits", "IngestBudget", "IngestCapError"]
+
+
+class IngestCapError(Exception):
+    """A resource cap or the wall-clock deadline was exceeded.
+
+    Internal control flow of :mod:`repro.ingest`: the pipeline catches
+    it and rejects with the carried rule id; it never escapes
+    ``ingest_bytes``.
+    """
+
+    def __init__(self, rule_id: str, message: str):
+        super().__init__(message)
+        self.rule_id = rule_id
+        self.message = message
+
+
+@dataclass(frozen=True)
+class IngestLimits:
+    """Caps one ingestion run must stay within (all have safe defaults)."""
+
+    max_bytes: int = 256 * 1024 * 1024     #: input size cap (pre-parse)
+    max_events: int = 2_000_000            #: total trace events / comm ops
+    max_locations: int = 4096              #: (rank, thread) pairs
+    max_regions: int = 65536               #: distinct region names
+    max_ranks: int = 4096                  #: comm-op schema rank cap
+    timeout_seconds: float = 60.0          #: wall-clock deadline
+
+
+class IngestBudget:
+    """Mutable consumption tracker for one run under an :class:`IngestLimits`.
+
+    ``check_deadline`` is cheap enough to call per record; parsers call
+    it every :data:`DEADLINE_STRIDE` records and between pipeline stages.
+    """
+
+    DEADLINE_STRIDE = 1024
+
+    def __init__(self, limits: IngestLimits, time_fn=time.monotonic):
+        self.limits = limits
+        self._time_fn = time_fn
+        self._t0 = time_fn()
+        self.events = 0
+        self._since_check = 0
+
+    def elapsed(self) -> float:
+        return self._time_fn() - self._t0
+
+    def check_bytes(self, n: int) -> None:
+        if n > self.limits.max_bytes:
+            raise IngestCapError(
+                "ING001", f"input is {n} bytes, cap is "
+                f"{self.limits.max_bytes}")
+
+    def check_deadline(self) -> None:
+        if self.elapsed() > self.limits.timeout_seconds:
+            raise IngestCapError(
+                "ING010", f"ingestion exceeded the "
+                f"{self.limits.timeout_seconds:g}s deadline")
+
+    def charge_events(self, n: int = 1) -> None:
+        """Count ``n`` parsed records; polls the deadline periodically."""
+        self.events += n
+        if self.events > self.limits.max_events:
+            raise IngestCapError(
+                "ING001", f"more than {self.limits.max_events} records")
+        self._since_check += n
+        if self._since_check >= self.DEADLINE_STRIDE:
+            self._since_check = 0
+            self.check_deadline()
+
+    def check_locations(self, n: int) -> None:
+        if n > self.limits.max_locations:
+            raise IngestCapError(
+                "ING001", f"{n} locations, cap is "
+                f"{self.limits.max_locations}")
+
+    def check_regions(self, n: int) -> None:
+        if n > self.limits.max_regions:
+            raise IngestCapError(
+                "ING001", f"{n} regions, cap is {self.limits.max_regions}")
+
+    def check_ranks(self, n: int) -> None:
+        if n > self.limits.max_ranks:
+            raise IngestCapError(
+                "ING001", f"{n} ranks, cap is {self.limits.max_ranks}")

@@ -1,0 +1,109 @@
+"""Ingestion outcome: what was parsed, repaired, dropped, or refused.
+
+Every ingestion run produces exactly one :class:`IngestReport`.  Accepted
+inputs carry the full repair history (one ING diagnostic per salvage
+action); rejected inputs raise :class:`IngestError` with the same report
+attached, so callers -- the CLI, the serving endpoint, the fuzzer -- see
+one uniform, machine-renderable account either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.verify.diagnostics import Diagnostic, format_diagnostics
+from repro.verify.rules import RULES
+
+__all__ = ["IngestReport", "IngestError"]
+
+
+@dataclass
+class IngestReport:
+    """Structured account of one ingestion run.
+
+    Attributes
+    ----------
+    source:    input name (file path, upload name, or ``"<bytes>"``)
+    fmt:       detected format: ``"chrome"`` or ``"commops"`` (``None``
+               when detection itself failed)
+    accepted:  the input produced a sanitizer-clean trace / lint-clean
+               program
+    n_records: records successfully parsed from the input
+    n_dropped: records discarded (malformed, duplicate, orphaned)
+    repairs:   ING warning diagnostics, one per salvage action
+    rejections: ING error diagnostics (empty for accepted inputs)
+    quarantine_path: where the unrecoverable input bytes were moved
+               (``*.corrupt-N``), when quarantine ran
+    elapsed_seconds: wall-clock spent ingesting
+    """
+
+    source: str = "<bytes>"
+    fmt: Optional[str] = None
+    accepted: bool = False
+    n_records: int = 0
+    n_dropped: int = 0
+    repairs: List[Diagnostic] = field(default_factory=list)
+    rejections: List[Diagnostic] = field(default_factory=list)
+    quarantine_path: Optional[str] = None
+    elapsed_seconds: float = 0.0
+
+    @property
+    def repaired(self) -> bool:
+        return bool(self.repairs)
+
+    def repair(self, rule_id: str, message: str, **kw) -> None:
+        """Record one salvage action as an ING diagnostic."""
+        self.repairs.append(Diagnostic(rule_id, message, **kw))
+
+    def reject(self, rule_id: str, message: str, **kw) -> None:
+        self.rejections.append(Diagnostic(rule_id, message, **kw))
+
+    def rule_ids(self) -> set:
+        return {d.rule_id for d in self.repairs + self.rejections}
+
+    def to_dict(self) -> dict:
+        def row(d: Diagnostic) -> dict:
+            out = {"rule": d.rule_id, "severity": RULES[d.rule_id].severity,
+                   "message": d.message}
+            if d.location is not None:
+                out["location"] = d.location
+            if d.rank is not None:
+                out["rank"] = d.rank
+            return out
+
+        return {
+            "format": "repro-ingest-report-1",
+            "source": self.source,
+            "trace_format": self.fmt,
+            "accepted": self.accepted,
+            "n_records": self.n_records,
+            "n_dropped": self.n_dropped,
+            "repairs": [row(d) for d in self.repairs],
+            "rejections": [row(d) for d in self.rejections],
+            "quarantine_path": self.quarantine_path,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    def format(self) -> str:
+        verdict = "accepted" if self.accepted else "REJECTED"
+        if self.accepted and self.repairs:
+            verdict += f" with {len(self.repairs)} repair(s)"
+        head = (f"ingest {self.source} [{self.fmt or 'unknown'}]: {verdict} "
+                f"({self.n_records} record(s), {self.n_dropped} dropped)")
+        findings = self.rejections + self.repairs
+        if not findings:
+            return head
+        return format_diagnostics(findings, header=head, with_hints=False)
+
+
+class IngestError(Exception):
+    """The input was rejected; ``report`` says exactly why.
+
+    Every rejection carries at least one ING error diagnostic -- the
+    pipeline's contract is *reject-with-diagnostic*, never a bare crash.
+    """
+
+    def __init__(self, report: IngestReport):
+        super().__init__(report.format())
+        self.report = report

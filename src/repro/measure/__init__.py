@@ -24,7 +24,13 @@ from repro.measure.filtering import FilterRules
 from repro.measure.overhead import OverheadModel
 from repro.measure.measurement import Measurement
 from repro.measure.trace import RawTrace
-from repro.measure.io import write_trace, read_trace, read_manifest
+from repro.measure.io import (
+    TraceFormatError,
+    write_trace,
+    read_trace,
+    read_manifest,
+    trace_archive_bytes,
+)
 
 __all__ = [
     "MODES",
@@ -42,7 +48,9 @@ __all__ = [
     "OverheadModel",
     "Measurement",
     "RawTrace",
+    "TraceFormatError",
     "write_trace",
     "read_trace",
     "read_manifest",
+    "trace_archive_bytes",
 ]

@@ -39,6 +39,8 @@ import io
 import json
 import os
 import tempfile
+import zipfile
+import zlib
 from pathlib import Path
 from typing import List, Optional, Tuple, Union
 
@@ -51,9 +53,11 @@ from repro.sim.events import Ev, RegionRegistry
 from repro.sim.kernels import EMPTY_DELTA, WorkDelta
 
 __all__ = [
+    "TraceFormatError",
     "write_trace",
     "read_trace",
     "read_manifest",
+    "trace_archive_bytes",
     "atomic_write_bytes",
     "atomic_write_text",
     "archive_hash",
@@ -61,6 +65,44 @@ __all__ = [
     "store_archive_bytes",
     "iter_file_chunks",
 ]
+
+
+class TraceFormatError(ValueError):
+    """A trace archive is corrupt, truncated, or not a trace archive.
+
+    Raised by every archive reader (:func:`read_trace`,
+    :func:`read_manifest`, the sharded readers) in place of the bare
+    ``KeyError``/``zipfile.BadZipFile``/``json.JSONDecodeError`` the
+    underlying libraries throw, so callers handle *one* typed error.
+    Subclasses ``ValueError`` (the historical contract for bad headers)
+    and stays picklable across process-pool boundaries.
+
+    Attributes
+    ----------
+    path:   the offending archive (or member file) as a string
+    reason: what went wrong, including the wrapped exception
+    offset: where in the archive it went wrong -- a line number for
+            JSON-lines archives, a member name for npz/shards -- or
+            ``None`` when the damage has no localizable position
+    """
+
+    def __init__(self, path, reason: str, offset=None):
+        self.path = str(path)
+        self.reason = reason
+        self.offset = offset
+        where = self.path if offset is None else f"{self.path} (at {offset})"
+        super().__init__(f"{where}: {reason}")
+
+    def __reduce__(self):
+        return (TraceFormatError, (self.path, self.reason, self.offset))
+
+
+#: exception types the readers translate into :class:`TraceFormatError`;
+#: covers gzip damage (BadGzipFile is an OSError), zip/npz damage,
+#: truncated streams, JSON syntax, and missing/mistyped header fields
+_READ_ERRORS = (OSError, EOFError, KeyError, IndexError, TypeError,
+                ValueError, UnicodeDecodeError, zipfile.BadZipFile,
+                zlib.error)
 
 #: archive suffixes the upload path accepts (dispatch keys of
 #: :func:`read_trace`); ``.shards`` is a directory format and cannot be
@@ -193,8 +235,27 @@ def write_trace(trace: RawTrace, path: Union[str, Path],
     obs.counter("io.bytes_written", format=fmt).add(path.stat().st_size)
 
 
+def trace_archive_bytes(trace: RawTrace,
+                        manifest: Optional[dict] = None) -> bytes:
+    """Canonical JSON-lines archive bytes of ``trace`` (no file involved).
+
+    The exact bytes :func:`write_trace` would put in a ``*.trace.json.gz``
+    archive (deterministic: the gzip mtime is pinned), for callers that
+    store traces content-addressed -- the serving layer's ingest endpoint.
+    """
+    buf = io.BytesIO()
+    with gzip.GzipFile(fileobj=buf, mode="wb", mtime=0) as gz:
+        with io.TextIOWrapper(gz, encoding="utf-8") as fh:
+            _dump_trace_jsonl(trace, manifest, fh)
+    return buf.getvalue()
+
+
 def _write_trace_jsonl(trace: RawTrace, path: Path,
                        manifest: Optional[dict]) -> None:
+    atomic_write_bytes(path, trace_archive_bytes(trace, manifest))
+
+
+def _dump_trace_jsonl(trace: RawTrace, manifest: Optional[dict], fh) -> None:
     header = {
         "format": "repro-trace-1",
         "mode": trace.mode,
@@ -205,23 +266,19 @@ def _write_trace_jsonl(trace: RawTrace, path: Path,
     }
     if manifest is not None:
         header["provenance"] = manifest
-    buf = io.BytesIO()
-    with gzip.GzipFile(fileobj=buf, mode="wb", mtime=0) as gz:
-        with io.TextIOWrapper(gz, encoding="utf-8") as fh:
-            fh.write(json.dumps(header) + "\n")
-            for loc, evs in enumerate(trace.events):
-                for ev in evs:
-                    rec = [
-                        loc,
-                        ev.etype,
-                        ev.region,
-                        ev.t,
-                        _delta_to_obj(ev.delta),
-                        list(ev.aux) if isinstance(ev.aux, tuple) else ev.aux,
-                        ev.t_enter or None,
-                    ]
-                    fh.write(json.dumps(rec) + "\n")
-    atomic_write_bytes(path, buf.getvalue())
+    fh.write(json.dumps(header) + "\n")
+    for loc, evs in enumerate(trace.events):
+        for ev in evs:
+            rec = [
+                loc,
+                ev.etype,
+                ev.region,
+                ev.t,
+                _delta_to_obj(ev.delta),
+                list(ev.aux) if isinstance(ev.aux, tuple) else ev.aux,
+                ev.t_enter or None,
+            ]
+            fh.write(json.dumps(rec) + "\n")
 
 
 def read_trace(path: Union[str, Path]) -> RawTrace:
@@ -256,40 +313,59 @@ def read_manifest(path: Union[str, Path]) -> Optional[dict]:
         from repro.measure.shards import read_shard_manifest
 
         return read_shard_manifest(path).get("provenance")
-    if path.suffix == ".npz":
-        with np.load(path) as data:
-            header = json.loads(bytes(data["header"]).decode("utf-8"))
-    else:
-        with gzip.open(path, "rt", encoding="utf-8") as fh:
-            header = json.loads(fh.readline())
-    return header.get("provenance")
+    try:
+        if path.suffix == ".npz":
+            with np.load(path) as data:
+                header = json.loads(bytes(data["header"]).decode("utf-8"))
+        else:
+            with gzip.open(path, "rt", encoding="utf-8") as fh:
+                header = json.loads(fh.readline())
+        return header.get("provenance")
+    except TraceFormatError:
+        raise
+    except _READ_ERRORS as exc:
+        raise TraceFormatError(
+            path, f"unreadable archive header: {type(exc).__name__}: {exc}",
+            offset="header") from exc
 
 
 def _read_trace_jsonl(path: Path) -> RawTrace:
-    with gzip.open(path, "rt", encoding="utf-8") as fh:
-        header = json.loads(fh.readline())
-        if header.get("format") != "repro-trace-1":
-            raise ValueError(f"{path}: not a repro trace archive")
-        regions = RegionRegistry()
-        for name, paradigm in zip(header["regions"], header["paradigms"]):
-            regions.intern(name, paradigm)
-        locations: List[Tuple[int, int]] = [tuple(lt) for lt in header["locations"]]
-        events: List[List[Ev]] = [[] for _ in locations]
-        for line in fh:
-            loc, etype, region, t, delta, aux, t_enter = json.loads(line)
-            if isinstance(aux, list):
-                aux = tuple(aux)
-            events[loc].append(
-                Ev(etype, region, t, _delta_from_obj(delta), aux=aux, t_enter=t_enter or 0.0)
-            )
-    trace = RawTrace(
-        mode=header["mode"],
-        regions=regions,
-        locations=locations,
-        events=events,
-        runtime=header["runtime"],
-        pinning=None,
-    )
+    lineno = 0
+    try:
+        with gzip.open(path, "rt", encoding="utf-8") as fh:
+            lineno = 1
+            header = json.loads(fh.readline())
+            if not isinstance(header, dict) \
+                    or header.get("format") != "repro-trace-1":
+                raise TraceFormatError(path, "not a repro trace archive",
+                                       offset="line 1")
+            regions = RegionRegistry()
+            for name, paradigm in zip(header["regions"], header["paradigms"]):
+                regions.intern(name, paradigm)
+            locations: List[Tuple[int, int]] = [tuple(lt) for lt in header["locations"]]
+            events: List[List[Ev]] = [[] for _ in locations]
+            for line in fh:
+                lineno += 1
+                loc, etype, region, t, delta, aux, t_enter = json.loads(line)
+                if isinstance(aux, list):
+                    aux = tuple(aux)
+                events[loc].append(
+                    Ev(etype, region, t, _delta_from_obj(delta), aux=aux, t_enter=t_enter or 0.0)
+                )
+        trace = RawTrace(
+            mode=header["mode"],
+            regions=regions,
+            locations=locations,
+            events=events,
+            runtime=header["runtime"],
+            pinning=None,
+        )
+    except TraceFormatError:
+        raise
+    except _READ_ERRORS as exc:
+        raise TraceFormatError(
+            path, f"corrupt JSON-lines archive: {type(exc).__name__}: {exc}",
+            offset=f"line {lineno}") from exc
     trace.provenance = header.get("provenance")
     return trace
 
@@ -329,29 +405,46 @@ def _write_trace_npz(trace: RawTrace, path: Path,
 
 
 def _read_trace_npz(path: Path) -> RawTrace:
-    with np.load(path) as data:
-        header = json.loads(bytes(data["header"]).decode("utf-8"))
-        if header.get("format") != "repro-trace-npz-1":
-            raise ValueError(f"{path}: not a columnar repro trace archive")
-        offsets = data["offsets"]
-        columns = {f: data[f] for f in _COLUMN_FIELDS}
-    regions = RegionRegistry()
-    for name, paradigm in zip(header["regions"], header["paradigms"]):
-        regions.intern(name, paradigm)
-    locations: List[Tuple[int, int]] = [tuple(lt) for lt in header["locations"]]
-    locs = [
-        LocationColumns(**{f: columns[f][offsets[i]:offsets[i + 1]]
-                           for f in _COLUMN_FIELDS})
-        for i in range(len(locations))
-    ]
-    cols = TraceColumns(
-        mode=header["mode"],
-        regions=regions,
-        locations=locations,
-        locs=locs,
-        runtime=header["runtime"],
-        pinning=None,
-    )
-    trace = cols.to_raw()
+    member = "header"
+    try:
+        with np.load(path) as data:
+            header = json.loads(bytes(data["header"]).decode("utf-8"))
+            if not isinstance(header, dict) \
+                    or header.get("format") != "repro-trace-npz-1":
+                raise TraceFormatError(
+                    path, "not a columnar repro trace archive",
+                    offset="header")
+            member = "offsets"
+            offsets = data["offsets"]
+            columns = {}
+            for f in _COLUMN_FIELDS:
+                member = f
+                columns[f] = data[f]
+        member = "header"
+        regions = RegionRegistry()
+        for name, paradigm in zip(header["regions"], header["paradigms"]):
+            regions.intern(name, paradigm)
+        locations: List[Tuple[int, int]] = [tuple(lt) for lt in header["locations"]]
+        member = "offsets"
+        locs = [
+            LocationColumns(**{f: columns[f][offsets[i]:offsets[i + 1]]
+                               for f in _COLUMN_FIELDS})
+            for i in range(len(locations))
+        ]
+        cols = TraceColumns(
+            mode=header["mode"],
+            regions=regions,
+            locations=locations,
+            locs=locs,
+            runtime=header["runtime"],
+            pinning=None,
+        )
+        trace = cols.to_raw()
+    except TraceFormatError:
+        raise
+    except _READ_ERRORS as exc:
+        raise TraceFormatError(
+            path, f"corrupt columnar archive: {type(exc).__name__}: {exc}",
+            offset=member) from exc
     trace.provenance = header.get("provenance")
     return trace

@@ -175,13 +175,41 @@ def write_sharded_trace(
     return path
 
 
+#: manifest fields every consumer indexes; validated up front so a
+#: truncated or hand-edited manifest fails as one typed error instead of
+#: a KeyError deep inside a streaming scan
+_MANIFEST_REQUIRED = ("mode", "runtime", "locations", "regions",
+                      "paradigms", "n_events", "shard_events",
+                      "loc_counts", "shards")
+
+
 def read_shard_manifest(path: Union[str, Path]) -> dict:
-    """The archive header -- reads ``manifest.json`` only, never a shard."""
+    """The archive header -- reads ``manifest.json`` only, never a shard.
+
+    Raises :class:`~repro.measure.io.TraceFormatError` when the manifest
+    is missing, unparseable, not a sharded archive, or lacks required
+    fields.
+    """
+    from repro.measure.io import TraceFormatError
+
     path = Path(path)
-    with open(path / MANIFEST_NAME, "r", encoding="utf-8") as fh:
-        header = json.load(fh)
-    if header.get("format") != SHARD_FORMAT:
-        raise ValueError(f"{path}: not a sharded repro trace archive")
+    try:
+        with open(path / MANIFEST_NAME, "r", encoding="utf-8") as fh:
+            header = json.load(fh)
+    except TraceFormatError:
+        raise
+    except (OSError, ValueError, UnicodeDecodeError) as exc:
+        raise TraceFormatError(
+            path, f"unreadable shard manifest: {type(exc).__name__}: {exc}",
+            offset=MANIFEST_NAME) from exc
+    if not isinstance(header, dict) or header.get("format") != SHARD_FORMAT:
+        raise TraceFormatError(path, "not a sharded repro trace archive",
+                               offset=MANIFEST_NAME)
+    missing = [k for k in _MANIFEST_REQUIRED if k not in header]
+    if missing:
+        raise TraceFormatError(
+            path, f"shard manifest lacks required field(s) {missing}",
+            offset=MANIFEST_NAME)
     return header
 
 
@@ -272,13 +300,25 @@ class ShardedTrace:
         file; the previous map is dropped before the next is opened, so at
         most one shard is resident.
         """
+        from repro.measure.io import TraceFormatError
+
         for meta in self.header["shards"]:
-            arr = np.load(self.path / meta["file"], mmap_mode="r")
+            try:
+                arr = np.load(self.path / meta["file"], mmap_mode="r")
+            except (OSError, ValueError, EOFError, KeyError) as exc:
+                raise TraceFormatError(
+                    self.path,
+                    f"unreadable shard: {type(exc).__name__}: {exc}",
+                    offset=meta.get("file")) from exc
+            if arr.dtype != SHARD_DTYPE or arr.ndim != 1:
+                raise TraceFormatError(
+                    self.path, f"shard has dtype {arr.dtype}, expected the "
+                    "repro shard record layout", offset=meta.get("file"))
             if len(arr) != meta["n_events"]:
-                raise ValueError(
-                    f"{meta['file']}: {len(arr)} rows, manifest says "
-                    f"{meta['n_events']}"
-                )
+                raise TraceFormatError(
+                    self.path,
+                    f"{len(arr)} rows, manifest says {meta['n_events']}",
+                    offset=meta.get("file"))
             self.stats.shards_opened += 1
             yield arr
             del arr  # release the map before opening the next shard

@@ -25,6 +25,7 @@ __all__ = [
     "trace_chrome_events",
     "write_trace_chrome",
     "CHROME_REQUIRED_KEYS",
+    "CHROME_RAW_FORMAT",
 ]
 
 #: keys every exported Chrome trace event carries (validated by the CI
@@ -80,11 +81,21 @@ def to_chrome(doc: Mapping) -> dict:
     }
 
 
+#: format tag of the lossless per-event records embedded by
+#: ``trace_chrome_events(..., embed_raw=True)``; :mod:`repro.ingest`
+#: recognizes it and reconstructs the original trace bit-exactly
+CHROME_RAW_FORMAT = "repro-chrome-raw-1"
+
+_RAW_DELTA_FIELDS = ("omp_iters", "bb", "stmt", "instr",
+                     "burst_calls", "omp_calls")
+
+
 def trace_chrome_events(
     trace_like,
     map_t: Optional[Callable[[int, float], float]] = None,
     pid_offset: int = 0,
     label: str = "",
+    embed_raw: bool = False,
 ) -> Iterator[dict]:
     """Yield Chrome trace events for an engine trace, one at a time.
 
@@ -96,11 +107,23 @@ def trace_chrome_events(
     :mod:`repro.causal.align`); ``pid_offset``/``label`` give each
     exported run its own process namespace so several runs overlay on
     one Perfetto timeline.
+
+    ``embed_raw=True`` makes the export *lossless*: alongside the
+    visible events, one ``cat: "repro.raw"`` record per trace event
+    carries the full event payload (kind, region id, exact float64
+    timestamps, aux, work delta) plus a ``repro_trace`` metadata header
+    with the region table and location map.  Perfetto ignores the extra
+    records; :mod:`repro.ingest` reconstructs the original
+    ``RawTrace`` from them bit-exactly (JSON ``repr`` round-trips
+    float64), which is what makes Chrome export a real interchange
+    format rather than a one-way visualization.  Raw records always
+    carry the *unwarped* timestamps.
     """
     # local imports keep repro.obs importable without the sim package
     from repro.sim.events import (
         BURST,
         ENTER,
+        EVENT_NAMES,
         FAULT,
         LEAVE,
         RESTART,
@@ -109,6 +132,16 @@ def trace_chrome_events(
     regions = trace_like.regions
     locations = trace_like.locations
     warp = map_t if map_t is not None else (lambda _loc, t: t)
+
+    if embed_raw:
+        yield {"name": "repro_trace", "cat": "repro.meta", "ph": "M",
+               "ts": 0.0, "pid": pid_offset, "tid": 0,
+               "args": {"format": CHROME_RAW_FORMAT,
+                        "mode": trace_like.mode,
+                        "runtime": trace_like.runtime,
+                        "locations": [list(lt) for lt in locations],
+                        "regions": list(regions.names),
+                        "paradigms": list(regions.paradigms)}}
 
     for loc, (rank, thread) in enumerate(locations):
         name = f"rank {rank}"
@@ -121,6 +154,20 @@ def trace_chrome_events(
     stacks: List[List[Tuple[int, float]]] = [[] for _ in locations]
     for loc, ev in trace_like.merged():
         et = ev.etype
+        if embed_raw:
+            rank, thread = locations[loc]
+            args = {"loc": loc, "etype": et, "region": ev.region, "t": ev.t}
+            if ev.t_enter:
+                args["t_enter"] = ev.t_enter
+            if ev.aux is not None:
+                args["aux"] = (list(ev.aux) if isinstance(ev.aux, tuple)
+                               else ev.aux)
+            if not ev.delta.is_empty:
+                args["delta"] = {f: v for f in _RAW_DELTA_FIELDS
+                                 if (v := getattr(ev.delta, f)) != 0.0}
+            yield {"name": EVENT_NAMES.get(et, str(et)), "cat": "repro.raw",
+                   "ph": "i", "ts": ev.t * 1e6, "s": "t",
+                   "pid": pid_offset + rank, "tid": thread, "args": args}
         if et == ENTER:
             stacks[loc].append((ev.region, ev.t))
             continue

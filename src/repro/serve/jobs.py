@@ -53,9 +53,14 @@ def analysis_manifest(op: str, params: dict) -> dict:
 
 def _rewrap(fn, *args, tag):
     from repro.experiments.workflow import CampaignTaskError
+    from repro.measure.io import TraceFormatError
 
     try:
         return fn(*args)
+    except TraceFormatError:
+        # typed, picklable, and the client's fault: crosses the pool
+        # boundary intact so the service can answer 400 instead of 500
+        raise
     except Exception:
         name, mode = tag
         raise CampaignTaskError(name, mode, 0, 0,

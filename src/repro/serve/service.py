@@ -46,7 +46,13 @@ from urllib.parse import parse_qs, urlsplit
 from repro import obs
 from repro.experiments import workflow as W
 from repro.experiments.configs import EXPERIMENTS
-from repro.measure.io import archive_suffix, store_archive_bytes
+from repro.measure.io import (
+    TraceFormatError,
+    archive_hash,
+    archive_suffix,
+    read_trace,
+    store_archive_bytes,
+)
 from repro.serve import jobs as J
 from repro.serve.quota import QuotaManager
 from repro.serve.store import ResultStore, resolve_cache_max_bytes
@@ -57,6 +63,10 @@ _JSON = "application/json"
 _TEXT = "text/plain; charset=utf-8"
 
 _BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+#: sentinel body from ``_read_request`` for a declared-oversize request
+#: (the body is never read; the connection must close after the 413)
+_OVERSIZE = object()
 
 _STATUS = {
     200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
@@ -186,6 +196,14 @@ class AnalysisService:
                 if request is None:
                     break
                 method, path, headers, body = request
+                if body is _OVERSIZE:
+                    payload = _jerr(
+                        f"request body exceeds the "
+                        f"{self.config.max_body_bytes} byte limit")
+                    self._write_response(writer, 413, _JSON, payload,
+                                         {}, False)
+                    await writer.drain()
+                    break
                 try:
                     status, ctype, payload, extra = await self._route(
                         method, path, headers, body)
@@ -225,9 +243,15 @@ class AnalysisService:
                 break
             name, _sep, value = hline.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", "0") or "0")
-        if length > self.config.max_body_bytes:
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
             return None
+        if length < 0:
+            return None
+        if length > self.config.max_body_bytes:
+            # do not read the body: answer 413 and drop the connection
+            return method, target, headers, _OVERSIZE
         body = await reader.readexactly(length) if length else b""
         return method, target, headers, body
 
@@ -259,13 +283,15 @@ class AnalysisService:
         if path == "/v1/analyze" and method == "POST":
             return await self._post_analyze(headers, body)
         if path == "/v1/traces" and method == "PUT":
-            return self._put_trace(headers, body)
+            return await self._put_trace(headers, body)
+        if path == "/v1/ingest" and method == "POST":
+            return await self._post_ingest(headers, body)
         if path.startswith("/v1/traces/") and method == "GET":
             return self._get_trace(path.rsplit("/", 1)[1])
         if path.startswith("/v1/results/") and method == "GET":
             return self._get_result(path.rsplit("/", 1)[1])
         known = (path in ("/healthz", "/metrics", "/v1/experiment",
-                          "/v1/analyze", "/v1/traces")
+                          "/v1/analyze", "/v1/traces", "/v1/ingest")
                  or path.startswith(("/v1/traces/", "/v1/results/")))
         if known:
             return 405, _JSON, _jerr(f"{method} not allowed on {path}"), {}
@@ -300,7 +326,7 @@ class AnalysisService:
         return 200, _JSON, data, {"X-Repro-Cache": "hit"}
 
     # -- trace uploads ------------------------------------------------------
-    def _put_trace(self, headers, body):
+    async def _put_trace(self, headers, body):
         ok, retry = self._admit(headers)
         if not ok:
             return retry
@@ -311,8 +337,70 @@ class AnalysisService:
             return 400, _JSON, _jerr(str(exc)), {}
         digest, path = store_archive_bytes(
             body, self.store.root, suffix=suffix, prefix="cas-")
+        # full-archive validation off the event loop: a truncated or
+        # bit-flipped upload is quarantined and answered with the typed
+        # diagnostic instead of poisoning later /v1/analyze jobs
+        try:
+            await asyncio.to_thread(read_trace, path)
+        except TraceFormatError as exc:
+            moved = W._quarantine(path)
+            obs.counter("serve.upload_rejects").inc()
+            return 400, _JSON, _jerr(
+                "malformed trace archive", str(exc)), {
+                "X-Repro-Quarantine": moved.name if moved else "deleted"}
         self.store.evict(protect=(path.name,))
         return 201, _JSON, _jdoc({"hash": digest, "path": path.name}), {}
+
+    async def _post_ingest(self, headers, body):
+        """Hardened ingestion of a foreign trace upload.
+
+        Accepted Chrome inputs are converted to a canonical archive and
+        stored content-addressed (immediately analyzable via
+        ``/v1/analyze``); accepted comm-op inputs return their
+        normalized op document inline.  Rejected bytes are quarantined
+        beside the store (``*.corrupt-N``) and answered ``400`` with the
+        full ingest report.
+        """
+        from repro.ingest import IngestError, IngestLimits, ingest_bytes
+        from repro.measure.io import trace_archive_bytes
+
+        ok, retry = self._admit(headers)
+        if not ok:
+            return retry
+        name = headers.get("x-archive-name", "<upload>")
+        fmt = headers.get("x-ingest-format") or None
+        limits = IngestLimits(max_bytes=self.config.max_body_bytes)
+        try:
+            result = await asyncio.to_thread(
+                ingest_bytes, body, name=name, fmt=fmt, limits=limits)
+        except IngestError as exc:
+            stash = self.store.root / (
+                f"ingest-{archive_hash(body)[:20]}.upload")
+            try:
+                stash.write_bytes(body)
+                moved = W._quarantine(stash)
+            except OSError:
+                moved = None
+            report = exc.report.to_dict()
+            report["quarantine_path"] = moved.name if moved else None
+            return 400, _JSON, _jdoc(
+                {"error": "ingest rejected", "report": report}), {}
+        doc = {"kind": result.kind, "report": result.report.to_dict()}
+        if result.kind == "trace":
+            data = await asyncio.to_thread(trace_archive_bytes,
+                                           result.trace)
+            digest, path = store_archive_bytes(
+                data, self.store.root, suffix=".trace.json.gz",
+                prefix="cas-")
+            self.store.evict(protect=(path.name,))
+            doc["hash"] = digest
+            doc["path"] = path.name
+        else:
+            from repro.ingest.commops import commops_doc
+
+            doc["n_ranks"] = result.program.n_ranks
+            doc["ops"] = commops_doc(result.program)["ops"]
+        return 201, _JSON, _jdoc(doc), {}
 
     def _trace_path(self, digest: str) -> Optional[Path]:
         hits = sorted(self.store.root.glob(f"cas-{digest[:20]}-trace*"))
@@ -448,6 +536,9 @@ class AnalysisService:
             obs.counter("serve.coalesced").inc()
             try:
                 data = await asyncio.shield(future)
+            except TraceFormatError as exc:
+                return 400, _JSON, _jerr("malformed trace archive",
+                                         str(exc)), {}
             except Exception:
                 return 500, _JSON, _jerr(
                     f"computation of {key} failed", traceback.format_exc()), {}
@@ -462,6 +553,9 @@ class AnalysisService:
         self._wake.set()
         try:
             data = await asyncio.shield(future)
+        except TraceFormatError as exc:
+            return 400, _JSON, _jerr("malformed trace archive",
+                                     str(exc)), {}
         except Exception as exc:
             return 500, _JSON, _jerr(f"computation of {key} failed",
                                      _exc_text(exc)), {}
@@ -509,7 +603,10 @@ class AnalysisService:
                         timeout=self.config.job_timeout)
                 except Exception as exc:
                     obs.counter("serve.job_failures", kind=job.kind).inc()
-                    if job.attempts >= self.config.max_job_attempts:
+                    # a malformed archive fails identically every
+                    # attempt; surface it without burning retries
+                    if (isinstance(exc, TraceFormatError)
+                            or job.attempts >= self.config.max_job_attempts):
                         if not job.future.done():
                             job.future.set_exception(exc)
                         return

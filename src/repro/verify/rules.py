@@ -16,6 +16,8 @@ Rule id families
 ``TRC``  Trace-level invariants (happened-before, matching, clock condition).
 ``DET``  Static determinism analysis (wildcards, send races, nondeterminism).
 ``RACE`` Happened-before races found in a recorded trace (vector clocks).
+``ING``  Foreign-trace ingestion (:mod:`repro.ingest`): resource caps,
+         parse/validation failures and salvage repairs on untrusted input.
 =======  ==================================================================
 """
 
@@ -298,4 +300,97 @@ RACE003 = rule(
     "wildcard receive whose candidate sends are totally ordered",
     "this wildcard is benign in the recorded trace: every candidate send "
     "is ordered by happened-before, so only one match was possible",
+)
+
+# ---------------------------------------------------------------------------
+# foreign-trace ingestion (repro.ingest)
+# ---------------------------------------------------------------------------
+
+ING001 = rule(
+    "ING001", Severity.ERROR,
+    "input exceeds an ingestion resource cap",
+    "raise the IngestLimits bound (max bytes/events/locations/regions/"
+    "ranks) if the input is genuinely this large; caps exist so hostile "
+    "input cannot exhaust memory",
+)
+ING002 = rule(
+    "ING002", Severity.ERROR,
+    "unrecognized or unparseable trace container",
+    "supply Chrome trace-event JSON (object with a traceEvents array, a "
+    "bare event array, or JSON lines) or a repro-commops-1 document",
+)
+ING003 = rule(
+    "ING003", Severity.WARNING,
+    "malformed record dropped during tolerant parsing",
+    "the record was not valid JSON or failed schema validation; it was "
+    "skipped and the rest of the input parsed normally",
+)
+ING004 = rule(
+    "ING004", Severity.WARNING,
+    "truncated tail discarded",
+    "the input ends mid-record (interrupted capture or copy); the "
+    "complete prefix was kept and the partial tail dropped",
+)
+ING005 = rule(
+    "ING005", Severity.WARNING,
+    "non-monotonic timestamps repaired",
+    "per-location timestamps were clamped to non-decreasing order "
+    "(recorder clock stepped backwards or a record was bit-flipped)",
+)
+ING006 = rule(
+    "ING006", Severity.WARNING,
+    "message matching repaired",
+    "an orphaned or duplicated send/receive record was dropped so every "
+    "match id pairs exactly one send with one receive",
+)
+ING007 = rule(
+    "ING007", Severity.WARNING,
+    "synchronisation group repaired",
+    "an incomplete collective/barrier/restart instance was dropped, its "
+    "recorded size corrected, or member completion times aligned to the "
+    "group maximum",
+)
+ING008 = rule(
+    "ING008", Severity.WARNING,
+    "per-location clock skew normalized",
+    "one location's clock ran systematically behind its peers (receives "
+    "before their sends); the location's timeline was shifted forward",
+)
+ING009 = rule(
+    "ING009", Severity.WARNING,
+    "ENTER/LEAVE imbalance repaired",
+    "a stray LEAVE was dropped or missing LEAVEs synthesized so every "
+    "location's region stack balances",
+)
+ING010 = rule(
+    "ING010", Severity.ERROR,
+    "ingestion wall-clock timeout exceeded",
+    "the input took longer than IngestLimits.timeout_seconds to process; "
+    "raise the timeout or split the input",
+)
+ING011 = rule(
+    "ING011", Severity.WARNING,
+    "duplicate record dropped",
+    "a record carrying a must-be-unique id (match id, group member) "
+    "appeared more than once; the first occurrence was kept",
+)
+ING012 = rule(
+    "ING012", Severity.WARNING,
+    "dangling reference dropped",
+    "an event referenced a nonexistent peer (FAULT without its message, "
+    "TEAM_BEGIN without its FORK) and was removed",
+)
+ING013 = rule(
+    "ING013", Severity.ERROR,
+    "comm-op program is not replayable",
+    "after salvage the reconstructed rank programs still fail the static "
+    "linter (unmatched traffic, deadlock, invalid peers); the input is "
+    "rejected rather than replayed unsafely",
+)
+ING014 = rule(
+    "ING014", Severity.ERROR,
+    "salvage abandoned",
+    "repairs did not converge to a sanitizer-clean trace within the "
+    "bounded number of passes; the damage is beyond salvage and the "
+    "input is quarantined",
 )

@@ -554,3 +554,136 @@ class TestAnalysisRoutes:
         assert got.status == 200
         assert got.body == data
         assert gone.status == 404
+
+
+# ---------------------------------------------------------------------------
+# hardened upload + ingest endpoints
+# ---------------------------------------------------------------------------
+class TestIngestHardening:
+    def test_oversize_body_answers_413(self, tmp_path, session):
+        async def main():
+            svc = _service(tmp_path, max_body_bytes=1024)
+            await svc.start()
+            try:
+                from repro.serve.client import http_request
+
+                return await http_request(
+                    "127.0.0.1", svc.port, "PUT", "/v1/traces",
+                    body=b"x" * 5000,
+                    headers={"X-Archive-Name": "big.trace.json.gz"})
+            finally:
+                await svc.stop()
+
+        resp = asyncio.run(main())
+        assert resp.status == 413
+        assert "byte limit" in resp.json()["error"]
+
+    def test_malformed_archive_upload_400_and_quarantined(
+            self, tmp_path, session):
+        from repro.measure import write_trace
+
+        f1 = tmp_path / "a.trace.json.gz"
+        write_trace(_make_trace("ltbb", seed=1), f1)
+        data = bytearray(f1.read_bytes())
+        data[len(data) // 2] ^= 0xFF          # corrupt the gzip stream
+
+        async def main():
+            svc = _service(tmp_path)
+            await svc.start()
+            try:
+                from repro.serve.client import http_request
+
+                resp = await http_request(
+                    "127.0.0.1", svc.port, "PUT", "/v1/traces",
+                    body=bytes(data),
+                    headers={"X-Archive-Name": "bad.trace.json.gz"})
+                root = svc.store.root
+            finally:
+                await svc.stop()
+            return resp, root
+
+        resp, root = asyncio.run(main())
+        assert resp.status == 400
+        assert "malformed trace archive" in resp.json()["error"]
+        assert resp.headers.get("x-repro-quarantine")
+        assert list(root.glob("*.corrupt-*"))
+        assert _total(session, "serve.upload_rejects") == 1.0
+
+    def test_analyze_on_archive_corrupted_in_store_answers_400(
+            self, tmp_path, session):
+        from repro.measure import write_trace
+
+        f1 = tmp_path / "a.trace.json.gz"
+        write_trace(_make_trace("ltbb", seed=1), f1)
+
+        async def main():
+            svc = _service(tmp_path)
+            await svc.start()
+            try:
+                client = _client(svc)
+                up = await client.upload_trace(f1.read_bytes())
+                path = svc._trace_path(up["hash"])
+                blob = bytearray(path.read_bytes())
+                blob[len(blob) // 2] ^= 0xFF
+                path.write_bytes(bytes(blob))
+                return await client.analyze("replay", up["hash"])
+            finally:
+                await svc.stop()
+
+        resp = asyncio.run(main())
+        assert resp.status == 400
+        assert "malformed trace archive" in resp.json()["error"]
+
+    def test_ingest_accept_chrome_then_analyze(self, tmp_path, session):
+        from repro.obs.export import trace_chrome_events
+        from repro.serve.client import http_request
+
+        trace = _make_trace("lt1", seed=1)
+        events = list(trace_chrome_events(trace, embed_raw=True))
+        payload = json.dumps({"traceEvents": events}).encode()
+
+        async def main():
+            svc = _service(tmp_path)
+            await svc.start()
+            try:
+                resp = await http_request(
+                    "127.0.0.1", svc.port, "POST", "/v1/ingest",
+                    body=payload,
+                    headers={"X-Archive-Name": "export.json"})
+                doc = resp.json()
+                replay = await _client(svc).analyze("replay", doc["hash"])
+            finally:
+                await svc.stop()
+            return resp, doc, replay
+
+        resp, doc, replay = asyncio.run(main())
+        assert resp.status == 201
+        assert doc["kind"] == "trace"
+        assert doc["report"]["accepted"]
+        assert replay.status == 200
+        assert replay.json()["makespan"] > 0
+
+    def test_ingest_reject_garbage_400_with_report(self, tmp_path, session):
+        from repro.serve.client import http_request
+
+        async def main():
+            svc = _service(tmp_path)
+            await svc.start()
+            try:
+                resp = await http_request(
+                    "127.0.0.1", svc.port, "POST", "/v1/ingest",
+                    body=b"\x00\xffnot a trace at all",
+                    headers={"X-Archive-Name": "junk.bin"})
+                root = svc.store.root
+            finally:
+                await svc.stop()
+            return resp, root
+
+        resp, root = asyncio.run(main())
+        assert resp.status == 400
+        doc = resp.json()
+        assert doc["error"] == "ingest rejected"
+        assert not doc["report"]["accepted"]
+        assert any(d["rule"].startswith("ING")
+                   for d in doc["report"]["rejections"])
+        assert list(root.glob("*.corrupt-*"))
